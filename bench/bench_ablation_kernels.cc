@@ -1,0 +1,201 @@
+// Ablation microbenchmarks (google-benchmark): the design choices DESIGN.md
+// calls out — BAT vs contiguous kernels per operation, the sort-avoidance
+// optimizations, and Householder vs Gram-Schmidt QR.
+#include <benchmark/benchmark.h>
+
+#include "core/algebra.h"
+#include "core/rma.h"
+#include "matrix/qr.h"
+#include "rel/operators.h"
+#include "workload/synthetic.h"
+
+namespace rma {
+namespace {
+
+RmaOptions Opts(KernelPolicy kernel, SortPolicy sort) {
+  RmaOptions o;
+  o.kernel = kernel;
+  o.sort = sort;
+  return o;
+}
+
+// --- BAT vs contiguous per operation ---------------------------------------
+
+void BM_UnaryOp(benchmark::State& state, MatrixOp op, KernelPolicy kernel,
+                int64_t rows, int cols) {
+  const Relation r = workload::UniformRelation(rows, cols, 7, 0, 100, true);
+  const RmaOptions opts = Opts(kernel, SortPolicy::kOptimized);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RmaUnary(op, r, {"id"}, opts).ValueOrDie());
+  }
+}
+
+void BM_BinaryOp(benchmark::State& state, MatrixOp op, KernelPolicy kernel,
+                 int64_t rows, int cols) {
+  const Relation r = workload::UniformRelation(rows, cols, 7, 0, 100, true);
+  Relation s = workload::UniformRelation(rows, cols, 8, 0, 100, true);
+  s = rel::Rename(s, "id", "id2").ValueOrDie();
+  const RmaOptions opts = Opts(kernel, SortPolicy::kOptimized);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RmaBinary(op, r, {"id"}, s, {"id2"}, opts).ValueOrDie());
+  }
+}
+
+// --- sort policies -----------------------------------------------------------
+
+void BM_SortPolicy(benchmark::State& state, MatrixOp op, SortPolicy sort) {
+  const int64_t rows = 100000;
+  const Relation r = workload::ManyOrderColumnsRelation(rows, 8, 7, 11, "r");
+  Relation s = workload::ManyOrderColumnsRelation(rows, 8, 7, 13, "s");
+  std::vector<std::string> order_r;
+  std::vector<std::string> order_s;
+  std::vector<std::string> s_names;
+  for (int c = 0; c < 8; ++c) {
+    order_r.push_back("o" + std::to_string(c));
+    order_s.push_back("p" + std::to_string(c));
+    s_names.push_back("p" + std::to_string(c));
+  }
+  s_names.push_back("val");
+  s = rel::RenameAll(s, s_names).ValueOrDie();
+  const RmaOptions opts = Opts(KernelPolicy::kAuto, sort);
+  for (auto _ : state) {
+    if (GetOpInfo(op).arity == 1) {
+      benchmark::DoNotOptimize(RmaUnary(op, r, order_r, opts).ValueOrDie());
+    } else {
+      benchmark::DoNotOptimize(
+          RmaBinary(op, r, order_r, s, order_s, opts).ValueOrDie());
+    }
+  }
+}
+
+// --- cross-algebra rewriter ---------------------------------------------------
+
+/// The Sec. 5 covariance pattern mmu(tra(x BY id) BY C, x BY id): with the
+/// rewriter on it collapses to cpd(x, x) (symmetric SYRK kernel, no wide
+/// transposed intermediate).
+void BM_CovariancePattern(benchmark::State& state, bool rewrite) {
+  const Relation r = workload::UniformRelation(10000, 30, 11, 0, 100, true);
+  RmaOptions opts;
+  opts.rewrites.enabled = rewrite;
+  auto x = RmaExpr::Leaf(r);
+  auto expr = RmaExpr::Binary(
+      MatrixOp::kMmu, RmaExpr::Unary(MatrixOp::kTra, x, {"id"}), {"C"}, x,
+      {"id"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateOptimized(expr, opts).ValueOrDie());
+  }
+}
+
+/// Fig. 10's round trip tra(tra(x BY id) BY C): the rewriter replaces both
+/// transposes (and the 1-column-per-row intermediate) with a relabel.
+void BM_DoubleTranspose(benchmark::State& state, bool rewrite) {
+  const Relation r = workload::UniformRelation(5000, 20, 12, 0, 100, true);
+  RmaOptions opts;
+  opts.rewrites.enabled = rewrite;
+  auto expr = RmaExpr::Unary(
+      MatrixOp::kTra,
+      RmaExpr::Unary(MatrixOp::kTra, RmaExpr::Leaf(r), {"id"}), {"C"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateOptimized(expr, opts).ValueOrDie());
+  }
+}
+
+// --- Householder vs Gram-Schmidt QR -----------------------------------------
+
+void BM_QrAlgorithm(benchmark::State& state, bool householder) {
+  const int64_t n = state.range(0);
+  const Relation rel = workload::UniformRelation(n, 20, 9, 0, 100, true);
+  DenseMatrix a(n, 20);
+  for (int64_t j = 0; j < 20; ++j) {
+    const auto col = ToDoubleVector(*rel.column(static_cast<int>(j) + 1));
+    a.SetCol(j, col);
+  }
+  DenseMatrix q;
+  DenseMatrix r;
+  for (auto _ : state) {
+    if (householder) {
+      HouseholderQr(a, &q, &r).Abort();
+    } else {
+      GramSchmidtQr(a, &q, &r).Abort();
+    }
+    benchmark::DoNotOptimize(q);
+  }
+}
+
+}  // namespace
+}  // namespace rma
+
+int main(int argc, char** argv) {
+  using namespace rma;
+  const int64_t kRows = 20000;
+  const int kCols = 30;
+  const int64_t kSq = 400;  // square ops
+
+  benchmark::RegisterBenchmark("inv/bat", [&](benchmark::State& s) {
+    BM_UnaryOp(s, MatrixOp::kInv, KernelPolicy::kBat, kSq, static_cast<int>(kSq));
+  });
+  benchmark::RegisterBenchmark("inv/contiguous", [&](benchmark::State& s) {
+    BM_UnaryOp(s, MatrixOp::kInv, KernelPolicy::kContiguous, kSq,
+               static_cast<int>(kSq));
+  });
+  benchmark::RegisterBenchmark("qqr/bat", [&](benchmark::State& s) {
+    BM_UnaryOp(s, MatrixOp::kQqr, KernelPolicy::kBat, kRows, kCols);
+  });
+  benchmark::RegisterBenchmark("qqr/contiguous", [&](benchmark::State& s) {
+    BM_UnaryOp(s, MatrixOp::kQqr, KernelPolicy::kContiguous, kRows, kCols);
+  });
+  benchmark::RegisterBenchmark("cpd/bat", [&](benchmark::State& s) {
+    BM_BinaryOp(s, MatrixOp::kCpd, KernelPolicy::kBat, kRows, kCols);
+  });
+  benchmark::RegisterBenchmark("cpd/contiguous", [&](benchmark::State& s) {
+    BM_BinaryOp(s, MatrixOp::kCpd, KernelPolicy::kContiguous, kRows, kCols);
+  });
+  benchmark::RegisterBenchmark("add/bat", [&](benchmark::State& s) {
+    BM_BinaryOp(s, MatrixOp::kAdd, KernelPolicy::kBat, kRows, kCols);
+  });
+  benchmark::RegisterBenchmark("add/contiguous", [&](benchmark::State& s) {
+    BM_BinaryOp(s, MatrixOp::kAdd, KernelPolicy::kContiguous, kRows, kCols);
+  });
+
+  benchmark::RegisterBenchmark("add/sort_always", [](benchmark::State& s) {
+    BM_SortPolicy(s, MatrixOp::kAdd, SortPolicy::kAlways);
+  });
+  benchmark::RegisterBenchmark("add/sort_optimized", [](benchmark::State& s) {
+    BM_SortPolicy(s, MatrixOp::kAdd, SortPolicy::kOptimized);
+  });
+  benchmark::RegisterBenchmark("qqr/sort_always", [](benchmark::State& s) {
+    BM_SortPolicy(s, MatrixOp::kQqr, SortPolicy::kAlways);
+  });
+  benchmark::RegisterBenchmark("qqr/sort_optimized", [](benchmark::State& s) {
+    BM_SortPolicy(s, MatrixOp::kQqr, SortPolicy::kOptimized);
+  });
+
+  benchmark::RegisterBenchmark("cov_pattern/rewrite_off",
+                               [](benchmark::State& s) {
+    BM_CovariancePattern(s, false);
+  });
+  benchmark::RegisterBenchmark("cov_pattern/rewrite_on",
+                               [](benchmark::State& s) {
+    BM_CovariancePattern(s, true);
+  });
+  benchmark::RegisterBenchmark("double_tra/rewrite_off",
+                               [](benchmark::State& s) {
+    BM_DoubleTranspose(s, false);
+  });
+  benchmark::RegisterBenchmark("double_tra/rewrite_on",
+                               [](benchmark::State& s) {
+    BM_DoubleTranspose(s, true);
+  });
+
+  benchmark::RegisterBenchmark("qr/householder", [](benchmark::State& s) {
+    BM_QrAlgorithm(s, true);
+  })->Arg(20000);
+  benchmark::RegisterBenchmark("qr/gram_schmidt", [](benchmark::State& s) {
+    BM_QrAlgorithm(s, false);
+  })->Arg(20000);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

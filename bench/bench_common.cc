@@ -1,0 +1,76 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rma::bench {
+
+double ScaleFactor() {
+  const char* env = std::getenv("RMA_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+int64_t Scaled(int64_t rows) {
+  return std::max<int64_t>(16, static_cast<int64_t>(rows * ScaleFactor()));
+}
+
+double TimeIt(const std::function<void()>& fn) {
+  Timer t;
+  fn();
+  return t.Seconds();
+}
+
+std::string Secs(double s) {
+  char buf[32];
+  if (s < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.4f", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", s);
+  }
+  return buf;
+}
+
+std::string Pct(double fraction) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.0f", fraction * 100.0);
+  return buf;
+}
+
+PaperTable::PaperTable(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
+void PaperTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void PaperTable::AddNote(std::string note) {
+  notes_.push_back(std::move(note));
+}
+
+void PaperTable::Print() const {
+  std::printf("\n== %s ==\n", title_.c_str());
+  std::vector<size_t> width(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : width) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+  for (const auto& n : notes_) std::printf("note: %s\n", n.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace rma::bench

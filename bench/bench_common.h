@@ -1,0 +1,52 @@
+#ifndef RMA_BENCH_BENCH_COMMON_H_
+#define RMA_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace rma::bench {
+
+/// Scale factor for all row counts, from the RMA_BENCH_SCALE environment
+/// variable (default 1.0 — sizes tuned so the full suite runs in minutes;
+/// the paper's original sizes are noted per bench).
+double ScaleFactor();
+
+/// rows scaled by RMA_BENCH_SCALE (at least 16).
+int64_t Scaled(int64_t rows);
+
+/// Times one invocation of `fn` in seconds.
+double TimeIt(const std::function<void()>& fn);
+
+/// Formats seconds as "1.23" (fixed, seconds) — paper tables are in sec.
+std::string Secs(double s);
+
+/// Formats a percentage as "83".
+std::string Pct(double fraction);
+
+/// Aligned paper-style table printer: one instance per table/figure.
+class PaperTable {
+ public:
+  PaperTable(std::string title, std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a free-text note printed under the table.
+  void AddNote(std::string note);
+
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace rma::bench
+
+#endif  // RMA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,69 @@
+// Figure 13: the cost of maintaining contextual information.
+//
+// Relations with a single application column and an increasing number of
+// order columns; `add` and `qqr` with and without the sort-avoidance
+// optimizations of Sec. 8.1. Paper sizes: (a) 100K tuples x 200..1000 order
+// attributes, (b) 1M x 20..100; scaled down by default (RMA_BENCH_SCALE
+// raises them).
+#include <vector>
+
+#include "bench_common.h"
+#include "core/rma.h"
+#include "rel/operators.h"
+#include "workload/synthetic.h"
+
+namespace rma::bench {
+namespace {
+
+Relation RenameOrderCols(const Relation& r, int order_cols) {
+  std::vector<std::string> names;
+  for (int c = 0; c < order_cols; ++c) names.push_back("p" + std::to_string(c));
+  names.push_back("val");
+  return rel::RenameAll(r, names).ValueOrDie();
+}
+
+void RunSubfigure(const char* title, int64_t tuples,
+                  const std::vector<int>& order_cols) {
+  PaperTable table(title, {"#order attrs", "add", "add relative-sort", "qqr",
+                           "qqr w/o sort"});
+  for (int k : order_cols) {
+    const Relation r = workload::ManyOrderColumnsRelation(tuples, k, 7, 11, "r");
+    const Relation s = RenameOrderCols(
+        workload::ManyOrderColumnsRelation(tuples, k, 7, 13, "s"), k);
+    std::vector<std::string> order_r;
+    for (int c = 0; c < k; ++c) order_r.push_back("o" + std::to_string(c));
+    std::vector<std::string> order_s;
+    for (int c = 0; c < k; ++c) order_s.push_back("p" + std::to_string(c));
+
+    RmaOptions plain;
+    plain.sort = SortPolicy::kAlways;
+    RmaOptions opt;
+    opt.sort = SortPolicy::kOptimized;
+
+    const double add_plain = TimeIt(
+        [&] { Add(r, order_r, s, order_s, plain).ValueOrDie(); });
+    const double add_opt = TimeIt(
+        [&] { Add(r, order_r, s, order_s, opt).ValueOrDie(); });
+    const double qqr_plain = TimeIt([&] { Qqr(r, order_r, plain).ValueOrDie(); });
+    const double qqr_opt = TimeIt([&] { Qqr(r, order_r, opt).ValueOrDie(); });
+    table.AddRow({std::to_string(k), Secs(add_plain), Secs(add_opt),
+                  Secs(qqr_plain), Secs(qqr_opt)});
+  }
+  table.AddNote("expected shape (paper Fig. 13): unoptimized cost grows with "
+                "the order-schema width; the optimized variants stay flat");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace rma::bench
+
+int main() {
+  using namespace rma::bench;
+  RunSubfigure("Figure 13a: contextual information, 20K tuples "
+               "(paper: 100K tuples, 200..1000 attrs)",
+               Scaled(20000), {40, 80, 120, 160, 200});
+  RunSubfigure("Figure 13b: contextual information, 200K tuples "
+               "(paper: 1M tuples, 20..100 attrs)",
+               Scaled(200000), {4, 8, 12, 16, 20});
+  return 0;
+}

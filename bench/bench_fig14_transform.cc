@@ -1,0 +1,154 @@
+// Figure 14: the share of data-transformation time in a mixed workload.
+//
+// (a) R: data.table <-> matrix conversion as % of the total op time.
+// (b) RMA+MKL: list-of-BATs <-> contiguous array copies as % of the total.
+// Paper: 100K..500K rows x 50 columns; ADD/EMU dominated by transformation
+// (up to 92%), complex ops (QQR/DSV/VSV) dominated by compute.
+#include <string>
+#include <vector>
+
+#include "baselines/rlike/rlike.h"
+#include "bench_common.h"
+#include "core/rma.h"
+#include "matrix/blas.h"
+#include "matrix/qr.h"
+#include "matrix/svd.h"
+#include "rel/operators.h"
+#include "workload/synthetic.h"
+
+namespace rma::bench {
+namespace {
+
+constexpr int kCols = 50;
+
+std::vector<std::string> AppCols() {
+  std::vector<std::string> out;
+  for (int c = 0; c < kCols; ++c) out.push_back("a" + std::to_string(c));
+  return out;
+}
+
+/// RMA+MKL share: forced-contiguous execution with the stats sink; share =
+/// (copy-in + copy-out) / (copies + kernel). `s` is the second argument for
+/// binary ops: same-shaped for ADD/EMU, kCols x kCols for MMU.
+std::string RmaShare(MatrixOp op, const Relation& r, const Relation& s) {
+  RmaOptions opts;
+  opts.kernel = KernelPolicy::kContiguous;
+  opts.sort = SortPolicy::kOptimized;
+  RmaStats stats;
+  opts.stats = &stats;
+  const OpInfo& info = GetOpInfo(op);
+  if (info.arity == 1) {
+    RmaUnary(op, r, {"id"}, opts).ValueOrDie();
+  } else {
+    RmaBinary(op, r, {"id"}, s, {"id2"}, opts).ValueOrDie();
+  }
+  const double transform = stats.TransformSeconds();
+  const double total = transform + stats.compute_seconds;
+  return Pct(transform / total);
+}
+
+/// R share: data.frame -> matrix (+ back) vs the matrix kernel itself.
+std::string RShare(MatrixOp op, const baselines::rlike::DataFrame& df,
+                   const baselines::rlike::DataFrame& small) {
+  namespace rl = baselines::rlike;
+  rl::Options opts;
+  double t_conv = 0;
+  double t_op = 0;
+  DenseMatrix a;
+  DenseMatrix b;
+  t_conv += TimeIt([&] { a = *rl::AsMatrix(df, AppCols(), opts); });
+  if (op == MatrixOp::kAdd || op == MatrixOp::kEmu) {
+    t_conv += TimeIt([&] { b = *rl::AsMatrix(df, AppCols(), opts); });
+  } else if (op == MatrixOp::kMmu) {
+    t_conv += TimeIt([&] { b = *rl::AsMatrix(small, AppCols(), opts); });
+  }
+  DenseMatrix out;
+  switch (op) {
+    case MatrixOp::kAdd:
+      t_op += TimeIt([&] { out = *blas::Add(a, b); });
+      break;
+    case MatrixOp::kEmu:
+      t_op += TimeIt([&] { out = *blas::ElemMul(a, b); });
+      break;
+    case MatrixOp::kMmu:
+      t_op += TimeIt([&] { out = *blas::MatMul(a, b); });
+      break;
+    case MatrixOp::kQqr: {
+      DenseMatrix q;
+      DenseMatrix rr;
+      // Single-threaded, like R's default LINPACK qr().
+      t_op += TimeIt([&] { HouseholderQr(a, &q, &rr, /*threads=*/1).Abort(); });
+      out = std::move(q);
+      break;
+    }
+    case MatrixOp::kDsv:
+    case MatrixOp::kVsv: {
+      SvdResult svd;
+      t_op += TimeIt([&] { svd = *Svd(a); });
+      out = op == MatrixOp::kDsv
+                ? DenseMatrix(static_cast<int64_t>(svd.sigma.size()), 1)
+                : std::move(svd.v);
+      break;
+    }
+    default:
+      break;
+  }
+  std::vector<std::string> names;
+  for (int64_t c = 0; c < out.cols(); ++c) {
+    names.push_back("c" + std::to_string(c));
+  }
+  t_conv += TimeIt([&] { rl::AsDataFrame(out, names); });
+  return Pct(t_conv / (t_conv + t_op));
+}
+
+}  // namespace
+}  // namespace rma::bench
+
+int main() {
+  using namespace rma::bench;
+  using namespace rma;
+  namespace rl = baselines::rlike;
+  const std::vector<MatrixOp> ops = {MatrixOp::kAdd, MatrixOp::kEmu,
+                                     MatrixOp::kMmu, MatrixOp::kQqr,
+                                     MatrixOp::kDsv, MatrixOp::kVsv};
+  const std::vector<int64_t> row_counts = {Scaled(10000), Scaled(30000),
+                                           Scaled(50000)};
+  // The small square matrix for MMU's right-hand side.
+  Relation small = workload::UniformRelation(kCols, kCols, 62, 0, 1, true, "s");
+  Relation small2 = rel::Rename(small, "id", "id2").ValueOrDie();
+  const rl::DataFrame small_df = rl::FromRelation(small);
+
+  PaperTable ra("Figure 14a: data transformation share (%), R data.table "
+                "and matrix (50 columns; paper: 100K..500K rows)",
+                {"#rows", "ADD", "EMU", "MMU", "QQR", "DSV", "VSV"});
+  PaperTable rb("Figure 14b: data transformation share (%), RMA+ list of "
+                "BATs and contiguous array (50 columns)",
+                {"#rows", "ADD", "EMU", "MMU", "QQR", "DSV", "VSV"});
+  for (int64_t rows : row_counts) {
+    const Relation r =
+        workload::UniformRelation(rows, kCols, 61, 0, 10000, true, "r");
+    // Same-shaped second argument for the element-wise binary ops.
+    const Relation elem = rel::Rename(workload::UniformRelation(
+                                          rows, kCols, 63, 0, 10000, true, "s"),
+                                      "id", "id2")
+                              .ValueOrDie();
+    const rl::DataFrame df = rl::FromRelation(r);
+    std::vector<std::string> row_a = {std::to_string(rows)};
+    std::vector<std::string> row_b = {std::to_string(rows)};
+    for (MatrixOp op : ops) {
+      const bool elementwise =
+          op == MatrixOp::kAdd || op == MatrixOp::kEmu;
+      row_a.push_back(RShare(op, df, small_df));
+      row_b.push_back(RmaShare(op, r, elementwise ? elem : small2));
+    }
+    ra.AddRow(std::move(row_a));
+    rb.AddRow(std::move(row_b));
+  }
+  ra.AddNote("expected shape (paper Fig. 14a): ~64-84% for ADD/EMU/MMU, "
+             "~7-23% for QQR/DSV/VSV");
+  ra.Print();
+  rb.AddNote("expected shape (paper Fig. 14b): ~80-92% for ADD/EMU/MMU, "
+             "~35-55% for QQR/DSV/VSV");
+  rb.Print();
+  return 0;
+}

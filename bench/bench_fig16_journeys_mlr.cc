@@ -1,0 +1,43 @@
+// Figure 16: Journeys — multiple linear regression with 1..5 trips.
+//
+// All-numeric workload: AIDA's pointer passing keeps it close to RMA+
+// (no boxing), R pays for single-core joins, MADlib spends most time on
+// row-at-a-time distance computation. Paper: 15M one-trip journeys.
+#include "bench_common.h"
+#include "workloads.h"
+
+int main() {
+  using namespace rma::bench;
+  using namespace rma;
+  const int64_t journeys_n = Scaled(300000);
+  const Relation journeys = workload::GenerateJourneys(journeys_n, 150, 81);
+  baselines::rlike::Options r_opts;
+
+  PaperTable a("Figure 16a: Journeys MLR, system comparison (seconds; "
+               "paper: 15M one-trip journeys)",
+               {"#trips", "RMA+", "AIDA", "R", "MADlib"});
+  PaperTable b("Figure 16b: Journeys MLR, RMA+BAT vs RMA+MKL",
+               {"#trips", "RMA+BAT", "RMA+MKL"});
+  for (int k = 1; k <= 5; ++k) {
+    const RunResult rma = JourneysRmaPlus(journeys, k, KernelPolicy::kAuto);
+    const RunResult aida = JourneysAida(journeys, k);
+    const RunResult r = JourneysR(journeys, k, r_opts);
+    const RunResult madlib = JourneysMadlib(journeys, k);
+    a.AddRow({std::to_string(k),
+              rma.status.ok() ? Secs(rma.total()) : "fail",
+              aida.status.ok() ? Secs(aida.total()) : "fail",
+              r.status.ok() ? Secs(r.total()) : "fail",
+              madlib.status.ok() ? Secs(madlib.total()) : "fail"});
+    const RunResult bat = JourneysRmaPlus(journeys, k, KernelPolicy::kBat);
+    const RunResult mkl = JourneysRmaPlus(journeys, k,
+                                          KernelPolicy::kContiguous);
+    b.AddRow({std::to_string(k), Secs(bat.total()), Secs(mkl.total())});
+  }
+  a.AddNote("expected shape (paper Fig. 16a): RMA+ and AIDA comparable "
+            "(purely numeric data), R slower, MADlib slowest (distance "
+            "computation dominates its relational part)");
+  a.Print();
+  b.AddNote("expected shape (paper Fig. 16b): RMA+MKL 1.4-1.9x ahead");
+  b.Print();
+  return 0;
+}

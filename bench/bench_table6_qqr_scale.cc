@@ -1,0 +1,85 @@
+// Table 6: qqr scalability — R vs RMA+ over growing relations.
+//
+// Paper: 5M/50M/100M tuples x 10/40/70 attrs; R fails (out of memory) on
+// the largest configurations while RMA+ switches from the contiguous (MKL)
+// kernels to the BAT Gram-Schmidt implementation and keeps going. Scaled:
+// 100K/300K/600K tuples with proportional memory budgets.
+#include <string>
+#include <vector>
+
+#include "baselines/rlike/rlike.h"
+#include "bench_common.h"
+#include "core/rma.h"
+#include "matrix/qr.h"
+#include "workload/synthetic.h"
+
+namespace rma::bench {
+namespace {
+
+std::vector<std::string> AppCols(int k) {
+  std::vector<std::string> out;
+  for (int c = 0; c < k; ++c) out.push_back("a" + std::to_string(c));
+  return out;
+}
+
+std::string RunR(const Relation& rel, int cols,
+                 const baselines::rlike::Options& opts) {
+  namespace rl = baselines::rlike;
+  double sec = 0;
+  rl::DataFrame df = rl::FromRelation(rel);
+  Status failed;
+  sec = TimeIt([&] {
+    auto m = rl::AsMatrix(df, AppCols(cols), opts);
+    if (!m.ok()) {
+      failed = m.status();
+      return;
+    }
+    DenseMatrix q;
+    DenseMatrix r;
+    // R's default qr() is LINPACK's single-threaded DQRDC; MKL (and our
+    // substitute) spread the reflector updates across all cores.
+    HouseholderQr(*m, &q, &r, /*threads=*/1).Abort();
+    rl::DataFrame out = rl::AsDataFrame(q, AppCols(cols));
+  });
+  return failed.ok() ? Secs(sec) : "fail";
+}
+
+std::string RunRmaPlus(const Relation& rel, int64_t budget_bytes) {
+  RmaOptions opts;
+  opts.sort = SortPolicy::kOptimized;
+  opts.kernel = KernelPolicy::kAuto;
+  opts.contiguous_budget_bytes = budget_bytes;
+  const double sec = TimeIt([&] { Qqr(rel, {"id"}, opts).ValueOrDie(); });
+  return Secs(sec);
+}
+
+}  // namespace
+}  // namespace rma::bench
+
+int main() {
+  using namespace rma::bench;
+  using namespace rma;
+  // Memory budgets scaled with the data: RMA+ falls back to BATs beyond its
+  // contiguous budget; R simply fails.
+  const int64_t rma_budget = static_cast<int64_t>(150e6 * ScaleFactor());
+  baselines::rlike::Options r_opts;
+  r_opts.memory_budget_bytes = static_cast<int64_t>(300e6 * ScaleFactor());
+
+  PaperTable table(
+      "Table 6: qqr runtimes, R vs RMA+ (paper: 5M-100M tuples; scaled "
+      "100K-600K with proportional memory budgets)",
+      {"tuples", "attrs", "R", "RMA+"});
+  for (int64_t rows : {Scaled(100000), Scaled(300000), Scaled(600000)}) {
+    for (int cols : {10, 40, 70}) {
+      const Relation rel = workload::UniformRelation(
+          rows, cols, 41, 0, 10000, true, "r");
+      table.AddRow({std::to_string(rows), std::to_string(cols),
+                    RunR(rel, cols, r_opts), RunRmaPlus(rel, rma_budget)});
+    }
+  }
+  table.AddNote("expected shape (paper Table 6): RMA+ beats R everywhere; R "
+                "fails on the largest sizes; RMA+ jumps when it switches to "
+                "the BAT Gram-Schmidt algorithm but completes");
+  table.Print();
+  return 0;
+}

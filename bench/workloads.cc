@@ -1,0 +1,788 @@
+#include "workloads.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/aidalike/aida.h"
+#include "baselines/madliblike/madlib.h"
+#include "core/rma.h"
+#include "matrix/blas.h"
+#include "matrix/lu.h"
+#include "rel/operators.h"
+#include "util/timer.h"
+#include "workload/csv.h"
+
+namespace rma::bench {
+
+namespace {
+
+namespace rl = baselines::rlike;
+namespace ml = baselines::madliblike;
+namespace ai = baselines::aidalike;
+
+using rel::Expr;
+
+RunResult Fail(Status st) {
+  RunResult r;
+  r.status = std::move(st);
+  return r;
+}
+
+#define BENCH_ASSIGN(lhs, expr)                    \
+  auto RMA_CONCAT(_b_, __LINE__) = (expr);         \
+  if (!RMA_CONCAT(_b_, __LINE__).ok())             \
+    return Fail(RMA_CONCAT(_b_, __LINE__).status()); \
+  lhs = std::move(RMA_CONCAT(_b_, __LINE__)).ValueUnsafe();
+
+/// RMA options used by RMA+ runs: the paper's optimizer policy with the
+/// sort-avoidance optimizations on.
+RmaOptions RmaOpts(KernelPolicy policy) {
+  RmaOptions opts;
+  opts.kernel = policy;
+  opts.sort = SortPolicy::kOptimized;
+  return opts;
+}
+
+/// Distance expression from two coordinate pairs (planar km approximation).
+rel::ExprPtr DistExpr(const std::string& lat1, const std::string& lon1,
+                      const std::string& lat2, const std::string& lon2) {
+  auto dy = Expr::Binary(
+      "*",
+      Expr::Binary("-", Expr::Column(lat2), Expr::Column(lat1)),
+      Expr::LiteralDouble(111.0));
+  auto dx = Expr::Binary(
+      "*",
+      Expr::Binary("-", Expr::Column(lon2), Expr::Column(lon1)),
+      Expr::LiteralDouble(78.0));
+  return Expr::Call(
+      "SQRT", {Expr::Binary("+", Expr::Binary("*", dy, dy),
+                            Expr::Binary("*", dx, dx))});
+}
+
+// ---------------------------------------------------------------------------
+// (1) Trips — ordinary linear regression
+// ---------------------------------------------------------------------------
+
+/// Shared relational preparation (RMA+ and AIDA both run it in the column
+/// store): per-trip relation (id, start_time, end_time, dist, duration).
+Result<Relation> PrepareTrips(const workload::BixiData& data) {
+  RMA_ASSIGN_OR_RETURN(
+      Relation agg,
+      rel::Aggregate(data.trips, {"start_station", "end_station"},
+                     {{"COUNT", "", "n"}}));
+  RMA_ASSIGN_OR_RETURN(
+      Relation pop,
+      rel::Select(agg, Expr::Binary(">=", Expr::Column("n"),
+                                    Expr::LiteralInt(50))));
+  RMA_ASSIGN_OR_RETURN(
+      Relation j1, rel::HashJoin(pop, data.stations, {"start_station"},
+                                 {"code"}));
+  RMA_ASSIGN_OR_RETURN(
+      Relation j1p,
+      rel::Project(j1, {{Expr::Column("start_station"), "start_station"},
+                        {Expr::Column("end_station"), "end_station"},
+                        {Expr::Column("lat"), "lat1"},
+                        {Expr::Column("lon"), "lon1"}}));
+  RMA_ASSIGN_OR_RETURN(
+      Relation j2,
+      rel::HashJoin(j1p, data.stations, {"end_station"}, {"code"}));
+  RMA_ASSIGN_OR_RETURN(
+      Relation pairs,
+      rel::Project(j2, {{Expr::Column("start_station"), "start_station"},
+                        {Expr::Column("end_station"), "end_station"},
+                        {DistExpr("lat1", "lon1", "lat", "lon"), "dist"}}));
+  RMA_ASSIGN_OR_RETURN(
+      Relation trips_d,
+      rel::HashJoin(data.trips, pairs, {"start_station", "end_station"},
+                    {"start_station", "end_station"}));
+  return rel::Project(trips_d, {{Expr::Column("id"), "id"},
+                                {Expr::Column("start_time"), "start_time"},
+                                {Expr::Column("end_time"), "end_time"},
+                                {Expr::Column("dist"), "dist"},
+                                {Expr::Column("duration"), "duration"}});
+}
+
+/// OLS through relational matrix operations:
+/// beta = MMU(INV(CPD(A,A)), CPD(A,V)).
+Result<double> OlsRma(const Relation& xy,
+                      const std::vector<std::string>& x_cols,
+                      const RmaOptions& opts) {
+  std::vector<rel::ProjectItem> a_items = {{Expr::Column("id"), "id"},
+                                           {Expr::LiteralDouble(1.0), "c0"}};
+  int i = 1;
+  for (const auto& x : x_cols) {
+    a_items.push_back({Expr::Column(x), "c" + std::to_string(i++)});
+  }
+  RMA_ASSIGN_OR_RETURN(Relation a, rel::Project(xy, a_items));
+  RMA_ASSIGN_OR_RETURN(Relation v,
+                       rel::Project(xy, {{Expr::Column("id"), "id"},
+                                         {Expr::Column("duration"), "y"}}));
+  RMA_ASSIGN_OR_RETURN(Relation ata, Cpd(a, {"id"}, a, {"id"}, opts));
+  RMA_ASSIGN_OR_RETURN(Relation atv, Cpd(a, {"id"}, v, {"id"}, opts));
+  RMA_ASSIGN_OR_RETURN(Relation inv, Inv(ata, {"C"}, opts));
+  RMA_ASSIGN_OR_RETURN(Relation beta, Mmu(inv, {"C"}, atv, {"C"}, opts));
+  // Row "c1" holds the coefficient of the first regressor.
+  for (int64_t r = 0; r < beta.num_rows(); ++r) {
+    if (ValueToString(beta.Get(r, 0)) == "c1") {
+      return ValueToDouble(beta.Get(r, 1));
+    }
+  }
+  return Status::KeyError("coefficient row not found");
+}
+
+/// OLS on dense matrices (NumPy / R matrix world).
+Result<double> OlsDense(const DenseMatrix& a, const DenseMatrix& y) {
+  RMA_ASSIGN_OR_RETURN(DenseMatrix ata, blas::CrossProd(a, a));
+  RMA_ASSIGN_OR_RETURN(DenseMatrix aty, blas::CrossProd(a, y));
+  RMA_ASSIGN_OR_RETURN(DenseMatrix inv, Inverse(std::move(ata)));
+  RMA_ASSIGN_OR_RETURN(DenseMatrix beta, blas::MatMul(inv, aty));
+  return beta(1, 0);
+}
+
+}  // namespace
+
+RunResult TripsRmaPlus(const workload::BixiData& data, KernelPolicy policy) {
+  RunResult out;
+  Timer t;
+  BENCH_ASSIGN(Relation trips_d, PrepareTrips(data));
+  BENCH_ASSIGN(Relation xy,
+               rel::ProjectNames(trips_d, {"id", "dist", "duration"}));
+  out.prep_seconds = t.Seconds();
+  t.Restart();
+  BENCH_ASSIGN(out.check, OlsRma(xy, {"dist"}, RmaOpts(policy)));
+  out.matrix_seconds = t.Seconds();
+  return out;
+}
+
+RunResult TripsAida(const workload::BixiData& data) {
+  RunResult out;
+  Timer t;
+  BENCH_ASSIGN(Relation trips_d, PrepareTrips(data));
+  out.prep_seconds = t.Seconds();
+  t.Restart();
+  // The working set moves into Python: timestamps are boxed value-by-value
+  // (incompatible storage formats), numeric columns pass as pointers.
+  ai::TabularData td = ai::TabularData::FromRelation(trips_d);
+  BENCH_ASSIGN(DenseMatrix x, td.ToMatrix({"dist"}));
+  BENCH_ASSIGN(DenseMatrix y, td.ToMatrix({"duration"}));
+  DenseMatrix a(x.rows(), 2);
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = x(i, 0);
+  }
+  BENCH_ASSIGN(out.check, OlsDense(a, y));
+  out.matrix_seconds = t.Seconds();
+  return out;
+}
+
+RunResult TripsR(const workload::BixiData& data,
+                 const baselines::rlike::Options& opts) {
+  RunResult out;
+  // Setup (untimed): the CSV files R would start from.
+  const std::string trips_csv = "/tmp/rma_bench_trips.csv";
+  const std::string stations_csv = "/tmp/rma_bench_stations.csv";
+  {
+    Status st = workload::WriteCsv(data.trips, trips_csv);
+    if (!st.ok()) return Fail(st);
+    st = workload::WriteCsv(data.stations, stations_csv);
+    if (!st.ok()) return Fail(st);
+  }
+  Timer t;
+  BENCH_ASSIGN(Relation trips_rel,
+               workload::ReadCsv(trips_csv, data.trips.schema()));
+  BENCH_ASSIGN(Relation stations_rel,
+               workload::ReadCsv(stations_csv, data.stations.schema()));
+  rl::DataFrame trips = rl::FromRelation(trips_rel);
+  rl::DataFrame stations = rl::FromRelation(stations_rel);
+  if (trips.ByteSize() + stations.ByteSize() > opts.memory_budget_bytes) {
+    return Fail(Status::ResourceExhausted("R: cannot allocate vector"));
+  }
+  out.load_seconds = t.Seconds();
+  t.Restart();
+  // Single-core relational preparation.
+  BENCH_ASSIGN(rl::DataFrame counts,
+               rl::GroupCount(trips, {"start_station", "end_station"}));
+  BENCH_ASSIGN(rl::DataFrame pop, rl::FilterNumeric(counts, "N", ">=", 50));
+  BENCH_ASSIGN(rl::DataFrame j1,
+               rl::InnerJoin(pop, stations, {"start_station"}, {"code"}));
+  BENCH_ASSIGN(rl::DataFrame j2,
+               rl::InnerJoin(j1, stations, {"end_station"}, {"code"}));
+  // After the two joins the second station's coords are "lat.y"/"lon.y".
+  rl::DataFrame pairs = rl::WithColumn(
+      j2, "dist", [](const rl::DataFrame& df, int64_t i) {
+        const double lat1 = df.Doubles(*df.ColumnIndex("lat"))[i];
+        const double lon1 = df.Doubles(*df.ColumnIndex("lon"))[i];
+        const double lat2 = df.Doubles(*df.ColumnIndex("lat.y"))[i];
+        const double lon2 = df.Doubles(*df.ColumnIndex("lon.y"))[i];
+        const double dy = (lat2 - lat1) * 111.0;
+        const double dx = (lon2 - lon1) * 78.0;
+        return std::sqrt(dx * dx + dy * dy);
+      });
+  BENCH_ASSIGN(rl::DataFrame trips_d,
+               rl::InnerJoin(trips, pairs, {"start_station", "end_station"},
+                             {"start_station", "end_station"}));
+  out.prep_seconds = t.Seconds();
+  t.Restart();
+  rl::DataFrame with_one = rl::WithColumn(
+      trips_d, "one", [](const rl::DataFrame&, int64_t) { return 1.0; });
+  auto a = rl::AsMatrix(with_one, {"one", "dist"}, opts);
+  if (!a.ok()) return Fail(a.status());
+  auto y = rl::AsMatrix(with_one, {"duration"}, opts);
+  if (!y.ok()) return Fail(y.status());
+  BENCH_ASSIGN(out.check, OlsDense(*a, *y));
+  out.matrix_seconds = t.Seconds();
+  return out;
+}
+
+RunResult TripsMadlib(const workload::BixiData& data) {
+  RunResult out;
+  Timer t;
+  ml::RowTable trips = ml::RowTable::FromRelation(data.trips);
+  ml::RowTable stations = ml::RowTable::FromRelation(data.stations);
+  // Composite join key start*1e6+end (row stores join on one column here).
+  auto with_pair = [](const ml::RowTable& t2, int s_idx, int e_idx) {
+    return t2.WithColumn("pairkey", [=](const std::vector<Value>& row) {
+      return ValueToDouble(row[static_cast<size_t>(s_idx)]) * 1e6 +
+             ValueToDouble(row[static_cast<size_t>(e_idx)]);
+    });
+  };
+  BENCH_ASSIGN(int ts, trips.ColumnIndex("start_station"));
+  BENCH_ASSIGN(int te, trips.ColumnIndex("end_station"));
+  ml::RowTable trips_k = with_pair(trips, ts, te);
+  BENCH_ASSIGN(ml::RowTable counts, trips_k.GroupCount({"pairkey"}));
+  ml::RowTable pop = counts.Filter([](const std::vector<Value>& row) {
+    return std::get<int64_t>(row[1]) >= 50;
+  });
+  // Distance per popular pair: join the two station endpoints back in.
+  BENCH_ASSIGN(ml::RowTable pop_trips, pop.Join(trips_k, "pairkey", "pairkey"));
+  BENCH_ASSIGN(ml::RowTable j1, pop_trips.Join(stations, "start_station",
+                                               "code"));
+  BENCH_ASSIGN(ml::RowTable j2, j1.Join(stations, "end_station", "code"));
+  BENCH_ASSIGN(int lat1, j2.ColumnIndex("lat"));
+  BENCH_ASSIGN(int lon1, j2.ColumnIndex("lon"));
+  BENCH_ASSIGN(int lat2, j2.ColumnIndex("lat_2"));
+  BENCH_ASSIGN(int lon2, j2.ColumnIndex("lon_2"));
+  ml::RowTable trips_d =
+      j2.WithColumn("dist", [=](const std::vector<Value>& row) {
+        const double dy = (ValueToDouble(row[static_cast<size_t>(lat2)]) -
+                           ValueToDouble(row[static_cast<size_t>(lat1)])) *
+                          111.0;
+        const double dx = (ValueToDouble(row[static_cast<size_t>(lon2)]) -
+                           ValueToDouble(row[static_cast<size_t>(lon1)])) *
+                          78.0;
+        return std::sqrt(dx * dx + dy * dy);
+      });
+  out.prep_seconds = t.Seconds();
+  t.Restart();
+  BENCH_ASSIGN(std::vector<double> beta,
+               ml::LinRegr(trips_d, {"dist"}, "duration"));
+  out.check = beta[1];
+  out.matrix_seconds = t.Seconds();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// (2) Journeys — multiple linear regression
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Chaining key base: key = rider * kSeqBase + seq, so key + 1 is the
+/// rider's next trip (kSeqBase > workload::kTripsPerRider means keys never
+/// straddle riders).
+constexpr int64_t kSeqBase = int64_t{1} << 20;
+
+std::vector<std::string> DistCols(int num_trips) {
+  std::vector<std::string> out;
+  for (int k = 1; k <= num_trips; ++k) {
+    out.push_back("dist" + std::to_string(k));
+  }
+  return out;
+}
+
+/// Trip rows keyed for chaining: (key, d1, dist1). Station ids encode
+/// positions, so |s1-s2| is the distance proxy the generator used.
+Result<Relation> TripKeyLevel(const Relation& journeys) {
+  return rel::Project(
+      journeys,
+      {{Expr::Binary("+",
+                     Expr::Binary("*", Expr::Column("rider"),
+                                  Expr::LiteralInt(kSeqBase)),
+                     Expr::Column("seq")),
+        "key"},
+       {Expr::Column("duration"), "d1"},
+       {Expr::Call("ABS", {Expr::Binary("-", Expr::Column("s1"),
+                                        Expr::Column("s2"))}),
+        "dist1"}});
+}
+
+/// Chains trips into `num_trips`-hop journeys — each hop is a join over the
+/// full relation on consecutive keys, like the paper's data preparation —
+/// then keeps journeys that appear at least 50 times (identified by their
+/// per-hop distances) with their average total duration:
+/// result (id, dist1..distk, n, duration).
+Result<Relation> BuildJourneys(const Relation& journeys, int num_trips) {
+  RMA_ASSIGN_OR_RETURN(Relation lvl, TripKeyLevel(journeys));
+  Relation chain = lvl;  // key, d1, dist1
+  for (int k = 2; k <= num_trips; ++k) {
+    const std::string suffix = std::to_string(k);
+    RMA_ASSIGN_OR_RETURN(
+        Relation next,
+        rel::Project(lvl, {{Expr::Binary("-", Expr::Column("key"),
+                                         Expr::LiteralInt(k - 1)),
+                            "nkey" + suffix},
+                           {Expr::Column("d1"), "d" + suffix},
+                           {Expr::Column("dist1"), "dist" + suffix}}));
+    RMA_ASSIGN_OR_RETURN(
+        chain, rel::HashJoin(chain, next, {"key"}, {"nkey" + suffix}));
+  }
+  // Total duration per journey, then the >= 50 occurrences filter.
+  rel::ExprPtr y = Expr::Column("d1");
+  for (int k = 2; k <= num_trips; ++k) {
+    y = Expr::Binary("+", y, Expr::Column("d" + std::to_string(k)));
+  }
+  std::vector<rel::ProjectItem> items;
+  for (const auto& d : DistCols(num_trips)) {
+    items.push_back({Expr::Column(d), d});
+  }
+  items.push_back({y, "y"});
+  RMA_ASSIGN_OR_RETURN(Relation per_journey, rel::Project(chain, items));
+  RMA_ASSIGN_OR_RETURN(
+      Relation grouped,
+      rel::Aggregate(per_journey, DistCols(num_trips),
+                     {{"COUNT", "", "n"}, {"AVG", "y", "duration"}}));
+  RMA_ASSIGN_OR_RETURN(
+      Relation pop,
+      rel::Select(grouped, Expr::Binary(">=", Expr::Column("n"),
+                                        Expr::LiteralInt(50))));
+  // Add a journey id key for the matrix step.
+  std::vector<int64_t> ids(static_cast<size_t>(pop.num_rows()));
+  for (int64_t i = 0; i < pop.num_rows(); ++i) {
+    ids[static_cast<size_t>(i)] = i;
+  }
+  std::vector<Attribute> attrs = {{"id", DataType::kInt64}};
+  std::vector<BatPtr> cols = {MakeInt64Bat(std::move(ids))};
+  for (int c = 0; c < pop.num_columns(); ++c) {
+    attrs.push_back(pop.schema().attribute(c));
+    cols.push_back(pop.column(c));
+  }
+  return Relation::Make(Schema::Make(std::move(attrs)).ValueOrDie(),
+                        std::move(cols), "journeys");
+}
+
+}  // namespace
+
+RunResult JourneysRmaPlus(const Relation& journeys, int num_trips,
+                          KernelPolicy policy) {
+  RunResult out;
+  Timer t;
+  BENCH_ASSIGN(Relation xy, BuildJourneys(journeys, num_trips));
+  out.prep_seconds = t.Seconds();
+  t.Restart();
+  BENCH_ASSIGN(out.check, OlsRma(xy, DistCols(num_trips), RmaOpts(policy)));
+  out.matrix_seconds = t.Seconds();
+  return out;
+}
+
+RunResult JourneysAida(const Relation& journeys, int num_trips) {
+  RunResult out;
+  Timer t;
+  BENCH_ASSIGN(Relation xy, BuildJourneys(journeys, num_trips));
+  out.prep_seconds = t.Seconds();
+  t.Restart();
+  // All-numeric working set: pointer pass, no boxing (Fig. 16's point).
+  ai::TabularData td = ai::TabularData::FromRelation(xy);
+  BENCH_ASSIGN(DenseMatrix x, td.ToMatrix(DistCols(num_trips)));
+  BENCH_ASSIGN(DenseMatrix y, td.ToMatrix({"duration"}));
+  DenseMatrix a(x.rows(), x.cols() + 1);
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    a(i, 0) = 1.0;
+    for (int64_t j = 0; j < x.cols(); ++j) a(i, j + 1) = x(i, j);
+  }
+  BENCH_ASSIGN(out.check, OlsDense(a, y));
+  out.matrix_seconds = t.Seconds();
+  return out;
+}
+
+RunResult JourneysR(const Relation& journeys, int num_trips,
+                    const baselines::rlike::Options& opts) {
+  RunResult out;
+  Timer t;
+  rl::DataFrame df = rl::FromRelation(journeys);
+  rl::DataFrame keyed = rl::WithColumn(
+      df, "key", [](const rl::DataFrame& d, int64_t i) {
+        return d.Doubles(*d.ColumnIndex("rider"))[i] *
+                   static_cast<double>(kSeqBase) +
+               d.Doubles(*d.ColumnIndex("seq"))[i];
+      });
+  rl::DataFrame lvl = rl::WithColumn(
+      keyed, "dist1", [](const rl::DataFrame& d, int64_t i) {
+        return std::fabs(d.Doubles(*d.ColumnIndex("s1"))[i] -
+                         d.Doubles(*d.ColumnIndex("s2"))[i]);
+      });
+  // lvl: id, rider, seq, s1, s2, duration, key, dist1.
+  rl::DataFrame chain = lvl;
+  std::vector<std::string> dcols = {"duration"};
+  std::vector<std::string> distcols = {"dist1"};
+  for (int k = 2; k <= num_trips; ++k) {
+    rl::DataFrame next = rl::WithColumn(
+        lvl, "nkey", [k](const rl::DataFrame& d, int64_t i) {
+          return d.Doubles(*d.ColumnIndex("key"))[i] - (k - 1);
+        });
+    BENCH_ASSIGN(chain, rl::InnerJoin(chain, next, {"key"}, {"nkey"}));
+    // Rename the freshly appended hop columns to unique per-hop names.
+    const size_t first_new = chain.names.size() - next.names.size();
+    for (size_t c = first_new; c < chain.names.size(); ++c) {
+      const size_t src = c - first_new;
+      chain.names[c] = next.names[src] + "_h" + std::to_string(k);
+    }
+    dcols.push_back("duration_h" + std::to_string(k));
+    distcols.push_back("dist1_h" + std::to_string(k));
+  }
+  rl::DataFrame with_y = rl::WithColumn(
+      chain, "y", [&dcols](const rl::DataFrame& d, int64_t i) {
+        double s = 0;
+        for (const auto& c : dcols) s += d.Doubles(*d.ColumnIndex(c))[i];
+        return s;
+      });
+  // Journeys appearing at least 50 times, identified by per-hop distances.
+  BENCH_ASSIGN(rl::DataFrame grouped, rl::GroupMean(with_y, distcols, "y"));
+  BENCH_ASSIGN(rl::DataFrame pop, rl::FilterNumeric(grouped, "N", ">=", 50));
+  rl::DataFrame with_one = rl::WithColumn(
+      pop, "one", [](const rl::DataFrame&, int64_t) { return 1.0; });
+  out.prep_seconds = t.Seconds();
+  t.Restart();
+  std::vector<std::string> acols = {"one"};
+  for (const auto& c : distcols) acols.push_back(c);
+  auto a = rl::AsMatrix(with_one, acols, opts);
+  if (!a.ok()) return Fail(a.status());
+  auto y = rl::AsMatrix(with_one, {"mean"}, opts);
+  if (!y.ok()) return Fail(y.status());
+  BENCH_ASSIGN(out.check, OlsDense(*a, *y));
+  out.matrix_seconds = t.Seconds();
+  return out;
+}
+
+RunResult JourneysMadlib(const Relation& journeys, int num_trips) {
+  RunResult out;
+  Timer t;
+  ml::RowTable jt = ml::RowTable::FromRelation(journeys);
+  // jt columns: id(0), rider(1), seq(2), s1(3), s2(4), duration(5).
+  ml::RowTable keyed = jt.WithColumn("key", [](const std::vector<Value>& r) {
+    return ValueToDouble(r[1]) * static_cast<double>(kSeqBase) +
+           ValueToDouble(r[2]);
+  });
+  ml::RowTable lvl = keyed.WithColumn("dist1", [](const std::vector<Value>& r) {
+    return std::fabs(ValueToDouble(r[3]) - ValueToDouble(r[4]));
+  });
+  // lvl columns: ..., key(6), dist1(7).
+  ml::RowTable chain = lvl;
+  std::vector<std::string> dcols = {"duration"};
+  std::vector<std::string> distcols = {"dist1"};
+  for (int k = 2; k <= num_trips; ++k) {
+    ml::RowTable next = lvl.WithColumn("nkey", [k](const std::vector<Value>& r) {
+      return ValueToDouble(r[6]) - static_cast<double>(k - 1);
+    });
+    BENCH_ASSIGN(chain, chain.Join(next, "key", "nkey"));
+    // The join appended next's nine columns (uniquified); read the actual
+    // names of the hop's duration and distance back from the table.
+    const auto& names = chain.names();
+    const size_t base = names.size() - 9;
+    dcols.push_back(names[base + 5]);      // duration'
+    distcols.push_back(names[base + 7]);   // dist1'
+  }
+  std::vector<int> didx;
+  for (const auto& c : dcols) {
+    BENCH_ASSIGN(int i, chain.ColumnIndex(c));
+    didx.push_back(i);
+  }
+  ml::RowTable with_y = chain.WithColumn("y", [&didx](const std::vector<Value>& r) {
+    double s = 0;
+    for (int i : didx) s += ValueToDouble(r[static_cast<size_t>(i)]);
+    return s;
+  });
+  // Journeys appearing at least 50 times, identified by per-hop distances.
+  BENCH_ASSIGN(ml::RowTable grouped, with_y.GroupMean(distcols, "y"));
+  const size_t count_col = distcols.size();
+  ml::RowTable pop = grouped.Filter([count_col](const std::vector<Value>& row) {
+    return ValueToDouble(row[count_col]) >= 50;
+  });
+  out.prep_seconds = t.Seconds();
+  t.Restart();
+  BENCH_ASSIGN(std::vector<double> beta, ml::LinRegr(pop, distcols, "mean"));
+  out.check = beta.size() > 1 ? beta[1] : 0.0;
+  out.matrix_seconds = t.Seconds();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// (3) Conferences — covariance computation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> ConfCols(const Relation& publications) {
+  std::vector<std::string> out;
+  for (int c = 1; c < publications.num_columns(); ++c) {
+    out.push_back(publications.schema().attribute(c).name);
+  }
+  return out;
+}
+
+/// Centers a dense matrix in place (column means to zero); returns n.
+int64_t CenterColumns(DenseMatrix* x) {
+  const int64_t n = x->rows();
+  for (int64_t j = 0; j < x->cols(); ++j) {
+    double mean = 0;
+    for (int64_t i = 0; i < n; ++i) mean += (*x)(i, j);
+    mean /= static_cast<double>(n);
+    for (int64_t i = 0; i < n; ++i) (*x)(i, j) -= mean;
+  }
+  return n;
+}
+
+/// Joins a covariance relation (C + conference columns) with the ranking
+/// and keeps A++ conferences.
+Result<Relation> SelectTopRated(const Relation& cov, const Relation& ranking) {
+  RMA_ASSIGN_OR_RETURN(Relation joined,
+                       rel::HashJoin(cov, ranking, {"C"}, {"Conf"}));
+  return rel::Select(joined,
+                     Expr::Binary("=", Expr::Column("Rating"),
+                                  Expr::LiteralString("A++")));
+}
+
+}  // namespace
+
+RunResult ConferencesRmaPlus(const workload::DblpData& data,
+                             KernelPolicy policy) {
+  RunResult out;
+  const RmaOptions opts = RmaOpts(policy);
+  const std::vector<std::string> confs = ConfCols(data.publications);
+  Timer t;
+  // Means (one aggregate per conference) and centering via sub.
+  std::vector<rel::AggSpec> aggs;
+  for (const auto& c : confs) aggs.push_back({"AVG", c, c});
+  BENCH_ASSIGN(Relation means, rel::Aggregate(data.publications, {}, aggs));
+  BENCH_ASSIGN(Relation authors,
+               rel::ProjectNames(data.publications, {"Author"}));
+  BENCH_ASSIGN(Relation v_authors, rel::Rename(authors, "Author", "V"));
+  BENCH_ASSIGN(Relation means_x, rel::CrossJoin(v_authors, means));
+  out.prep_seconds = t.Seconds();
+  t.Restart();
+  BENCH_ASSIGN(Relation centered, Sub(data.publications, {"Author"}, means_x,
+                                      {"V"}, opts));
+  BENCH_ASSIGN(Relation centered_p,
+               rel::ProjectNames(centered, [&] {
+                 std::vector<std::string> cols = {"Author"};
+                 for (const auto& c : confs) cols.push_back(c);
+                 return cols;
+               }()));
+  BENCH_ASSIGN(Relation covn,
+               Cpd(centered_p, {"Author"}, centered_p, {"Author"}, opts));
+  const double n = static_cast<double>(data.publications.num_rows());
+  std::vector<rel::ProjectItem> scale = {{Expr::Column("C"), "C"}};
+  for (const auto& c : confs) {
+    scale.push_back({Expr::Binary("/", Expr::Column(c),
+                                  Expr::LiteralDouble(n - 1.0)),
+                     c});
+  }
+  BENCH_ASSIGN(Relation cov, rel::Project(covn, scale));
+  out.matrix_seconds = t.Seconds();
+  t.Restart();
+  BENCH_ASSIGN(Relation sel, SelectTopRated(cov, data.ranking));
+  out.prep_seconds += t.Seconds();
+  out.check = static_cast<double>(sel.num_rows());
+  return out;
+}
+
+RunResult ConferencesAida(const workload::DblpData& data) {
+  RunResult out;
+  const std::vector<std::string> confs = ConfCols(data.publications);
+  Timer t;
+  // The publications move into Python (author strings are boxed).
+  ai::TabularData td = ai::TabularData::FromRelation(data.publications);
+  BENCH_ASSIGN(DenseMatrix x, td.ToMatrix(confs));
+  const int64_t n = CenterColumns(&x);
+  BENCH_ASSIGN(DenseMatrix covm, blas::CrossProd(x, x));
+  for (int64_t i = 0; i < covm.rows(); ++i) {
+    for (int64_t j = 0; j < covm.cols(); ++j) {
+      covm(i, j) /= static_cast<double>(n - 1);
+    }
+  }
+  // AIDA's covariance result has no contextual information: the conference
+  // names must be added manually before the join (Sec. 8.6(3)).
+  Relation cov_rel = ai::TabularData::MatrixToRelation(covm, confs);
+  std::vector<Attribute> attrs = {{"C", DataType::kString}};
+  std::vector<BatPtr> cols = {MakeStringBat(confs)};
+  for (int c = 0; c < cov_rel.num_columns(); ++c) {
+    attrs.push_back(cov_rel.schema().attribute(c));
+    cols.push_back(cov_rel.column(c));
+  }
+  BENCH_ASSIGN(Relation cov,
+               Relation::Make(Schema::Make(std::move(attrs)).ValueOrDie(),
+                              std::move(cols), "cov"));
+  out.matrix_seconds = t.Seconds();
+  t.Restart();
+  BENCH_ASSIGN(Relation sel, SelectTopRated(cov, data.ranking));
+  out.prep_seconds = t.Seconds();
+  out.check = static_cast<double>(sel.num_rows());
+  return out;
+}
+
+RunResult ConferencesR(const workload::DblpData& data,
+                       const baselines::rlike::Options& opts) {
+  RunResult out;
+  const std::vector<std::string> confs = ConfCols(data.publications);
+  Timer t;
+  rl::DataFrame pub = rl::FromRelation(data.publications);
+  rl::DataFrame rank = rl::FromRelation(data.ranking);
+  out.load_seconds = t.Seconds();
+  t.Restart();
+  auto xr = rl::AsMatrix(pub, confs, opts);
+  if (!xr.ok()) return Fail(xr.status());
+  DenseMatrix x = std::move(*xr);
+  const int64_t n = CenterColumns(&x);
+  BENCH_ASSIGN(DenseMatrix covm, blas::CrossProd(x, x));
+  for (int64_t i = 0; i < covm.rows(); ++i) {
+    for (int64_t j = 0; j < covm.cols(); ++j) {
+      covm(i, j) /= static_cast<double>(n - 1);
+    }
+  }
+  rl::DataFrame cov = rl::AsDataFrame(covm, confs);
+  // Manually attach conference names (no contextual information in R).
+  cov.names.insert(cov.names.begin(), "C");
+  cov.columns.insert(cov.columns.begin(), rl::RColumn(confs));
+  out.matrix_seconds = t.Seconds();
+  t.Restart();
+  BENCH_ASSIGN(rl::DataFrame joined,
+               rl::InnerJoin(cov, rank, {"C"}, {"Conf"}));
+  // Filter A++ rows (string filter, single core).
+  std::vector<int64_t> keep;
+  const auto& ratings = joined.Strings(*joined.ColumnIndex("Rating"));
+  for (size_t i = 0; i < ratings.size(); ++i) {
+    if (ratings[i] == "A++") keep.push_back(static_cast<int64_t>(i));
+  }
+  out.prep_seconds = t.Seconds();
+  out.check = static_cast<double>(keep.size());
+  return out;
+}
+
+RunResult ConferencesMadlib(const workload::DblpData& data) {
+  RunResult out;
+  const std::vector<std::string> confs = ConfCols(data.publications);
+  Timer t;
+  ml::RowTable pub = ml::RowTable::FromRelation(data.publications);
+  out.prep_seconds = t.Seconds();
+  t.Restart();
+  BENCH_ASSIGN(DenseMatrix covm, ml::CovSingleCore(pub, confs));
+  out.matrix_seconds = t.Seconds();
+  t.Restart();
+  // Join with the ranking (single core, row at a time).
+  ml::RowTable rank = ml::RowTable::FromRelation(data.ranking);
+  int64_t selected = 0;
+  for (int64_t i = 0; i < rank.num_rows(); ++i) {
+    if (ValueToString(rank.row(i)[1]) == "A++") ++selected;
+  }
+  out.prep_seconds += t.Seconds();
+  out.check = static_cast<double>(selected);
+  (void)covm;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// (4) Trip count — matrix addition
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> DestCols(const Relation& year) {
+  std::vector<std::string> out;
+  for (int c = 1; c < year.num_columns(); ++c) {
+    out.push_back(year.schema().attribute(c).name);
+  }
+  return out;
+}
+
+double SumAll(const Relation& r, const std::vector<std::string>& cols) {
+  double s = 0;
+  for (const auto& c : cols) {
+    const auto v = ToDoubleVector(**r.ColumnByName(c));
+    for (double x : v) s += x;
+  }
+  return s;
+}
+
+}  // namespace
+
+RunResult TripCountRmaPlus(const Relation& year1, const Relation& year2,
+                           KernelPolicy policy) {
+  RunResult out;
+  RmaOptions opts = RmaOpts(policy);
+  // year2's order attribute must not clash with year1's.
+  Timer t;
+  auto renamed = rel::Rename(year2, "rider", "rider2");
+  if (!renamed.ok()) return Fail(renamed.status());
+  BENCH_ASSIGN(Relation total,
+               Add(year1, {"rider"}, *renamed, {"rider2"}, opts));
+  out.matrix_seconds = t.Seconds();
+  out.check = SumAll(total, DestCols(year1));
+  return out;
+}
+
+RunResult TripCountAida(const Relation& year1, const Relation& year2) {
+  RunResult out;
+  const std::vector<std::string> dests = DestCols(year1);
+  Timer t;
+  ai::TabularData t1 = ai::TabularData::FromRelation(year1);
+  ai::TabularData t2 = ai::TabularData::FromRelation(year2);
+  BENCH_ASSIGN(DenseMatrix m1, t1.ToMatrix(dests));
+  BENCH_ASSIGN(DenseMatrix m2, t2.ToMatrix(dests));
+  BENCH_ASSIGN(DenseMatrix sum, blas::Add(m1, m2));
+  Relation total = ai::TabularData::MatrixToRelation(sum, dests);
+  out.matrix_seconds = t.Seconds();
+  out.check = SumAll(total, dests);
+  return out;
+}
+
+RunResult TripCountR(const Relation& year1, const Relation& year2,
+                     const baselines::rlike::Options& opts) {
+  RunResult out;
+  const std::vector<std::string> dests = DestCols(year1);
+  Timer t;
+  rl::DataFrame d1 = rl::FromRelation(year1);
+  rl::DataFrame d2 = rl::FromRelation(year2);
+  out.load_seconds = t.Seconds();
+  t.Restart();
+  auto m1 = rl::AsMatrix(d1, dests, opts);
+  if (!m1.ok()) return Fail(m1.status());
+  auto m2 = rl::AsMatrix(d2, dests, opts);
+  if (!m2.ok()) return Fail(m2.status());
+  BENCH_ASSIGN(DenseMatrix sum, blas::Add(*m1, *m2));
+  rl::DataFrame total = rl::AsDataFrame(sum, dests);
+  out.matrix_seconds = t.Seconds();
+  out.check = 0;
+  for (const auto& c : dests) {
+    const auto& v = total.Doubles(*total.ColumnIndex(c));
+    for (double x : v) out.check += x;
+  }
+  return out;
+}
+
+RunResult TripCountMadlib(const Relation& year1, const Relation& year2) {
+  RunResult out;
+  const std::vector<std::string> dests = DestCols(year1);
+  Timer t;
+  ml::RowTable t1 = ml::RowTable::FromRelation(year1);
+  ml::RowTable t2 = ml::RowTable::FromRelation(year2);
+  BENCH_ASSIGN(DenseMatrix m1, ml::ToMatrix(t1, dests));
+  BENCH_ASSIGN(DenseMatrix m2, ml::ToMatrix(t2, dests));
+  DenseMatrix sum = ml::AddSingleCore(m1, m2);
+  out.matrix_seconds = t.Seconds();
+  out.check = 0;
+  for (int64_t i = 0; i < sum.rows(); ++i) {
+    for (int64_t j = 0; j < sum.cols(); ++j) out.check += sum(i, j);
+  }
+  return out;
+}
+
+}  // namespace rma::bench

@@ -1,0 +1,70 @@
+#ifndef RMA_BENCH_WORKLOADS_H_
+#define RMA_BENCH_WORKLOADS_H_
+
+#include <string>
+
+#include "baselines/rlike/rlike.h"
+#include "core/options.h"
+#include "util/status.h"
+#include "workload/bixi.h"
+#include "workload/dblp.h"
+
+namespace rma::bench {
+
+/// Outcome of one mixed-workload run on one system (Figs. 15-18).
+struct RunResult {
+  Status status;              ///< non-OK: the system failed (Table 6 "fail")
+  double load_seconds = 0;    ///< CSV load (R bars only, Fig. 15)
+  double prep_seconds = 0;    ///< relational part (solid bar)
+  double matrix_seconds = 0;  ///< matrix part incl. data transformation
+  double check = 0;           ///< workload-specific checksum / coefficient
+
+  double total() const { return load_seconds + prep_seconds + matrix_seconds; }
+};
+
+// --- (1) Trips: ordinary linear regression, Fig. 15 -------------------------
+// Data prep: trip pairs performed >= 50 times, station coordinates joined in,
+// per-trip distance. Matrix: OLS via MMU(INV(CPD(A,A)), CPD(A,V)).
+// `check` is the recovered distance coefficient (generator slope ~240 s/km).
+
+RunResult TripsRmaPlus(const workload::BixiData& data, KernelPolicy policy);
+RunResult TripsAida(const workload::BixiData& data);
+RunResult TripsR(const workload::BixiData& data,
+                 const baselines::rlike::Options& opts);
+RunResult TripsMadlib(const workload::BixiData& data);
+
+// --- (2) Journeys: multiple linear regression, Fig. 16 ----------------------
+// Chains popular station pairs into journeys of `num_trips` hops, then
+// regresses total duration on the per-hop distances.
+
+RunResult JourneysRmaPlus(const Relation& journeys, int num_trips,
+                          KernelPolicy policy);
+RunResult JourneysAida(const Relation& journeys, int num_trips);
+RunResult JourneysR(const Relation& journeys, int num_trips,
+                    const baselines::rlike::Options& opts);
+RunResult JourneysMadlib(const Relation& journeys, int num_trips);
+
+// --- (3) Conferences: covariance computation, Fig. 17 -----------------------
+// Covariance matrix over the publication counts; join the result with the
+// ranking table and keep A++ conferences. `check` is the output row count.
+
+RunResult ConferencesRmaPlus(const workload::DblpData& data,
+                             KernelPolicy policy);
+RunResult ConferencesAida(const workload::DblpData& data);
+RunResult ConferencesR(const workload::DblpData& data,
+                       const baselines::rlike::Options& opts);
+RunResult ConferencesMadlib(const workload::DblpData& data);
+
+// --- (4) Trip count: matrix addition, Fig. 18 -------------------------------
+// Adds two years of per-rider trip counts. `check` is the grand total.
+
+RunResult TripCountRmaPlus(const Relation& year1, const Relation& year2,
+                           KernelPolicy policy);
+RunResult TripCountAida(const Relation& year1, const Relation& year2);
+RunResult TripCountR(const Relation& year1, const Relation& year2,
+                     const baselines::rlike::Options& opts);
+RunResult TripCountMadlib(const Relation& year1, const Relation& year2);
+
+}  // namespace rma::bench
+
+#endif  // RMA_BENCH_WORKLOADS_H_

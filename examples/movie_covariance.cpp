@@ -1,0 +1,91 @@
+// The full Section 5 walk-through: how similar are Lee's films to other
+// films, by the covariance of their ratings from California users?
+//
+// Demonstrates a mixed workload: joins, selections and aggregations
+// interleaved with relational matrix operations (sub, tra, mmu), with all
+// contextual information maintained throughout — the final join works
+// because the covariance relation still carries film names.
+#include <cstdio>
+
+#include "sql/database.h"
+
+using namespace rma;
+
+namespace {
+
+Relation Users() {
+  RelationBuilder b(Schema::Make({{"User", DataType::kString},
+                                  {"State", DataType::kString},
+                                  {"YoB", DataType::kInt64}})
+                        .ValueOrDie());
+  b.AppendRow({std::string("Ann"), std::string("CA"), int64_t{1980}}).Abort();
+  b.AppendRow({std::string("Tom"), std::string("FL"), int64_t{1965}}).Abort();
+  b.AppendRow({std::string("Jan"), std::string("CA"), int64_t{1970}}).Abort();
+  return b.Finish("u").ValueOrDie();
+}
+
+Relation Films() {
+  RelationBuilder b(Schema::Make({{"Title", DataType::kString},
+                                  {"RelY", DataType::kInt64},
+                                  {"Director", DataType::kString}})
+                        .ValueOrDie());
+  b.AppendRow({std::string("Heat"), int64_t{1995}, std::string("Lee")}).Abort();
+  b.AppendRow({std::string("Balto"), int64_t{1995}, std::string("Lee")}).Abort();
+  b.AppendRow({std::string("Net"), int64_t{1995}, std::string("Smith")}).Abort();
+  return b.Finish("f").ValueOrDie();
+}
+
+Relation Ratings() {
+  RelationBuilder b(Schema::Make({{"User", DataType::kString},
+                                  {"Balto", DataType::kDouble},
+                                  {"Heat", DataType::kDouble},
+                                  {"Net", DataType::kDouble}})
+                        .ValueOrDie());
+  b.AppendRow({std::string("Ann"), 2.0, 1.5, 0.5}).Abort();
+  b.AppendRow({std::string("Tom"), 0.0, 0.0, 1.5}).Abort();
+  b.AppendRow({std::string("Jan"), 1.0, 4.0, 1.0}).Abort();
+  return b.Finish("r").ValueOrDie();
+}
+
+Relation Step(sql::Database& db, const char* name, const std::string& sql) {
+  const Relation r =
+      db.Execute("CREATE TABLE " + std::string(name) + " AS " + sql)
+          .ValueOrDie();
+  std::printf("%s = %s\n%s\n", name, sql.c_str(), r.ToString().c_str());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  sql::Database db;
+  db.Register("u", Users()).Abort();
+  db.Register("f", Films()).Abort();
+  db.Register("r", Ratings()).Abort();
+
+  // w1: ratings of California users.
+  Step(db, "w1",
+       "SELECT u.User AS U, Balto AS B, Heat AS H, Net AS N "
+       "FROM u JOIN r ON u.User = r.User WHERE State = 'CA'");
+  // w3: centered ratings (w2, the averages, folds into the cross join).
+  Step(db, "w3",
+       "SELECT w1.U, w1.B - t.B AS B, w1.H - t.H AS H, w1.N - t.N AS N "
+       "FROM w1 CROSS JOIN "
+       "(SELECT AVG(B) AS B, AVG(H) AS H, AVG(N) AS N FROM w1) AS t");
+  // w4: transposed — the film names become the C attribute.
+  Step(db, "w4", "SELECT * FROM TRA(w3 BY U)");
+  // w7: the unbiased covariance matrix, via mmu and COUNT(*).
+  Step(db, "w7",
+       "SELECT C, B/(M-1) AS B, H/(M-1) AS H, N/(M-1) AS N "
+       "FROM MMU(w4 BY C, w3 BY U) AS w5 "
+       "CROSS JOIN (SELECT COUNT(*) AS M FROM w1) AS t");
+  // w8: join back with the film table — possible only because the
+  // covariance relation kept the film names as origins.
+  const Relation w8 =
+      db.Query("SELECT Title, B, H, N FROM w7 "
+               "JOIN f ON w7.C = f.Title WHERE Director = 'Lee'")
+          .ValueOrDie();
+  std::printf("w8 (Lee's films and their rating covariances):\n%s\n",
+              w8.ToString().c_str());
+  return 0;
+}

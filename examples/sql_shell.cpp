@@ -1,0 +1,109 @@
+// Interactive SQL shell over the RMA database.
+//
+//   ./build/examples/sql_shell
+//
+// Starts with the paper's example tables (u, f, rating, weather) loaded.
+// Try:
+//   SELECT * FROM INV(rating BY User);
+//   SELECT * FROM TRA(weather BY T);
+//   CREATE TABLE q AS SELECT * FROM QQR(weather BY T);
+//   SELECT State, COUNT(*) AS n FROM u GROUP BY State;
+//   \tables   \quit
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sql/database.h"
+
+using namespace rma;
+
+namespace {
+
+void Load(sql::Database& db) {
+  {
+    RelationBuilder b(Schema::Make({{"User", DataType::kString},
+                                    {"State", DataType::kString},
+                                    {"YoB", DataType::kInt64}})
+                          .ValueOrDie());
+    b.AppendRow({std::string("Ann"), std::string("CA"), int64_t{1980}}).Abort();
+    b.AppendRow({std::string("Tom"), std::string("FL"), int64_t{1965}}).Abort();
+    b.AppendRow({std::string("Jan"), std::string("CA"), int64_t{1970}}).Abort();
+    db.Register("u", b.Finish().ValueOrDie()).Abort();
+  }
+  {
+    RelationBuilder b(Schema::Make({{"Title", DataType::kString},
+                                    {"RelY", DataType::kInt64},
+                                    {"Director", DataType::kString}})
+                          .ValueOrDie());
+    b.AppendRow({std::string("Heat"), int64_t{1995}, std::string("Lee")})
+        .Abort();
+    b.AppendRow({std::string("Balto"), int64_t{1995}, std::string("Lee")})
+        .Abort();
+    b.AppendRow({std::string("Net"), int64_t{1995}, std::string("Smith")})
+        .Abort();
+    db.Register("f", b.Finish().ValueOrDie()).Abort();
+  }
+  {
+    RelationBuilder b(Schema::Make({{"User", DataType::kString},
+                                    {"Balto", DataType::kDouble},
+                                    {"Heat", DataType::kDouble},
+                                    {"Net", DataType::kDouble}})
+                          .ValueOrDie());
+    b.AppendRow({std::string("Ann"), 2.0, 1.5, 0.5}).Abort();
+    b.AppendRow({std::string("Tom"), 0.0, 0.0, 1.5}).Abort();
+    b.AppendRow({std::string("Jan"), 1.0, 4.0, 1.0}).Abort();
+    db.Register("rating", b.Finish().ValueOrDie()).Abort();
+  }
+  {
+    RelationBuilder b(Schema::Make({{"T", DataType::kString},
+                                    {"H", DataType::kDouble},
+                                    {"W", DataType::kDouble}})
+                          .ValueOrDie());
+    b.AppendRow({std::string("5am"), 1.0, 3.0}).Abort();
+    b.AppendRow({std::string("8am"), 8.0, 5.0}).Abort();
+    b.AppendRow({std::string("7am"), 6.0, 7.0}).Abort();
+    b.AppendRow({std::string("6am"), 1.0, 4.0}).Abort();
+    db.Register("weather", b.Finish().ValueOrDie()).Abort();
+  }
+}
+
+}  // namespace
+
+int main() {
+  sql::Database db;
+  Load(db);
+  std::printf("RMA SQL shell. Tables: u, f, rating, weather. "
+              "\\tables lists, \\quit exits.\n");
+  std::string line;
+  std::string stmt;
+  while (true) {
+    std::printf(stmt.empty() ? "rma> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\tables") {
+      for (const auto& t : db.TableNames()) std::printf("  %s\n", t.c_str());
+      continue;
+    }
+    stmt += line;
+    stmt += ' ';
+    // Execute once the statement is terminated (or the line is non-empty
+    // and contains no semicolon convention: run single-line statements).
+    if (line.find(';') == std::string::npos && !line.empty()) {
+      // allow multi-line input until a ';'
+      continue;
+    }
+    if (stmt.find_first_not_of(" ;") == std::string::npos) {
+      stmt.clear();
+      continue;
+    }
+    auto result = db.Execute(stmt);
+    if (result.ok()) {
+      std::printf("%s", result->ToString(40).c_str());
+    } else {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    }
+    stmt.clear();
+  }
+  return 0;
+}

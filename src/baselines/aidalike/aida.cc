@@ -1,0 +1,92 @@
+#include "baselines/aidalike/aida.h"
+
+#include "util/logging.h"
+
+namespace rma::baselines::aidalike {
+
+TabularData TabularData::FromRelation(const Relation& r) {
+  TabularData td;
+  td.rows_ = r.num_rows();
+  for (int c = 0; c < r.num_columns(); ++c) {
+    PyColumn col;
+    col.name = r.schema().attribute(c).name;
+    if (IsNumeric(r.schema().attribute(c).type)) {
+      col.data = r.column(c);  // zero-copy pointer pass
+    } else {
+      // Different storage formats: box each value into a Python object.
+      std::vector<std::unique_ptr<PyObject>> boxed;
+      boxed.reserve(static_cast<size_t>(td.rows_));
+      for (int64_t i = 0; i < td.rows_; ++i) {
+        auto obj = std::make_unique<PyObject>();
+        obj->repr = r.column(c)->GetString(i);
+        boxed.push_back(std::move(obj));
+      }
+      col.data = std::move(boxed);
+    }
+    td.columns_.push_back(std::move(col));
+  }
+  return td;
+}
+
+Result<DenseMatrix> TabularData::ToMatrix(
+    const std::vector<std::string>& cols) const {
+  const int64_t k = static_cast<int64_t>(cols.size());
+  DenseMatrix m(rows_, k);
+  for (int64_t j = 0; j < k; ++j) {
+    const PyColumn* found = nullptr;
+    for (const auto& c : columns_) {
+      if (c.name == cols[static_cast<size_t>(j)]) {
+        found = &c;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      return Status::KeyError("TabularData has no column " +
+                              cols[static_cast<size_t>(j)]);
+    }
+    const auto* bat = std::get_if<BatPtr>(&found->data);
+    if (bat == nullptr) {
+      return Status::TypeError("matrix over a boxed (non-numeric) column");
+    }
+    for (int64_t i = 0; i < rows_; ++i) m(i, j) = (*bat)->GetDouble(i);
+  }
+  return m;
+}
+
+Relation TabularData::MatrixToRelation(const DenseMatrix& m,
+                                       const std::vector<std::string>& names) {
+  RMA_CHECK(static_cast<int64_t>(names.size()) == m.cols());
+  std::vector<Attribute> attrs;
+  std::vector<BatPtr> cols;
+  for (int64_t j = 0; j < m.cols(); ++j) {
+    attrs.push_back(Attribute{names[static_cast<size_t>(j)], DataType::kDouble});
+    cols.push_back(MakeDoubleBat(m.Col(j)));
+  }
+  return Relation::Make(Schema::Make(std::move(attrs)).ValueOrDie(),
+                        std::move(cols), "aida")
+      .ValueOrDie();
+}
+
+Relation TabularData::ToRelation(std::string name) const {
+  std::vector<Attribute> attrs;
+  std::vector<BatPtr> cols;
+  for (const auto& c : columns_) {
+    if (const auto* bat = std::get_if<BatPtr>(&c.data)) {
+      attrs.push_back(Attribute{c.name, (*bat)->type()});
+      cols.push_back(*bat);
+    } else {
+      const auto& boxed =
+          std::get<std::vector<std::unique_ptr<PyObject>>>(c.data);
+      std::vector<std::string> v;
+      v.reserve(boxed.size());
+      for (const auto& o : boxed) v.push_back(o->repr);  // unbox
+      attrs.push_back(Attribute{c.name, DataType::kString});
+      cols.push_back(MakeStringBat(std::move(v)));
+    }
+  }
+  return Relation::Make(Schema::Make(std::move(attrs)).ValueOrDie(),
+                        std::move(cols), std::move(name))
+      .ValueOrDie();
+}
+
+}  // namespace rma::baselines::aidalike

@@ -1,0 +1,66 @@
+#ifndef RMA_BASELINES_AIDALIKE_AIDA_H_
+#define RMA_BASELINES_AIDALIKE_AIDA_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "matrix/dense_matrix.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace rma::baselines::aidalike {
+
+/// Simulation of AIDA (D'silva et al., VLDB'18): relational operations run
+/// in the column store (shared with RMA+ — AIDA executes them in MonetDB),
+/// while matrix operations run in a Python/NumPy world.
+///
+/// Costs reproduced (Sec. 8.6(1)):
+///  * numeric columns cross the boundary by pointer (zero copy per column;
+///    a contiguous 2-D copy is still needed for matrix kernels, exactly
+///    like RMA+MKL);
+///  * non-numeric columns (dates, times, strings) have incompatible storage
+///    formats and must be boxed value-by-value into Python objects — the
+///    transformation that makes AIDA up to 6.3x slower on the trips
+///    workload, and free on the all-numeric journeys workload.
+
+/// A boxed Python object (strings only — numerics stay as C arrays).
+struct PyObject {
+  std::string repr;
+  int64_t refcount = 1;
+};
+
+/// A TabularData column: a borrowed numeric BAT or boxed Python objects.
+struct PyColumn {
+  std::string name;
+  std::variant<BatPtr, std::vector<std::unique_ptr<PyObject>>> data;
+};
+
+/// The Python-side view of a relation.
+class TabularData {
+ public:
+  /// Moves a relation into Python: numeric columns are passed as pointers,
+  /// non-numeric columns are boxed element by element.
+  static TabularData FromRelation(const Relation& r);
+
+  /// Materializes the numeric columns as a contiguous matrix for NumPy.
+  Result<DenseMatrix> ToMatrix(const std::vector<std::string>& cols) const;
+
+  /// Moves a NumPy matrix back into the database world.
+  static Relation MatrixToRelation(const DenseMatrix& m,
+                                   const std::vector<std::string>& names);
+
+  /// Moves all columns back into the database (unboxing strings).
+  Relation ToRelation(std::string name = "r") const;
+
+  int64_t num_rows() const { return rows_; }
+
+ private:
+  std::vector<PyColumn> columns_;
+  int64_t rows_ = 0;
+};
+
+}  // namespace rma::baselines::aidalike
+
+#endif  // RMA_BASELINES_AIDALIKE_AIDA_H_

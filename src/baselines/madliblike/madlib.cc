@@ -1,0 +1,291 @@
+#include "baselines/madliblike/madlib.h"
+
+#include <unordered_map>
+
+#include "matrix/lu.h"
+
+namespace rma::baselines::madliblike {
+
+RowTable RowTable::FromRelation(const Relation& r) {
+  RowTable t;
+  t.names_ = r.schema().Names();
+  for (const auto& a : r.schema().attributes()) t.types_.push_back(a.type);
+  const int64_t n = r.num_rows();
+  t.rows_.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<Value> row;
+    row.reserve(t.names_.size());
+    for (int c = 0; c < r.num_columns(); ++c) row.push_back(r.Get(i, c));
+    t.rows_.push_back(std::move(row));
+  }
+  return t;
+}
+
+Relation RowTable::ToRelation(std::string name) const {
+  std::vector<Attribute> attrs;
+  for (size_t c = 0; c < names_.size(); ++c) {
+    attrs.push_back(Attribute{names_[c], types_[c]});
+  }
+  RelationBuilder b(Schema::Make(std::move(attrs)).ValueOrDie());
+  for (const auto& row : rows_) b.AppendRow(row).Abort();
+  return b.Finish(std::move(name)).ValueOrDie();
+}
+
+Result<int> RowTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return Status::KeyError("row table has no column " + name);
+}
+
+RowTable RowTable::Filter(
+    const std::function<bool(const std::vector<Value>&)>& pred) const {
+  RowTable out;
+  out.names_ = names_;
+  out.types_ = types_;
+  for (const auto& row : rows_) {
+    if (pred(row)) out.rows_.push_back(row);
+  }
+  return out;
+}
+
+Result<RowTable> RowTable::Join(const RowTable& other, const std::string& key,
+                                const std::string& other_key) const {
+  RMA_ASSIGN_OR_RETURN(int kc, ColumnIndex(key));
+  RMA_ASSIGN_OR_RETURN(int okc, other.ColumnIndex(other_key));
+  std::unordered_map<std::string, std::vector<int64_t>> index;
+  for (int64_t i = 0; i < other.num_rows(); ++i) {
+    index[ValueToString(other.rows_[static_cast<size_t>(i)]
+                                   [static_cast<size_t>(okc)])]
+        .push_back(i);
+  }
+  RowTable out;
+  out.names_ = names_;
+  out.types_ = types_;
+  for (size_t c = 0; c < other.names_.size(); ++c) {
+    std::string nm = other.names_[c];
+    auto taken = [&out](const std::string& n) {
+      for (const auto& existing : out.names_) {
+        if (existing == n) return true;
+      }
+      return false;
+    };
+    while (taken(nm)) nm += "_2";
+    out.names_.push_back(nm);
+    out.types_.push_back(other.types_[c]);
+  }
+  for (const auto& row : rows_) {
+    auto it = index.find(ValueToString(row[static_cast<size_t>(kc)]));
+    if (it == index.end()) continue;
+    for (int64_t m : it->second) {
+      std::vector<Value> joined = row;
+      const auto& orow = other.rows_[static_cast<size_t>(m)];
+      joined.insert(joined.end(), orow.begin(), orow.end());
+      out.rows_.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Result<RowTable> RowTable::GroupCount(
+    const std::vector<std::string>& keys) const {
+  std::vector<int> kc;
+  for (const auto& k : keys) {
+    RMA_ASSIGN_OR_RETURN(int i, ColumnIndex(k));
+    kc.push_back(i);
+  }
+  std::unordered_map<std::string, int64_t> group_of;
+  RowTable out;
+  for (int k : kc) {
+    out.names_.push_back(names_[static_cast<size_t>(k)]);
+    out.types_.push_back(types_[static_cast<size_t>(k)]);
+  }
+  out.names_.push_back("n");
+  out.types_.push_back(DataType::kInt64);
+  for (const auto& row : rows_) {
+    std::string key;
+    for (int k : kc) {
+      key += ValueToString(row[static_cast<size_t>(k)]);
+      key += '\x1f';
+    }
+    auto [it, inserted] =
+        group_of.emplace(key, static_cast<int64_t>(out.rows_.size()));
+    if (inserted) {
+      std::vector<Value> grow;
+      for (int k : kc) grow.push_back(row[static_cast<size_t>(k)]);
+      grow.push_back(Value(int64_t{0}));
+      out.rows_.push_back(std::move(grow));
+    }
+    Value& cnt = out.rows_[static_cast<size_t>(it->second)].back();
+    cnt = Value(std::get<int64_t>(cnt) + 1);
+  }
+  return out;
+}
+
+Result<RowTable> RowTable::GroupMean(const std::vector<std::string>& keys,
+                                     const std::string& value) const {
+  std::vector<int> kc;
+  for (const auto& k : keys) {
+    RMA_ASSIGN_OR_RETURN(int i, ColumnIndex(k));
+    kc.push_back(i);
+  }
+  RMA_ASSIGN_OR_RETURN(int vc, ColumnIndex(value));
+  std::unordered_map<std::string, int64_t> group_of;
+  RowTable out;
+  for (int k : kc) {
+    out.names_.push_back(names_[static_cast<size_t>(k)]);
+    out.types_.push_back(types_[static_cast<size_t>(k)]);
+  }
+  out.names_.push_back("n");
+  out.types_.push_back(DataType::kInt64);
+  out.names_.push_back("mean");
+  out.types_.push_back(DataType::kDouble);
+  std::vector<double> sums;
+  for (const auto& row : rows_) {
+    std::string key;
+    for (int k : kc) {
+      key += ValueToString(row[static_cast<size_t>(k)]);
+      key += '\x1f';
+    }
+    auto [it, inserted] =
+        group_of.emplace(key, static_cast<int64_t>(out.rows_.size()));
+    if (inserted) {
+      std::vector<Value> grow;
+      for (int k : kc) grow.push_back(row[static_cast<size_t>(k)]);
+      grow.push_back(Value(int64_t{0}));
+      grow.push_back(Value(0.0));
+      out.rows_.push_back(std::move(grow));
+      sums.push_back(0.0);
+    }
+    auto& grow = out.rows_[static_cast<size_t>(it->second)];
+    grow[grow.size() - 2] =
+        Value(std::get<int64_t>(grow[grow.size() - 2]) + 1);
+    sums[static_cast<size_t>(it->second)] +=
+        ValueToDouble(row[static_cast<size_t>(vc)]);
+  }
+  for (size_t g = 0; g < out.rows_.size(); ++g) {
+    auto& grow = out.rows_[g];
+    const double n = static_cast<double>(
+        std::get<int64_t>(grow[grow.size() - 2]));
+    grow.back() = Value(sums[g] / n);
+  }
+  return out;
+}
+
+RowTable RowTable::WithColumn(
+    const std::string& name,
+    const std::function<double(const std::vector<Value>&)>& fn) const {
+  RowTable out = *this;
+  out.names_.push_back(name);
+  out.types_.push_back(DataType::kDouble);
+  for (auto& row : out.rows_) row.push_back(Value(fn(row)));
+  return out;
+}
+
+Result<std::vector<double>> LinRegr(const RowTable& t,
+                                    const std::vector<std::string>& x_cols,
+                                    const std::string& y_col) {
+  std::vector<int> xc;
+  for (const auto& c : x_cols) {
+    RMA_ASSIGN_OR_RETURN(int i, t.ColumnIndex(c));
+    xc.push_back(i);
+  }
+  RMA_ASSIGN_OR_RETURN(int yc, t.ColumnIndex(y_col));
+  const int k = static_cast<int>(xc.size()) + 1;  // + intercept
+  DenseMatrix xtx(k, k, 0.0);
+  std::vector<double> xty(static_cast<size_t>(k), 0.0);
+  std::vector<double> x(static_cast<size_t>(k), 0.0);
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    const auto& row = t.row(i);
+    x[0] = 1.0;
+    for (size_t j = 0; j < xc.size(); ++j) {
+      x[j + 1] = ValueToDouble(row[static_cast<size_t>(xc[j])]);  // unbox
+    }
+    const double y = ValueToDouble(row[static_cast<size_t>(yc)]);
+    for (int a = 0; a < k; ++a) {
+      for (int b = 0; b < k; ++b) {
+        xtx(a, b) += x[static_cast<size_t>(a)] * x[static_cast<size_t>(b)];
+      }
+      xty[static_cast<size_t>(a)] += x[static_cast<size_t>(a)] * y;
+    }
+  }
+  DenseMatrix rhs(k, 1);
+  for (int a = 0; a < k; ++a) rhs(a, 0) = xty[static_cast<size_t>(a)];
+  RMA_ASSIGN_OR_RETURN(DenseMatrix beta, SolveSquare(std::move(xtx), rhs));
+  std::vector<double> out(static_cast<size_t>(k));
+  for (int a = 0; a < k; ++a) out[static_cast<size_t>(a)] = beta(a, 0);
+  return out;
+}
+
+DenseMatrix MatMulSingleCore(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix c(a.rows(), b.cols(), 0.0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t p = 0; p < a.cols(); ++p) {
+      const double v = a(i, p);
+      if (v == 0.0) continue;
+      for (int64_t j = 0; j < b.cols(); ++j) c(i, j) += v * b(p, j);
+    }
+  }
+  return c;
+}
+
+DenseMatrix CrossProdSingleCore(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix c(a.cols(), b.cols(), 0.0);
+  for (int64_t p = 0; p < a.rows(); ++p) {
+    for (int64_t i = 0; i < a.cols(); ++i) {
+      const double v = a(p, i);
+      if (v == 0.0) continue;
+      for (int64_t j = 0; j < b.cols(); ++j) c(i, j) += v * b(p, j);
+    }
+  }
+  return c;
+}
+
+Result<DenseMatrix> CovSingleCore(const RowTable& t,
+                                  const std::vector<std::string>& cols) {
+  RMA_ASSIGN_OR_RETURN(DenseMatrix x, ToMatrix(t, cols));
+  const int64_t n = x.rows();
+  const int64_t k = x.cols();
+  if (n < 2) return Status::Invalid("cov: need at least two rows");
+  std::vector<double> mean(static_cast<size_t>(k), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < k; ++j) mean[static_cast<size_t>(j)] += x(i, j);
+  }
+  for (auto& m : mean) m /= static_cast<double>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < k; ++j) x(i, j) -= mean[static_cast<size_t>(j)];
+  }
+  DenseMatrix c = CrossProdSingleCore(x, x);
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < k; ++j) c(i, j) /= static_cast<double>(n - 1);
+  }
+  return c;
+}
+
+DenseMatrix AddSingleCore(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix c(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) c(i, j) = a(i, j) + b(i, j);
+  }
+  return c;
+}
+
+Result<DenseMatrix> ToMatrix(const RowTable& t,
+                             const std::vector<std::string>& cols) {
+  std::vector<int> ci;
+  for (const auto& c : cols) {
+    RMA_ASSIGN_OR_RETURN(int i, t.ColumnIndex(c));
+    ci.push_back(i);
+  }
+  DenseMatrix m(t.num_rows(), static_cast<int64_t>(ci.size()));
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    const auto& row = t.row(i);
+    for (size_t j = 0; j < ci.size(); ++j) {
+      m(i, static_cast<int64_t>(j)) =
+          ValueToDouble(row[static_cast<size_t>(ci[j])]);
+    }
+  }
+  return m;
+}
+
+}  // namespace rma::baselines::madliblike

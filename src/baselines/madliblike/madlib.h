@@ -1,0 +1,77 @@
+#ifndef RMA_BASELINES_MADLIBLIKE_MADLIB_H_
+#define RMA_BASELINES_MADLIBLIKE_MADLIB_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "matrix/dense_matrix.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace rma::baselines::madliblike {
+
+/// Simulation of MADlib on PostgreSQL (Sec. 8): a row store processed one
+/// tuple at a time on a single core, with matrix functionality provided by
+/// UDFs over boxed values. These are the mechanisms behind MADlib being the
+/// slowest competitor in Figs. 15-18 (no parallelism, boxed row access).
+
+/// A PostgreSQL-style heap table: rows of boxed values.
+class RowTable {
+ public:
+  static RowTable FromRelation(const Relation& r);
+  Relation ToRelation(std::string name = "r") const;
+
+  const std::vector<std::string>& names() const { return names_; }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  const std::vector<Value>& row(int64_t i) const {
+    return rows_[static_cast<size_t>(i)];
+  }
+
+  Result<int> ColumnIndex(const std::string& name) const;
+
+  /// Sequential scan with a row predicate (single core).
+  RowTable Filter(const std::function<bool(const std::vector<Value>&)>& pred) const;
+
+  /// Single-core hash equi-join on one key column per side.
+  Result<RowTable> Join(const RowTable& other, const std::string& key,
+                        const std::string& other_key) const;
+
+  /// Single-core grouped count; result columns: keys... , "n".
+  Result<RowTable> GroupCount(const std::vector<std::string>& keys) const;
+
+  /// Single-core grouped count + mean; result: keys..., "n", "mean".
+  Result<RowTable> GroupMean(const std::vector<std::string>& keys,
+                             const std::string& value) const;
+
+  /// Appends a computed double column.
+  RowTable WithColumn(const std::string& name,
+                      const std::function<double(const std::vector<Value>&)>& fn) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<DataType> types_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+/// UDF-style linear regression (madlib.linregr): one pass over the rows,
+/// unboxing each value, accumulating XᵀX and Xᵀy, then solving the normal
+/// equations single-threaded. Returns the coefficient vector.
+Result<std::vector<double>> LinRegr(const RowTable& t,
+                                    const std::vector<std::string>& x_cols,
+                                    const std::string& y_col);
+
+/// Single-threaded dense kernels (matrix_ops.cpp analogues).
+DenseMatrix MatMulSingleCore(const DenseMatrix& a, const DenseMatrix& b);
+DenseMatrix CrossProdSingleCore(const DenseMatrix& a, const DenseMatrix& b);
+Result<DenseMatrix> CovSingleCore(const RowTable& t,
+                                  const std::vector<std::string>& cols);
+DenseMatrix AddSingleCore(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Extracts numeric columns to a matrix (row-at-a-time, boxed access).
+Result<DenseMatrix> ToMatrix(const RowTable& t,
+                             const std::vector<std::string>& cols);
+
+}  // namespace rma::baselines::madliblike
+
+#endif  // RMA_BASELINES_MADLIBLIKE_MADLIB_H_

@@ -1,0 +1,312 @@
+#include "baselines/rlike/rlike.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace rma::baselines::rlike {
+
+int64_t DataFrame::num_rows() const {
+  if (columns.empty()) return 0;
+  if (const auto* d = std::get_if<std::vector<double>>(&columns[0])) {
+    return static_cast<int64_t>(d->size());
+  }
+  return static_cast<int64_t>(
+      std::get<std::vector<std::string>>(columns[0]).size());
+}
+
+int64_t DataFrame::ByteSize() const {
+  int64_t bytes = 0;
+  for (const auto& c : columns) {
+    if (const auto* d = std::get_if<std::vector<double>>(&c)) {
+      bytes += static_cast<int64_t>(d->size() * sizeof(double));
+    } else {
+      for (const auto& s : std::get<std::vector<std::string>>(c)) {
+        bytes += static_cast<int64_t>(sizeof(std::string) + s.capacity());
+      }
+    }
+  }
+  return bytes;
+}
+
+Result<int> DataFrame::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return Status::KeyError("data.frame has no column " + name);
+}
+
+const std::vector<double>& DataFrame::Doubles(int col) const {
+  return std::get<std::vector<double>>(columns[static_cast<size_t>(col)]);
+}
+const std::vector<std::string>& DataFrame::Strings(int col) const {
+  return std::get<std::vector<std::string>>(columns[static_cast<size_t>(col)]);
+}
+
+DataFrame FromRelation(const Relation& r) {
+  DataFrame df;
+  df.names = r.schema().Names();
+  const int64_t n = r.num_rows();
+  for (int c = 0; c < r.num_columns(); ++c) {
+    if (IsNumeric(r.schema().attribute(c).type)) {
+      df.columns.emplace_back(ToDoubleVector(*r.column(c)));
+    } else {
+      std::vector<std::string> v;
+      v.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) v.push_back(r.column(c)->GetString(i));
+      df.columns.emplace_back(std::move(v));
+    }
+  }
+  return df;
+}
+
+Relation ToRelation(const DataFrame& df, std::string name) {
+  std::vector<Attribute> attrs;
+  std::vector<BatPtr> cols;
+  for (size_t c = 0; c < df.columns.size(); ++c) {
+    if (const auto* d = std::get_if<std::vector<double>>(&df.columns[c])) {
+      attrs.push_back(Attribute{df.names[c], DataType::kDouble});
+      cols.push_back(MakeDoubleBat(*d));
+    } else {
+      attrs.push_back(Attribute{df.names[c], DataType::kString});
+      cols.push_back(
+          MakeStringBat(std::get<std::vector<std::string>>(df.columns[c])));
+    }
+  }
+  return Relation::Make(Schema::Make(std::move(attrs)).ValueOrDie(),
+                        std::move(cols), std::move(name))
+      .ValueOrDie();
+}
+
+namespace {
+
+std::string KeyOf(const DataFrame& df, const std::vector<int>& key_cols,
+                  int64_t row) {
+  std::string key;
+  for (int c : key_cols) {
+    if (const auto* d =
+            std::get_if<std::vector<double>>(&df.columns[static_cast<size_t>(c)])) {
+      key += std::to_string((*d)[static_cast<size_t>(row)]);
+    } else {
+      key += df.Strings(c)[static_cast<size_t>(row)];
+    }
+    key += '\x1f';
+  }
+  return key;
+}
+
+DataFrame TakeRows(const DataFrame& df, const std::vector<int64_t>& idx) {
+  DataFrame out;
+  out.names = df.names;
+  for (const auto& c : df.columns) {
+    if (const auto* d = std::get_if<std::vector<double>>(&c)) {
+      std::vector<double> v;
+      v.reserve(idx.size());
+      for (int64_t i : idx) v.push_back((*d)[static_cast<size_t>(i)]);
+      out.columns.emplace_back(std::move(v));
+    } else {
+      const auto& s = std::get<std::vector<std::string>>(c);
+      std::vector<std::string> v;
+      v.reserve(idx.size());
+      for (int64_t i : idx) v.push_back(s[static_cast<size_t>(i)]);
+      out.columns.emplace_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DataFrame> InnerJoin(const DataFrame& a, const DataFrame& b,
+                            const std::vector<std::string>& akeys,
+                            const std::vector<std::string>& bkeys) {
+  if (akeys.size() != bkeys.size() || akeys.empty()) {
+    return Status::Invalid("join: bad key lists");
+  }
+  std::vector<int> ak;
+  std::vector<int> bk;
+  for (const auto& k : akeys) {
+    RMA_ASSIGN_OR_RETURN(int i, a.ColumnIndex(k));
+    ak.push_back(i);
+  }
+  for (const auto& k : bkeys) {
+    RMA_ASSIGN_OR_RETURN(int i, b.ColumnIndex(k));
+    bk.push_back(i);
+  }
+  // No optimizer: always build on the left input, string-keyed.
+  std::unordered_map<std::string, std::vector<int64_t>> index;
+  const int64_t an = a.num_rows();
+  for (int64_t i = 0; i < an; ++i) index[KeyOf(a, ak, i)].push_back(i);
+  std::vector<int64_t> ai;
+  std::vector<int64_t> bi;
+  const int64_t bn = b.num_rows();
+  for (int64_t i = 0; i < bn; ++i) {
+    auto it = index.find(KeyOf(b, bk, i));
+    if (it == index.end()) continue;
+    for (int64_t m : it->second) {
+      ai.push_back(m);
+      bi.push_back(i);
+    }
+  }
+  DataFrame left = TakeRows(a, ai);
+  DataFrame right = TakeRows(b, bi);
+  for (size_t c = 0; c < right.columns.size(); ++c) {
+    std::string nm = right.names[c];
+    auto taken = [&left](const std::string& n) {
+      for (const auto& existing : left.names) {
+        if (existing == n) return true;
+      }
+      return false;
+    };
+    while (taken(nm)) nm += ".y";
+    left.names.push_back(nm);
+    left.columns.push_back(std::move(right.columns[c]));
+  }
+  return left;
+}
+
+Result<DataFrame> FilterNumeric(const DataFrame& df, const std::string& col,
+                                const std::string& op, double threshold) {
+  RMA_ASSIGN_OR_RETURN(int c, df.ColumnIndex(col));
+  const auto* d = std::get_if<std::vector<double>>(&df.columns[static_cast<size_t>(c)]);
+  if (d == nullptr) return Status::TypeError("filter on non-numeric column");
+  std::vector<int64_t> keep;
+  for (size_t i = 0; i < d->size(); ++i) {
+    const double v = (*d)[i];
+    bool ok = false;
+    if (op == "<") ok = v < threshold;
+    else if (op == "<=") ok = v <= threshold;
+    else if (op == ">") ok = v > threshold;
+    else if (op == ">=") ok = v >= threshold;
+    else if (op == "==") ok = v == threshold;
+    else return Status::Invalid("unknown op " + op);
+    if (ok) keep.push_back(static_cast<int64_t>(i));
+  }
+  return TakeRows(df, keep);
+}
+
+Result<DataFrame> GroupCount(const DataFrame& df,
+                             const std::vector<std::string>& keys) {
+  std::vector<int> kc;
+  for (const auto& k : keys) {
+    RMA_ASSIGN_OR_RETURN(int i, df.ColumnIndex(k));
+    kc.push_back(i);
+  }
+  std::unordered_map<std::string, int64_t> group_of;
+  std::vector<int64_t> reps;
+  std::vector<double> counts;
+  const int64_t n = df.num_rows();
+  for (int64_t i = 0; i < n; ++i) {
+    const std::string key = KeyOf(df, kc, i);
+    auto [it, inserted] = group_of.emplace(key, static_cast<int64_t>(reps.size()));
+    if (inserted) {
+      reps.push_back(i);
+      counts.push_back(0.0);
+    }
+    counts[static_cast<size_t>(it->second)] += 1.0;
+  }
+  DataFrame grouped = TakeRows(df, reps);
+  DataFrame out;
+  for (size_t c = 0; c < kc.size(); ++c) {
+    out.names.push_back(df.names[static_cast<size_t>(kc[c])]);
+    out.columns.push_back(grouped.columns[static_cast<size_t>(kc[c])]);
+  }
+  out.names.push_back("N");
+  out.columns.emplace_back(std::move(counts));
+  return out;
+}
+
+Result<DataFrame> GroupMean(const DataFrame& df,
+                            const std::vector<std::string>& keys,
+                            const std::string& value) {
+  std::vector<int> kc;
+  for (const auto& k : keys) {
+    RMA_ASSIGN_OR_RETURN(int i, df.ColumnIndex(k));
+    kc.push_back(i);
+  }
+  RMA_ASSIGN_OR_RETURN(int vc, df.ColumnIndex(value));
+  const auto* vals =
+      std::get_if<std::vector<double>>(&df.columns[static_cast<size_t>(vc)]);
+  if (vals == nullptr) return Status::TypeError("mean of non-numeric column");
+  std::unordered_map<std::string, int64_t> group_of;
+  std::vector<int64_t> reps;
+  std::vector<double> counts;
+  std::vector<double> sums;
+  const int64_t n = df.num_rows();
+  for (int64_t i = 0; i < n; ++i) {
+    const std::string key = KeyOf(df, kc, i);
+    auto [it, inserted] =
+        group_of.emplace(key, static_cast<int64_t>(reps.size()));
+    if (inserted) {
+      reps.push_back(i);
+      counts.push_back(0.0);
+      sums.push_back(0.0);
+    }
+    counts[static_cast<size_t>(it->second)] += 1.0;
+    sums[static_cast<size_t>(it->second)] += (*vals)[static_cast<size_t>(i)];
+  }
+  DataFrame grouped = TakeRows(df, reps);
+  DataFrame out;
+  for (size_t c = 0; c < kc.size(); ++c) {
+    out.names.push_back(df.names[static_cast<size_t>(kc[c])]);
+    out.columns.push_back(grouped.columns[static_cast<size_t>(kc[c])]);
+  }
+  std::vector<double> means(counts.size());
+  for (size_t g = 0; g < counts.size(); ++g) means[g] = sums[g] / counts[g];
+  out.names.push_back("N");
+  out.columns.emplace_back(std::move(counts));
+  out.names.push_back("mean");
+  out.columns.emplace_back(std::move(means));
+  return out;
+}
+
+DataFrame WithColumn(const DataFrame& df, const std::string& name,
+                     const std::function<double(const DataFrame&, int64_t)>& fn) {
+  DataFrame out = df;
+  std::vector<double> v(static_cast<size_t>(df.num_rows()));
+  for (int64_t i = 0; i < df.num_rows(); ++i) {
+    v[static_cast<size_t>(i)] = fn(df, i);
+  }
+  out.names.push_back(name);
+  out.columns.emplace_back(std::move(v));
+  return out;
+}
+
+Result<DenseMatrix> AsMatrix(const DataFrame& df,
+                             const std::vector<std::string>& cols,
+                             const Options& opts) {
+  const int64_t n = df.num_rows();
+  const int64_t k = static_cast<int64_t>(cols.size());
+  const int64_t bytes = n * k * static_cast<int64_t>(sizeof(double));
+  if (df.ByteSize() + bytes > opts.memory_budget_bytes) {
+    return Status::ResourceExhausted(
+        "cannot allocate vector: R memory exhausted");
+  }
+  DenseMatrix m(n, k);
+  for (int64_t j = 0; j < k; ++j) {
+    RMA_ASSIGN_OR_RETURN(int c, df.ColumnIndex(cols[static_cast<size_t>(j)]));
+    const auto* d =
+        std::get_if<std::vector<double>>(&df.columns[static_cast<size_t>(c)]);
+    if (d == nullptr) {
+      return Status::TypeError("as.matrix on non-numeric column");
+    }
+    // Per-element copy (layout change: column store -> row-major matrix).
+    for (int64_t i = 0; i < n; ++i) m(i, j) = (*d)[static_cast<size_t>(i)];
+  }
+  return m;
+}
+
+DataFrame AsDataFrame(const DenseMatrix& m,
+                      const std::vector<std::string>& names) {
+  RMA_CHECK(static_cast<int64_t>(names.size()) == m.cols());
+  DataFrame df;
+  df.names = names;
+  for (int64_t j = 0; j < m.cols(); ++j) {
+    std::vector<double> v(static_cast<size_t>(m.rows()));
+    for (int64_t i = 0; i < m.rows(); ++i) v[static_cast<size_t>(i)] = m(i, j);
+    df.columns.emplace_back(std::move(v));
+  }
+  return df;
+}
+
+}  // namespace rma::baselines::rlike

@@ -1,0 +1,83 @@
+#ifndef RMA_BASELINES_RLIKE_RLIKE_H_
+#define RMA_BASELINES_RLIKE_RLIKE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "matrix/dense_matrix.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace rma::baselines::rlike {
+
+/// Simulation of the R/data.table baseline of Sec. 8.
+///
+/// Architectural costs reproduced (and only those — the numeric kernels are
+/// shared with RMA+, as R links a tuned BLAS):
+///  * relational operations run on a single core with no query optimizer;
+///  * matrix operations require converting data.frame <-> matrix, a full
+///    per-element copy (the Fig. 14a transformation share);
+///  * everything lives in main memory — loads and conversions beyond
+///    `memory_budget_bytes` fail, reproducing the "fail" cells of Table 6.
+
+/// One data.frame column: doubles or strings.
+using RColumn = std::variant<std::vector<double>, std::vector<std::string>>;
+
+struct DataFrame {
+  std::vector<std::string> names;
+  std::vector<RColumn> columns;
+
+  int64_t num_rows() const;
+  int64_t ByteSize() const;
+  Result<int> ColumnIndex(const std::string& name) const;
+  const std::vector<double>& Doubles(int col) const;
+  const std::vector<std::string>& Strings(int col) const;
+};
+
+/// Engine options (one per benchmark run).
+struct Options {
+  int64_t memory_budget_bytes = int64_t{8} * 1024 * 1024 * 1024;
+};
+
+/// data.frame <- relation (copies; numeric columns widen to double).
+DataFrame FromRelation(const Relation& r);
+Relation ToRelation(const DataFrame& df, std::string name = "r");
+
+/// Single-threaded hash equi-join (no optimizer: always builds on the left).
+Result<DataFrame> InnerJoin(const DataFrame& a, const DataFrame& b,
+                            const std::vector<std::string>& akeys,
+                            const std::vector<std::string>& bkeys);
+
+/// Single-threaded filter on a numeric column (op: "<" "<=" ">" ">=" "==").
+Result<DataFrame> FilterNumeric(const DataFrame& df, const std::string& col,
+                                const std::string& op, double threshold);
+
+/// Single-threaded grouped count over key columns; appends column "N".
+Result<DataFrame> GroupCount(const DataFrame& df,
+                             const std::vector<std::string>& keys);
+
+/// Single-threaded grouped count + mean of `value`; appends "N" and "mean".
+Result<DataFrame> GroupMean(const DataFrame& df,
+                            const std::vector<std::string>& keys,
+                            const std::string& value);
+
+/// Appends a computed double column (row-at-a-time apply()).
+DataFrame WithColumn(const DataFrame& df, const std::string& name,
+                     const std::function<double(const DataFrame&, int64_t)>& fn);
+
+/// data.frame -> matrix (as.matrix): per-element copy of the named columns;
+/// ResourceExhausted beyond the memory budget.
+Result<DenseMatrix> AsMatrix(const DataFrame& df,
+                             const std::vector<std::string>& cols,
+                             const Options& opts);
+
+/// matrix -> data.frame (as.data.frame): per-element copy back.
+DataFrame AsDataFrame(const DenseMatrix& m,
+                      const std::vector<std::string>& names);
+
+}  // namespace rma::baselines::rlike
+
+#endif  // RMA_BASELINES_RLIKE_RLIKE_H_

@@ -1,0 +1,58 @@
+#ifndef RMA_BASELINES_SCIDBLIKE_SCIDB_H_
+#define RMA_BASELINES_SCIDBLIKE_SCIDB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace rma::baselines::scidblike {
+
+/// Simulation of SciDB's array engine (Table 7): data lives in chunked
+/// one-dimensional coordinate space with multiple attributes per cell.
+/// Element-wise operations between two arrays require an *array join*
+/// (aligning cells by coordinate through per-chunk coordinate indexes)
+/// before the values can be combined — the cost that makes SciDB an order
+/// of magnitude slower than RMA+ on add-plus-selection.
+class ChunkedArray {
+ public:
+  static constexpr int64_t kChunkSize = 4096;
+
+  /// Builds an array from a relation; `dim` names the INT coordinate
+  /// attribute, all other attributes become cell attributes.
+  static Result<ChunkedArray> FromRelation(const Relation& r,
+                                           const std::string& dim);
+
+  int64_t num_cells() const { return num_cells_; }
+  int num_attributes() const { return static_cast<int>(attr_names_.size()); }
+
+  /// Element-wise sum via array join: for each cell of `this`, the matching
+  /// coordinate is located in `other` through its chunk indexes.
+  Result<ChunkedArray> AddJoin(const ChunkedArray& other) const;
+
+  /// Filter cells by a predicate on one attribute, then export the result
+  /// as a relation (the "add followed by a selection" query of Table 7).
+  Result<Relation> FilterToRelation(const std::string& attr,
+                                    const std::string& op, double threshold,
+                                    std::string name = "scidb") const;
+
+ private:
+  struct Chunk {
+    std::vector<int64_t> coords;              // cell coordinates
+    std::vector<std::vector<double>> values;  // per attribute
+    std::unordered_map<int64_t, int64_t> index;  // coord -> offset (lazy)
+  };
+
+  const Chunk* FindChunk(int64_t coord) const;
+
+  std::vector<std::string> attr_names_;
+  std::vector<Chunk> chunks_;
+  int64_t num_cells_ = 0;
+};
+
+}  // namespace rma::baselines::scidblike
+
+#endif  // RMA_BASELINES_SCIDBLIKE_SCIDB_H_

@@ -1,0 +1,78 @@
+#include "core/constructors.h"
+
+#include "storage/bat_ops.h"
+
+namespace rma {
+
+Result<OrderSplit> SplitSchema(const Relation& r,
+                               const std::vector<std::string>& order) {
+  OrderSplit split;
+  RMA_ASSIGN_OR_RETURN(split.order_idx, r.schema().IndicesOf(order));
+  split.app_idx = r.schema().ComplementOf(split.order_idx);
+  for (int i : split.app_idx) {
+    const Attribute& a = r.schema().attribute(i);
+    if (!IsNumeric(a.type)) {
+      return Status::TypeError(
+          "application attribute '" + a.name +
+          "' is not numeric; add it to the order schema or project it away");
+    }
+  }
+  return split;
+}
+
+Result<DenseMatrix> MatrixConstructor(const Relation& r,
+                                      const std::vector<std::string>& order) {
+  RMA_ASSIGN_OR_RETURN(OrderSplit split, SplitSchema(r, order));
+  std::vector<BatPtr> keys;
+  for (int i : split.order_idx) keys.push_back(r.column(i));
+  bool unique = true;
+  std::vector<int64_t> perm;
+  if (keys.empty()) {
+    return Status::Invalid("order schema must not be empty");
+  }
+  perm = bat_ops::ArgSortUnique(keys, &unique);
+  if (!unique) {
+    return Status::Invalid("order schema is not a key of the relation");
+  }
+  const int64_t n = r.num_rows();
+  const int64_t k = static_cast<int64_t>(split.app_idx.size());
+  DenseMatrix m(n, k);
+  for (int64_t j = 0; j < k; ++j) {
+    const std::vector<double> col = GatherDoubleVector(
+        *r.column(split.app_idx[static_cast<size_t>(j)]), perm);
+    m.SetCol(j, col);
+  }
+  return m;
+}
+
+Result<Relation> RelationConstructor(const DenseMatrix& m, Schema schema,
+                                     std::string name) {
+  if (schema.num_attributes() != m.cols()) {
+    return Status::Invalid("relation constructor: schema arity mismatch");
+  }
+  std::vector<BatPtr> cols;
+  cols.reserve(static_cast<size_t>(m.cols()));
+  for (int64_t j = 0; j < m.cols(); ++j) {
+    cols.push_back(MakeDoubleBat(m.Col(j)));
+  }
+  return Relation::Make(std::move(schema), std::move(cols), std::move(name));
+}
+
+std::vector<std::string> SchemaCast(const Schema& schema,
+                                    const std::vector<int>& indices) {
+  std::vector<std::string> out;
+  out.reserve(indices.size());
+  for (int i : indices) out.push_back(schema.attribute(i).name);
+  return out;
+}
+
+Result<std::vector<std::string>> ColumnCast(const Relation& r, int column,
+                                            const std::vector<int64_t>& perm) {
+  const BatPtr& bat = r.column(column);
+  std::vector<std::string> out;
+  out.reserve(perm.size());
+  for (int64_t p : perm) out.push_back(bat->GetString(p));
+  return out;
+}
+
+}  // namespace rma

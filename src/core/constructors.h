@@ -1,0 +1,49 @@
+#ifndef RMA_CORE_CONSTRUCTORS_H_
+#define RMA_CORE_CONSTRUCTORS_H_
+
+#include <string>
+#include <vector>
+
+#include "matrix/dense_matrix.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace rma {
+
+/// The split of a relation schema into order schema U and application
+/// schema Ū (Sec. 4): U ⊎ Ū = R.
+struct OrderSplit {
+  std::vector<int> order_idx;  ///< positions of U, in the order given
+  std::vector<int> app_idx;    ///< positions of Ū, in schema order
+};
+
+/// Resolves the order schema by name and validates that every application
+/// attribute is numeric.
+Result<OrderSplit> SplitSchema(const Relation& r,
+                               const std::vector<std::string>& order);
+
+/// Matrix constructor µ_U(r) (Def. 4.2): the application part of `r` sorted
+/// by the order schema, as a dense matrix. Returns Invalid if U is not a
+/// key. (Reference/specification form; the execution engine fuses the same
+/// steps with its kernels.)
+Result<DenseMatrix> MatrixConstructor(const Relation& r,
+                                      const std::vector<std::string>& order);
+
+/// Relation constructor γ(m, schema) (Def. 4.4): a relation over `schema`
+/// whose tuples are the rows of `m`; all attributes are DOUBLE.
+Result<Relation> RelationConstructor(const DenseMatrix& m, Schema schema,
+                                     std::string name = "r");
+
+/// Schema cast ∆U (Sec. 3.2): the attribute names of `U` as a single string
+/// column (used as values of the C attribute of (c1,*)-shaped results).
+std::vector<std::string> SchemaCast(const Schema& schema,
+                                    const std::vector<int>& indices);
+
+/// Column cast ▽U (Sec. 3.1): the sorted values of a single key attribute,
+/// rendered as attribute names. Requires |indices| == 1.
+Result<std::vector<std::string>> ColumnCast(const Relation& r, int column,
+                                            const std::vector<int64_t>& perm);
+
+}  // namespace rma
+
+#endif  // RMA_CORE_CONSTRUCTORS_H_

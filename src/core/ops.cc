@@ -1,0 +1,88 @@
+#include "core/ops.h"
+
+#include <array>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rma {
+
+namespace {
+
+constexpr Extent kR1 = Extent::kR1;
+constexpr Extent kR2 = Extent::kR2;
+constexpr Extent kRS = Extent::kRStar;
+constexpr Extent kC1 = Extent::kC1;
+constexpr Extent kC2 = Extent::kC2;
+constexpr Extent kCS = Extent::kCStar;
+constexpr Extent kOne = Extent::kOne;
+
+// Table 1 of the paper (one deviation: vsv is (c1,c1) — see DESIGN.md).
+constexpr std::array<OpInfo, 19> kOps = {{
+    // op, name, arity, shape, square, single-order, union-compat,
+    // row-order-invariant, relative-align-ok
+    {MatrixOp::kEmu, "emu", 2, {kRS, kCS}, false, false, true, false, true},
+    {MatrixOp::kMmu, "mmu", 2, {kR1, kC2}, false, false, false, false, false},
+    {MatrixOp::kOpd, "opd", 2, {kR1, kR2}, false, false, false, false, false},
+    {MatrixOp::kCpd, "cpd", 2, {kC1, kC2}, false, false, false, false, true},
+    {MatrixOp::kAdd, "add", 2, {kRS, kCS}, false, false, true, false, true},
+    {MatrixOp::kSub, "sub", 2, {kRS, kCS}, false, false, true, false, true},
+    // tra cannot skip sorting: its result columns are named by the sorted
+    // order values, so column content must follow the same order.
+    {MatrixOp::kTra, "tra", 1, {kC1, kR1}, false, true, false, false, false},
+    {MatrixOp::kSol, "sol", 2, {kC1, kC2}, false, false, false, false, true},
+    {MatrixOp::kInv, "inv", 1, {kR1, kC1}, true, false, false, false, false},
+    {MatrixOp::kEvc, "evc", 1, {kR1, kC1}, true, false, false, false, false},
+    {MatrixOp::kEvl, "evl", 1, {kR1, kOne}, true, false, false, false, false},
+    {MatrixOp::kQqr, "qqr", 1, {kR1, kC1}, false, false, false, true, false},
+    {MatrixOp::kRqr, "rqr", 1, {kC1, kC1}, false, false, false, true, false},
+    {MatrixOp::kDsv, "dsv", 1, {kC1, kC1}, false, false, false, true, false},
+    // usv cannot skip sorting: completing the thin U to a full orthonormal
+    // basis is not permutation-equivariant for rectangular inputs.
+    {MatrixOp::kUsv, "usv", 1, {kR1, kR1}, false, true, false, false, false},
+    {MatrixOp::kVsv, "vsv", 1, {kC1, kC1}, false, false, false, true, false},
+    {MatrixOp::kDet, "det", 1, {kOne, kOne}, true, false, false, false, false},
+    {MatrixOp::kRnk, "rnk", 1, {kOne, kOne}, false, false, false, true, false},
+    {MatrixOp::kChf, "chf", 1, {kR1, kC1}, true, false, false, false, false},
+}};
+
+}  // namespace
+
+const OpInfo& GetOpInfo(MatrixOp op) {
+  for (const auto& info : kOps) {
+    if (info.op == op) return info;
+  }
+  RMA_CHECK(false && "unknown MatrixOp");
+  return kOps[0];
+}
+
+Result<MatrixOp> ParseMatrixOp(const std::string& name) {
+  const std::string lower = ToLower(name);
+  for (const auto& info : kOps) {
+    if (lower == info.name) return info.op;
+  }
+  return Status::KeyError("unknown relational matrix operation: " + name);
+}
+
+int64_t ResultExtent(Extent e, int64_t rows1, int64_t cols1, int64_t rows2,
+                     int64_t cols2) {
+  switch (e) {
+    case Extent::kR1:
+      return rows1;
+    case Extent::kR2:
+      return rows2;
+    case Extent::kRStar:
+      return rows1;  // validated equal to rows2
+    case Extent::kC1:
+      return cols1;
+    case Extent::kC2:
+      return cols2;
+    case Extent::kCStar:
+      return cols1;  // validated equal to cols2
+    case Extent::kOne:
+      return 1;
+  }
+  return -1;
+}
+
+}  // namespace rma

@@ -1,0 +1,81 @@
+#ifndef RMA_CORE_OPS_H_
+#define RMA_CORE_OPS_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace rma {
+
+/// The matrix operations of the R matrix algebra covered by RMA (Sec. 3.2).
+enum class MatrixOp : int {
+  kEmu,  ///< element-wise multiplication
+  kMmu,  ///< matrix multiplication
+  kOpd,  ///< outer product (m · nᵀ)
+  kCpd,  ///< cross product (mᵀ · n)
+  kAdd,  ///< matrix addition
+  kSub,  ///< matrix subtraction
+  kTra,  ///< transpose
+  kSol,  ///< solve linear system / least squares
+  kInv,  ///< inversion
+  kEvc,  ///< eigenvectors
+  kEvl,  ///< eigenvalues
+  kQqr,  ///< Q factor of QR
+  kRqr,  ///< R factor of QR
+  kDsv,  ///< singular values of SVD (as diag matrix, cf. Table 1)
+  kUsv,  ///< full left singular vectors
+  kVsv,  ///< right singular vectors
+  kDet,  ///< determinant
+  kRnk,  ///< rank
+  kChf,  ///< Cholesky factorization
+};
+
+/// One extent (row or column count) of a result matrix, relative to the
+/// inputs (Table 1): r1/r2 = rows of input 1/2, c1/c2 = columns of input
+/// 1/2, r*/c* = both inputs agree, 1 = scalar extent.
+enum class Extent : int { kR1, kR2, kRStar, kC1, kC2, kCStar, kOne };
+
+/// Shape type (rows-extent, cols-extent) of an operation (Table 1).
+struct ShapeType {
+  Extent rows;
+  Extent cols;
+};
+
+/// Static metadata for one relational matrix operation, driving input
+/// validation, the sort-avoidance optimizations, and the morphing of
+/// contextual information (Table 2).
+struct OpInfo {
+  MatrixOp op;
+  const char* name;  ///< lower-case RMA name ("inv", "qqr", ...)
+  int arity;         ///< 1 or 2
+  ShapeType shape;
+  bool requires_square;        ///< inv, evc, evl, chf, det
+  bool requires_single_order;  ///< tra, usv: |U| = 1 (column cast of values)
+  bool union_compatible;       ///< emu/add/sub: equal application schemas
+  /// Result is invariant under input row permutation once origins are
+  /// attached (qqr, usv, tra, rnk) — SortPolicy::kOptimized skips sorting.
+  bool row_order_invariant;
+  /// Binary op where only relative row order matters (emu/add/sub):
+  /// kOptimized aligns s to r by key hash instead of sorting both.
+  bool relative_align_ok;
+};
+
+/// Name of the contextual-information attribute that (c1,*)- and (1,1)-shaped
+/// operations add to their result (the paper's attribute C, Sec. 4.2).
+inline constexpr char kContextAttrName[] = "C";
+
+/// Metadata lookup.
+const OpInfo& GetOpInfo(MatrixOp op);
+
+/// Parses an operation name, case-insensitive ("INV", "inv"). KeyError if
+/// unknown.
+Result<MatrixOp> ParseMatrixOp(const std::string& name);
+
+/// Number of rows/cols the base result will have, given input dimensions
+/// (rows1×cols1 and, for binary ops, rows2×cols2).
+int64_t ResultExtent(Extent e, int64_t rows1, int64_t cols1, int64_t rows2,
+                     int64_t cols2);
+
+}  // namespace rma
+
+#endif  // RMA_CORE_OPS_H_

@@ -1,0 +1,89 @@
+#ifndef RMA_CORE_OPTIONS_H_
+#define RMA_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+namespace rma {
+
+/// Where the base result of a relational matrix operation is computed
+/// (Sec. 7.3).
+enum class KernelPolicy : int {
+  /// The paper's optimizer policy: element-wise operations run directly on
+  /// BATs; complex operations are delegated to the contiguous kernels unless
+  /// the data exceeds `contiguous_budget_bytes` (then BAT algorithms, which
+  /// work column-at-a-time, take over — they never need a second copy of
+  /// the data).
+  kAuto = 0,
+  /// Force the no-copy column-at-a-time algorithms (RMA+BAT).
+  kBat = 1,
+  /// Force gather-to-contiguous + dense kernels + scatter-back (RMA+MKL).
+  kContiguous = 2,
+};
+
+/// Whether the engine applies the sort-avoidance optimizations of Sec. 8.1.
+enum class SortPolicy : int {
+  kAlways = 0,     ///< sort every argument by its order schema
+  kOptimized = 1,  ///< skip/relax sorting where the result is unaffected
+};
+
+/// Wall-clock breakdown of one relational matrix operation, filled when
+/// RmaOptions::stats is set. Backs the Fig. 13/14 experiments.
+struct RmaStats {
+  double sort_seconds = 0;           ///< order-schema sorting / key alignment
+  double transform_in_seconds = 0;   ///< BATs -> contiguous array (gather)
+  double compute_seconds = 0;        ///< the matrix kernel itself
+  double transform_out_seconds = 0;  ///< base result -> BATs (scatter)
+  double morph_seconds = 0;          ///< contextual-information handling
+
+  double TransformSeconds() const {
+    return transform_in_seconds + transform_out_seconds;
+  }
+  double TotalSeconds() const {
+    return sort_seconds + transform_in_seconds + compute_seconds +
+           transform_out_seconds + morph_seconds;
+  }
+};
+
+/// Toggles for the cross-algebra rewrites of `core/algebra.h`. They are
+/// applied by plan-level evaluators (EvaluateExpression and the SQL
+/// executor); individual RmaUnary/RmaBinary calls ignore them.
+struct RewriteRules {
+  bool enabled = true;
+  /// mmu(tra(x BY U) BY C, y BY V) → cpd(x BY U, y BY V).
+  bool mmu_tra_to_cpd = true;
+  /// mmu(x BY U, tra(y BY V) BY C) → opd(x BY U, y BY V); requires the
+  /// application schema of leaf y to be lexicographically sorted.
+  bool mmu_tra_to_opd = true;
+  /// tra(tra(x BY U) BY C) → relabel (no matrix computation at all).
+  bool eliminate_double_tra = true;
+  /// rnk(tra(x BY U) BY C) → rnk(x BY U); rank is transpose-invariant.
+  bool rnk_of_tra = true;
+  /// det(tra(x BY U) BY C) → det(x BY U); requires the application schema
+  /// of leaf x to be lexicographically sorted (else the implicit row
+  /// permutation could flip the determinant's sign).
+  bool det_of_tra = true;
+};
+
+/// Per-call options for relational matrix operations.
+struct RmaOptions {
+  KernelPolicy kernel = KernelPolicy::kAuto;
+  SortPolicy sort = SortPolicy::kAlways;
+
+  /// Verify that order schemas form keys (duplicate rows => Invalid). The
+  /// check is free on the sorting path; on sort-avoiding paths it costs one
+  /// hash pass and can be disabled for trusted inputs.
+  bool validate_keys = true;
+
+  /// kAuto switches complex operations to BAT algorithms beyond this size.
+  int64_t contiguous_budget_bytes = int64_t{4} * 1024 * 1024 * 1024;
+
+  /// Optional timing sink (not owned).
+  RmaStats* stats = nullptr;
+
+  /// Cross-algebra rewrites applied by plan-level evaluators.
+  RewriteRules rewrites;
+};
+
+}  // namespace rma
+
+#endif  // RMA_CORE_OPTIONS_H_

@@ -1,0 +1,638 @@
+#include "core/rma.h"
+
+#include <numeric>
+#include <utility>
+
+#include "core/constructors.h"
+#include "core/kernels.h"
+#include "matrix/blas.h"
+#include "storage/bat_ops.h"
+#include "storage/sparse_bat.h"
+#include "util/timer.h"
+
+namespace rma {
+
+namespace {
+
+/// One prepared argument: schema split, row order, and handles to the
+/// (possibly reordered) order-part and application-part BATs.
+struct Prepared {
+  OrderSplit split;
+  std::vector<int64_t> perm;  // empty => identity (rows already in order)
+  int64_t rows = 0;
+
+  const Relation* rel = nullptr;
+
+  bool identity() const { return perm.empty(); }
+  int64_t app_cols() const { return static_cast<int64_t>(split.app_idx.size()); }
+
+  /// Order-part column `i` of the result (gathered by perm when needed).
+  BatPtr OrderColumn(size_t i) const {
+    const BatPtr& col = rel->column(split.order_idx[i]);
+    return identity() ? col : col->Take(perm);
+  }
+
+  /// Application column `j` reordered, kept as a BAT (sparse preserved on
+  /// the identity path).
+  BatPtr AppColumnBat(size_t j) const {
+    const BatPtr& col = rel->column(split.app_idx[j]);
+    return identity() ? col : col->Take(perm);
+  }
+
+  /// Application column `j` as a dense double vector.
+  std::vector<double> AppColumnDense(size_t j) const {
+    const BatPtr& col = rel->column(split.app_idx[j]);
+    if (identity()) return ToDoubleVector(*col);
+    return GatherDoubleVector(*col, perm);
+  }
+
+  int64_t AppBytes() const {
+    return rows * app_cols() * static_cast<int64_t>(sizeof(double));
+  }
+};
+
+bool IsIdentity(const std::vector<int64_t>& perm) {
+  for (size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] != static_cast<int64_t>(i)) return false;
+  }
+  return true;
+}
+
+/// Hash-based key-uniqueness check, O(n) (used on sort-avoiding paths).
+Status CheckKeyHashed(const std::vector<BatPtr>& keys) {
+  if (!bat_ops::IsKey(keys)) {
+    return Status::Invalid("order schema is not a key of the relation");
+  }
+  return Status::OK();
+}
+
+/// Sorts (or avoids sorting) one argument per the SortPolicy.
+Result<Prepared> PrepareArgument(const Relation& r,
+                                 const std::vector<std::string>& order,
+                                 const OpInfo& info, const RmaOptions& opts,
+                                 bool skip_sort_allowed) {
+  if (order.empty()) {
+    return Status::Invalid("order schema must not be empty");
+  }
+  Prepared p;
+  p.rel = &r;
+  p.rows = r.num_rows();
+  RMA_ASSIGN_OR_RETURN(p.split, SplitSchema(r, order));
+  if (info.requires_single_order && order.size() != 1) {
+    return Status::Invalid(std::string(info.name) +
+                           ": order schema must contain exactly one attribute");
+  }
+  std::vector<BatPtr> keys;
+  for (int i : p.split.order_idx) keys.push_back(r.column(i));
+  const bool avoid_sort = skip_sort_allowed &&
+                          opts.sort == SortPolicy::kOptimized &&
+                          info.row_order_invariant;
+  if (avoid_sort) {
+    if (opts.validate_keys) RMA_RETURN_NOT_OK(CheckKeyHashed(keys));
+    return p;  // identity perm
+  }
+  bool unique = true;
+  std::vector<int64_t> perm = bat_ops::ArgSortUnique(keys, &unique);
+  if (opts.validate_keys && !unique) {
+    return Status::Invalid("order schema is not a key of the relation");
+  }
+  if (!IsIdentity(perm)) p.perm = std::move(perm);
+  return p;
+}
+
+/// Builds the dense input matrix for the contiguous kernels (the
+/// BATs -> contiguous copy that Fig. 14 measures).
+DenseMatrix GatherMatrix(const Prepared& p) {
+  const int64_t n = p.rows;
+  const int64_t k = p.app_cols();
+  DenseMatrix m(n, k);
+  for (int64_t j = 0; j < k; ++j) {
+    const Bat& col = *p.rel->column(p.split.app_idx[static_cast<size_t>(j)]);
+    if (p.identity()) {
+      if (col.type() == DataType::kDouble) {
+        if (const auto* d = dynamic_cast<const DoubleBat*>(&col)) {
+          const auto& v = d->data();
+          for (int64_t i = 0; i < n; ++i) m(i, j) = v[static_cast<size_t>(i)];
+          continue;
+        }
+      }
+      for (int64_t i = 0; i < n; ++i) m(i, j) = col.GetDouble(i);
+    } else {
+      for (int64_t i = 0; i < n; ++i) m(i, j) = col.GetDouble(p.perm[static_cast<size_t>(i)]);
+    }
+  }
+  return m;
+}
+
+kernel::Columns GatherColumns(const Prepared& p) {
+  kernel::Columns cols(static_cast<size_t>(p.app_cols()));
+  for (size_t j = 0; j < cols.size(); ++j) cols[j] = p.AppColumnDense(j);
+  return cols;
+}
+
+/// Whether this op+policy runs on the BAT path.
+bool UseBatPath(MatrixOp op, const OpInfo& info, const RmaOptions& opts,
+                int64_t input_bytes) {
+  switch (opts.kernel) {
+    case KernelPolicy::kBat:
+      return kernel::HasBatKernel(op);
+    case KernelPolicy::kContiguous:
+      return false;
+    case KernelPolicy::kAuto:
+      // The paper's optimizer: element-wise linear ops stay on BATs (no
+      // transformation pays off); complex ops are delegated unless the data
+      // exceeds the memory budget for a contiguous copy.
+      if (info.union_compatible) return true;  // add/sub/emu
+      if (input_bytes > opts.contiguous_budget_bytes) {
+        return kernel::HasBatKernel(op);
+      }
+      return false;
+  }
+  return false;
+}
+
+std::string OpColumnName(const OpInfo& info) { return info.name; }
+
+constexpr const char* kContextAttr = kContextAttrName;
+
+/// Assembles the final relation: `lead` columns (row origins) followed by
+/// the base-result columns named `result_names`.
+Result<Relation> Merge(std::vector<Attribute> lead_attrs,
+                       std::vector<BatPtr> lead_cols,
+                       const std::vector<std::string>& result_names,
+                       std::vector<BatPtr> result_cols,
+                       const std::string& rel_name) {
+  RMA_CHECK(result_names.size() == result_cols.size());
+  std::vector<Attribute> attrs = std::move(lead_attrs);
+  for (const auto& n : result_names) {
+    attrs.push_back(Attribute{n, DataType::kDouble});
+  }
+  auto schema = Schema::Make(std::move(attrs));
+  if (!schema.ok()) {
+    return Status::Invalid(
+        "result attribute names collide (" + schema.status().message() +
+        "); rename attributes of the arguments to disambiguate");
+  }
+  std::vector<BatPtr> cols = std::move(lead_cols);
+  for (auto& c : result_cols) cols.push_back(std::move(c));
+  return Relation::Make(std::move(*schema), std::move(cols), rel_name);
+}
+
+std::vector<BatPtr> ColumnsToBats(kernel::Columns cols) {
+  std::vector<BatPtr> out;
+  out.reserve(cols.size());
+  for (auto& c : cols) out.push_back(MakeDoubleBat(std::move(c)));
+  return out;
+}
+
+/// Result column names for the base result, per Table 2/3 (column origin).
+Result<std::vector<std::string>> ColumnOriginNames(const OpInfo& info,
+                                                   const Prepared& r,
+                                                   const Prepared* s) {
+  switch (info.shape.cols) {
+    case Extent::kC1:
+    case Extent::kCStar:
+      return SchemaCast(r.rel->schema(), r.split.app_idx);
+    case Extent::kC2:
+      RMA_CHECK(s != nullptr);
+      return SchemaCast(s->rel->schema(), s->split.app_idx);
+    case Extent::kR1: {  // ▽U of r (|U| = 1)
+      std::vector<int64_t> perm = r.perm;
+      if (perm.empty()) {
+        // The column cast needs sorted values even when the rows themselves
+        // stayed unsorted (usv under SortPolicy::kOptimized).
+        std::vector<BatPtr> key = {r.rel->column(r.split.order_idx[0])};
+        perm = bat_ops::ArgSort(key);
+      }
+      return ColumnCast(*r.rel, r.split.order_idx[0], perm);
+    }
+    case Extent::kR2: {  // ▽V of s (|V| = 1)
+      RMA_CHECK(s != nullptr);
+      std::vector<int64_t> perm = s->perm;
+      if (perm.empty()) {
+        std::vector<BatPtr> key = {s->rel->column(s->split.order_idx[0])};
+        perm = bat_ops::ArgSort(key);
+      }
+      return ColumnCast(*s->rel, s->split.order_idx[0], perm);
+    }
+    case Extent::kOne:
+      return std::vector<std::string>{OpColumnName(info)};
+    case Extent::kRStar:
+      break;
+  }
+  return Status::Invalid("unsupported column extent");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Unary operations
+// ---------------------------------------------------------------------------
+
+Result<Relation> RmaUnary(MatrixOp op, const Relation& r,
+                          const std::vector<std::string>& order,
+                          const RmaOptions& opts) {
+  const OpInfo& info = GetOpInfo(op);
+  if (info.arity != 1) {
+    return Status::Invalid(std::string(info.name) + " is a binary operation");
+  }
+  Timer timer;
+  RMA_ASSIGN_OR_RETURN(Prepared p,
+                       PrepareArgument(r, order, info, opts,
+                                       /*skip_sort_allowed=*/true));
+  const int64_t n = p.rows;
+  const int64_t k = p.app_cols();
+  if (info.requires_square && n != k) {
+    return Status::Invalid(std::string(info.name) +
+                           ": application part must be square (" +
+                           std::to_string(n) + "x" + std::to_string(k) + ")");
+  }
+  if ((op == MatrixOp::kQqr || op == MatrixOp::kRqr) && n < k) {
+    return Status::Invalid("qr: requires at least as many rows as columns");
+  }
+  if (opts.stats != nullptr) opts.stats->sort_seconds += timer.Seconds();
+
+  // --- eval: base result ----------------------------------------------------
+  timer.Restart();
+  const bool bat_path = UseBatPath(op, info, opts, p.AppBytes());
+  kernel::Columns base;
+  if (bat_path) {
+    kernel::Columns cols = GatherColumns(p);
+    if (opts.stats != nullptr) opts.stats->sort_seconds += timer.Seconds();
+    timer.Restart();
+    switch (op) {
+      case MatrixOp::kInv:
+        RMA_RETURN_NOT_OK(kernel::BatInv(&cols));
+        base = std::move(cols);
+        break;
+      case MatrixOp::kQqr: {
+        kernel::Columns q;
+        kernel::Columns rr;
+        RMA_RETURN_NOT_OK(kernel::BatQr(cols, &q, &rr));
+        base = std::move(q);
+        break;
+      }
+      case MatrixOp::kRqr: {
+        kernel::Columns q;
+        kernel::Columns rr;
+        RMA_RETURN_NOT_OK(kernel::BatQr(cols, &q, &rr));
+        base = std::move(rr);
+        break;
+      }
+      case MatrixOp::kDet: {
+        RMA_ASSIGN_OR_RETURN(double d, kernel::BatDet(std::move(cols)));
+        base = {{d}};
+        break;
+      }
+      case MatrixOp::kTra: {
+        base.assign(static_cast<size_t>(n),
+                    std::vector<double>(static_cast<size_t>(k), 0.0));
+        for (int64_t j = 0; j < k; ++j) {
+          const auto& col = cols[static_cast<size_t>(j)];
+          for (int64_t i = 0; i < n; ++i) {
+            base[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+                col[static_cast<size_t>(i)];
+          }
+        }
+        break;
+      }
+      default: {
+        // No column-at-a-time algorithm: fall back to the dense kernels
+        // (the transformation is exactly the cost the policy avoids when a
+        // BAT algorithm exists).
+        const DenseMatrix in = kernel::ColumnsToMatrix(cols);
+        RMA_ASSIGN_OR_RETURN(DenseMatrix out,
+                             kernel::DenseCompute(op, in, nullptr));
+        base = kernel::MatrixToColumns(out);
+        break;
+      }
+    }
+    if (opts.stats != nullptr) opts.stats->compute_seconds += timer.Seconds();
+  } else {
+    const DenseMatrix in = GatherMatrix(p);
+    if (opts.stats != nullptr) {
+      opts.stats->transform_in_seconds += timer.Seconds();
+    }
+    timer.Restart();
+    RMA_ASSIGN_OR_RETURN(DenseMatrix out, kernel::DenseCompute(op, in, nullptr));
+    if (opts.stats != nullptr) opts.stats->compute_seconds += timer.Seconds();
+    timer.Restart();
+    base = kernel::MatrixToColumns(out);
+    if (opts.stats != nullptr) {
+      opts.stats->transform_out_seconds += timer.Seconds();
+    }
+  }
+
+  // --- morph + merge: contextual information (Table 2) ----------------------
+  timer.Restart();
+  Result<Relation> result = [&]() -> Result<Relation> {
+    if (info.shape.rows == Extent::kOne) {
+      // det/rnk: γ(r ◦ OP(µ(r)), (C, op)).
+      std::vector<Attribute> lead = {{kContextAttr, DataType::kString}};
+      std::vector<BatPtr> lead_cols = {MakeStringBat({r.name()})};
+      return Merge(std::move(lead), std::move(lead_cols),
+                   {OpColumnName(info)}, ColumnsToBats(std::move(base)),
+                   r.name());
+    }
+    RMA_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                         ColumnOriginNames(info, p, nullptr));
+    if (info.shape.rows == Extent::kR1) {
+      // Row origin: the order part of r, in sorted order.
+      std::vector<Attribute> lead;
+      std::vector<BatPtr> lead_cols;
+      for (size_t i = 0; i < p.split.order_idx.size(); ++i) {
+        lead.push_back(r.schema().attribute(p.split.order_idx[i]));
+        lead_cols.push_back(p.OrderColumn(i));
+      }
+      return Merge(std::move(lead), std::move(lead_cols), names,
+                   ColumnsToBats(std::move(base)), r.name());
+    }
+    // (c1,*): row origin is ∆Ū — attribute names of the application schema
+    // as values of the new C attribute.
+    std::vector<Attribute> lead = {{kContextAttr, DataType::kString}};
+    std::vector<BatPtr> lead_cols = {
+        MakeStringBat(SchemaCast(r.schema(), p.split.app_idx))};
+    return Merge(std::move(lead), std::move(lead_cols), names,
+                 ColumnsToBats(std::move(base)), r.name());
+  }();
+  if (opts.stats != nullptr) opts.stats->morph_seconds += timer.Seconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Binary operations
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Validates binary dimension prerequisites (Table 1).
+Status CheckBinaryDims(const OpInfo& info, const Prepared& r,
+                       const Prepared& s) {
+  switch (info.op) {
+    case MatrixOp::kAdd:
+    case MatrixOp::kSub:
+    case MatrixOp::kEmu: {
+      if (r.rows != s.rows || r.app_cols() != s.app_cols()) {
+        return Status::Invalid(std::string(info.name) +
+                               ": application parts must have equal shape");
+      }
+      // Non-overlapping order schemas (the result inherits both).
+      for (int i : r.split.order_idx) {
+        const std::string& name = r.rel->schema().attribute(i).name;
+        for (int j : s.split.order_idx) {
+          if (s.rel->schema().attribute(j).name == name) {
+            return Status::Invalid(std::string(info.name) +
+                                   ": order schemas overlap on '" + name +
+                                   "'");
+          }
+        }
+      }
+      return Status::OK();
+    }
+    case MatrixOp::kMmu:
+      if (r.app_cols() != s.rows) {
+        return Status::Invalid("mmu: inner dimensions differ");
+      }
+      return Status::OK();
+    case MatrixOp::kCpd:
+      if (r.rows != s.rows) {
+        return Status::Invalid("cpd: argument cardinalities differ");
+      }
+      return Status::OK();
+    case MatrixOp::kOpd:
+      if (r.app_cols() != s.app_cols()) {
+        return Status::Invalid("opd: application schemas differ in width");
+      }
+      return Status::OK();
+    case MatrixOp::kSol:
+      if (r.rows != s.rows) {
+        return Status::Invalid("sol: argument cardinalities differ");
+      }
+      if (s.app_cols() != 1) {
+        return Status::Invalid(
+            "sol: second argument must have a single application attribute");
+      }
+      if (r.rows < r.app_cols()) {
+        return Status::Invalid("sol: system is underdetermined");
+      }
+      return Status::OK();
+    default:
+      return Status::Invalid("not a binary operation");
+  }
+}
+
+}  // namespace
+
+Result<Relation> RmaBinary(MatrixOp op, const Relation& r,
+                           const std::vector<std::string>& order_r,
+                           const Relation& s,
+                           const std::vector<std::string>& order_s,
+                           const RmaOptions& opts) {
+  const OpInfo& info = GetOpInfo(op);
+  if (info.arity != 2) {
+    return Status::Invalid(std::string(info.name) + " is a unary operation");
+  }
+  Timer timer;
+  RMA_ASSIGN_OR_RETURN(Prepared pr,
+                       PrepareArgument(r, order_r, info, opts,
+                                       /*skip_sort_allowed=*/false));
+  // opd's column cast is over s's order schema: |V| = 1.
+  if (op == MatrixOp::kOpd && order_s.size() != 1) {
+    return Status::Invalid("opd: second order schema must contain exactly "
+                           "one attribute");
+  }
+
+  // Relative alignment (Sec. 8.1): for element-wise operations only the
+  // relative row order matters — keep r in physical order and align s's
+  // rows to r's keys by hashing instead of sorting both.
+  Prepared ps;
+  bool aligned = false;
+  if (opts.sort == SortPolicy::kOptimized && info.relative_align_ok) {
+    Prepared cand;
+    cand.rel = &s;
+    cand.rows = s.num_rows();
+    auto split = SplitSchema(s, order_s);
+    if (split.ok()) {
+      cand.split = std::move(*split);
+      std::vector<BatPtr> rkeys;
+      for (int i : pr.split.order_idx) rkeys.push_back(r.column(i));
+      std::vector<BatPtr> skeys;
+      for (int i : cand.split.order_idx) skeys.push_back(s.column(i));
+      if (rkeys.size() == skeys.size()) {
+        bool type_match = true;
+        for (size_t i = 0; i < rkeys.size(); ++i) {
+          if (rkeys[i]->type() != skeys[i]->type()) type_match = false;
+        }
+        if (type_match && r.num_rows() == s.num_rows()) {
+          // Same key columns (self-application, e.g. cpd(A, A)): the
+          // alignment is the identity — skip the hash pass entirely.
+          bool same_bats = true;
+          for (size_t i = 0; i < rkeys.size(); ++i) {
+            if (rkeys[i].get() != skeys[i].get()) same_bats = false;
+          }
+          if (same_bats) {
+            if (opts.validate_keys) RMA_RETURN_NOT_OK(CheckKeyHashed(rkeys));
+            ps = std::move(cand);
+            pr.perm.clear();
+            aligned = true;
+          } else if (auto align = bat_ops::AlignByKey(skeys, rkeys);
+                     align.ok()) {
+            // A successful alignment is a bijection between the two key
+            // sets, which already proves both order schemas are keys — no
+            // separate validation pass.
+            cand.perm = std::move(*align);
+            if (IsIdentity(cand.perm)) cand.perm.clear();
+            ps = std::move(cand);
+            // r keeps its physical order.
+            pr.perm.clear();
+            aligned = true;
+          }
+        }
+      }
+    }
+  }
+  if (!aligned) {
+    RMA_ASSIGN_OR_RETURN(ps, PrepareArgument(s, order_s, info, opts,
+                                             /*skip_sort_allowed=*/false));
+  }
+  RMA_RETURN_NOT_OK(CheckBinaryDims(info, pr, ps));
+  if (opts.stats != nullptr) opts.stats->sort_seconds += timer.Seconds();
+
+  // --- eval ------------------------------------------------------------------
+  timer.Restart();
+  const bool elementwise = info.union_compatible;
+  const bool bat_path =
+      UseBatPath(op, info, opts, pr.AppBytes() + ps.AppBytes());
+  std::vector<BatPtr> base_bats;
+  if (bat_path && elementwise) {
+    // Operate BAT-at-a-time; preserves the sparse fast path (Table 5).
+    for (int64_t j = 0; j < pr.app_cols(); ++j) {
+      const BatPtr a = pr.AppColumnBat(static_cast<size_t>(j));
+      const BatPtr b = ps.AppColumnBat(static_cast<size_t>(j));
+      switch (op) {
+        case MatrixOp::kAdd:
+          base_bats.push_back(bat_ops::AddColumns(a, b));
+          break;
+        case MatrixOp::kSub:
+          base_bats.push_back(bat_ops::SubColumns(a, b));
+          break;
+        default:
+          base_bats.push_back(bat_ops::MulColumns(a, b));
+          break;
+      }
+    }
+    if (opts.stats != nullptr) opts.stats->compute_seconds += timer.Seconds();
+  } else if (bat_path && op == MatrixOp::kCpd) {
+    // cpd stays on the BATs themselves (element-at-a-time fetches).
+    std::vector<BatPtr> ca;
+    std::vector<BatPtr> cb;
+    for (int64_t j = 0; j < pr.app_cols(); ++j) {
+      ca.push_back(pr.AppColumnBat(static_cast<size_t>(j)));
+    }
+    for (int64_t j = 0; j < ps.app_cols(); ++j) {
+      cb.push_back(ps.AppColumnBat(static_cast<size_t>(j)));
+    }
+    if (opts.stats != nullptr) opts.stats->sort_seconds += timer.Seconds();
+    timer.Restart();
+    RMA_ASSIGN_OR_RETURN(kernel::Columns out, kernel::BatCpd(ca, cb));
+    base_bats = ColumnsToBats(std::move(out));
+    if (opts.stats != nullptr) opts.stats->compute_seconds += timer.Seconds();
+  } else if (bat_path) {
+    kernel::Columns ca = GatherColumns(pr);
+    kernel::Columns cb = GatherColumns(ps);
+    if (opts.stats != nullptr) opts.stats->sort_seconds += timer.Seconds();
+    timer.Restart();
+    kernel::Columns out;
+    switch (op) {
+      case MatrixOp::kMmu: {
+        RMA_ASSIGN_OR_RETURN(out, kernel::BatMmu(ca, cb));
+        break;
+      }
+      case MatrixOp::kSol: {
+        RMA_ASSIGN_OR_RETURN(out, kernel::BatSol(ca, cb));
+        break;
+      }
+      default: {
+        const DenseMatrix a = kernel::ColumnsToMatrix(ca);
+        const DenseMatrix b = kernel::ColumnsToMatrix(cb);
+        RMA_ASSIGN_OR_RETURN(DenseMatrix dense,
+                             kernel::DenseCompute(op, a, &b));
+        out = kernel::MatrixToColumns(dense);
+        break;
+      }
+    }
+    base_bats = ColumnsToBats(std::move(out));
+    if (opts.stats != nullptr) opts.stats->compute_seconds += timer.Seconds();
+  } else if (op == MatrixOp::kCpd && pr.rel == ps.rel &&
+             pr.split.app_idx == ps.split.app_idx && pr.perm == ps.perm) {
+    // Self cross product cpd(x, x): gather once and run the symmetric SYRK
+    // kernel (the paper's cblas_dsyrk call for the covariance workload).
+    const DenseMatrix a = GatherMatrix(pr);
+    if (opts.stats != nullptr) {
+      opts.stats->transform_in_seconds += timer.Seconds();
+    }
+    timer.Restart();
+    const DenseMatrix dense = blas::Syrk(a);
+    if (opts.stats != nullptr) opts.stats->compute_seconds += timer.Seconds();
+    timer.Restart();
+    base_bats = ColumnsToBats(kernel::MatrixToColumns(dense));
+    if (opts.stats != nullptr) {
+      opts.stats->transform_out_seconds += timer.Seconds();
+    }
+  } else {
+    const DenseMatrix a = GatherMatrix(pr);
+    const DenseMatrix b = GatherMatrix(ps);
+    if (opts.stats != nullptr) {
+      opts.stats->transform_in_seconds += timer.Seconds();
+    }
+    timer.Restart();
+    RMA_ASSIGN_OR_RETURN(DenseMatrix dense, kernel::DenseCompute(op, a, &b));
+    if (opts.stats != nullptr) opts.stats->compute_seconds += timer.Seconds();
+    timer.Restart();
+    base_bats = ColumnsToBats(kernel::MatrixToColumns(dense));
+    if (opts.stats != nullptr) {
+      opts.stats->transform_out_seconds += timer.Seconds();
+    }
+  }
+
+  // --- morph + merge ----------------------------------------------------------
+  timer.Restart();
+  Result<Relation> result = [&]() -> Result<Relation> {
+    RMA_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                         ColumnOriginNames(info, pr, &ps));
+    std::vector<Attribute> lead;
+    std::vector<BatPtr> lead_cols;
+    switch (info.shape.rows) {
+      case Extent::kR1:
+        for (size_t i = 0; i < pr.split.order_idx.size(); ++i) {
+          lead.push_back(r.schema().attribute(pr.split.order_idx[i]));
+          lead_cols.push_back(pr.OrderColumn(i));
+        }
+        break;
+      case Extent::kRStar:
+        // add/sub/emu: γ(µU(r) ∥ µV(s) ∥ OP(...), U ◦ V ◦ Ū).
+        for (size_t i = 0; i < pr.split.order_idx.size(); ++i) {
+          lead.push_back(r.schema().attribute(pr.split.order_idx[i]));
+          lead_cols.push_back(pr.OrderColumn(i));
+        }
+        for (size_t i = 0; i < ps.split.order_idx.size(); ++i) {
+          lead.push_back(s.schema().attribute(ps.split.order_idx[i]));
+          lead_cols.push_back(ps.OrderColumn(i));
+        }
+        break;
+      case Extent::kC1:
+        lead.push_back(Attribute{kContextAttr, DataType::kString});
+        lead_cols.push_back(
+            MakeStringBat(SchemaCast(r.schema(), pr.split.app_idx)));
+        break;
+      default:
+        return Status::Invalid("unsupported row extent for binary op");
+    }
+    return Merge(std::move(lead), std::move(lead_cols), names,
+                 std::move(base_bats), r.name());
+  }();
+  if (opts.stats != nullptr) opts.stats->morph_seconds += timer.Seconds();
+  return result;
+}
+
+}  // namespace rma

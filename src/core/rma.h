@@ -1,0 +1,81 @@
+#ifndef RMA_CORE_RMA_H_
+#define RMA_CORE_RMA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/ops.h"
+#include "core/options.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace rma {
+
+/// Relational matrix algebra (Sec. 4): every operation takes relations plus
+/// an order schema per argument and returns a relation that combines the
+/// matrix base result with inherited contextual information (origins).
+///
+/// Example (the paper's introduction):
+///   auto v = Inv(rating, {"User"});   // SELECT * FROM INV(rating BY User)
+///
+/// The order schema must form a key; its complement (the application
+/// schema) must be numeric and supplies the matrix values.
+
+/// Generic unary entry point, op ∈ {tra, inv, evc, evl, qqr, rqr, dsv, usv,
+/// vsv, det, rnk, chf}.
+Result<Relation> RmaUnary(MatrixOp op, const Relation& r,
+                          const std::vector<std::string>& order,
+                          const RmaOptions& opts = {});
+
+/// Generic binary entry point, op ∈ {emu, mmu, opd, cpd, add, sub, sol}.
+Result<Relation> RmaBinary(MatrixOp op, const Relation& r,
+                           const std::vector<std::string>& order_r,
+                           const Relation& s,
+                           const std::vector<std::string>& order_s,
+                           const RmaOptions& opts = {});
+
+// --- named wrappers --------------------------------------------------------
+
+#define RMA_DECLARE_UNARY(Name, Op)                                        \
+  inline Result<Relation> Name(const Relation& r,                          \
+                               const std::vector<std::string>& order,      \
+                               const RmaOptions& opts = {}) {              \
+    return RmaUnary(MatrixOp::Op, r, order, opts);                         \
+  }
+
+#define RMA_DECLARE_BINARY(Name, Op)                                       \
+  inline Result<Relation> Name(const Relation& r,                          \
+                               const std::vector<std::string>& order_r,    \
+                               const Relation& s,                          \
+                               const std::vector<std::string>& order_s,    \
+                               const RmaOptions& opts = {}) {              \
+    return RmaBinary(MatrixOp::Op, r, order_r, s, order_s, opts);          \
+  }
+
+RMA_DECLARE_UNARY(Tra, kTra)   ///< transpose
+RMA_DECLARE_UNARY(Inv, kInv)   ///< inversion
+RMA_DECLARE_UNARY(Evc, kEvc)   ///< eigenvectors (symmetric input)
+RMA_DECLARE_UNARY(Evl, kEvl)   ///< eigenvalues
+RMA_DECLARE_UNARY(Qqr, kQqr)   ///< Q of QR
+RMA_DECLARE_UNARY(Rqr, kRqr)   ///< R of QR
+RMA_DECLARE_UNARY(Dsv, kDsv)   ///< singular values (diagonal matrix)
+RMA_DECLARE_UNARY(Usv, kUsv)   ///< left singular vectors (full)
+RMA_DECLARE_UNARY(Vsv, kVsv)   ///< right singular vectors
+RMA_DECLARE_UNARY(Det, kDet)   ///< determinant
+RMA_DECLARE_UNARY(Rnk, kRnk)   ///< rank
+RMA_DECLARE_UNARY(Chf, kChf)   ///< Cholesky factor
+
+RMA_DECLARE_BINARY(Emu, kEmu)  ///< element-wise multiplication
+RMA_DECLARE_BINARY(Mmu, kMmu)  ///< matrix multiplication
+RMA_DECLARE_BINARY(Opd, kOpd)  ///< outer product
+RMA_DECLARE_BINARY(Cpd, kCpd)  ///< cross product
+RMA_DECLARE_BINARY(Add, kAdd)  ///< addition
+RMA_DECLARE_BINARY(Sub, kSub)  ///< subtraction
+RMA_DECLARE_BINARY(Sol, kSol)  ///< solve / least squares
+
+#undef RMA_DECLARE_UNARY
+#undef RMA_DECLARE_BINARY
+
+}  // namespace rma
+
+#endif  // RMA_CORE_RMA_H_

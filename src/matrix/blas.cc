@@ -1,0 +1,180 @@
+#include "matrix/blas.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "matrix/parallel.h"
+
+namespace rma {
+namespace blas {
+
+namespace {
+
+// Inner kernel: C[i0:i1) += A[i0:i1) * B with i-k-j loop order so the B row
+// is streamed contiguously and C rows stay hot.
+void GemmBand(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+              int64_t i0, int64_t i1) {
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  for (int64_t i = i0; i < i1; ++i) {
+    double* ci = c->row_ptr(i);
+    const double* ai = a.row_ptr(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const double aip = ai[p];
+      if (aip == 0.0) continue;
+      const double* bp = b.row_ptr(p);
+      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+}  // namespace
+
+Result<DenseMatrix> MatMul(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::Invalid("MatMul: inner dimensions differ");
+  }
+  DenseMatrix c(a.rows(), b.cols(), 0.0);
+  const int64_t work_per_row = a.cols() * b.cols();
+  const int64_t min_chunk = std::max<int64_t>(1, (1 << 16) / std::max<int64_t>(1, work_per_row));
+  ParallelFor(
+      0, a.rows(),
+      [&](int64_t lo, int64_t hi) { GemmBand(a, b, &c, lo, hi); }, min_chunk);
+  return c;
+}
+
+Result<DenseMatrix> CrossProd(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.rows() != b.rows()) {
+    return Status::Invalid("CrossProd: row counts differ");
+  }
+  if (&a == &b) return Syrk(a);  // AᵀA is symmetric: half the work
+  const int64_t m = a.cols();
+  const int64_t n = b.cols();
+  const int64_t r = a.rows();
+  DenseMatrix c(m, n, 0.0);
+  // Accumulate rank-1 updates row by row: C += a_rowᵀ * b_row. Parallelize
+  // over output rows (columns of A) to keep writes disjoint.
+  ParallelFor(
+      0, m,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t p = 0; p < r; ++p) {
+          const double* ap = a.row_ptr(p);
+          const double* bp = b.row_ptr(p);
+          for (int64_t i = lo; i < hi; ++i) {
+            const double aip = ap[i];
+            if (aip == 0.0) continue;
+            double* ci = c.row_ptr(i);
+            for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+          }
+        }
+      },
+      std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, n)));
+  return c;
+}
+
+DenseMatrix Syrk(const DenseMatrix& a) {
+  const int64_t k = a.cols();
+  const int64_t r = a.rows();
+  DenseMatrix c(k, k, 0.0);
+  ParallelFor(
+      0, k,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t p = 0; p < r; ++p) {
+          const double* ap = a.row_ptr(p);
+          for (int64_t i = lo; i < hi; ++i) {
+            const double aip = ap[i];
+            if (aip == 0.0) continue;
+            double* ci = c.row_ptr(i);
+            // Only the upper triangle from i on; mirrored below.
+            for (int64_t j = i; j < k; ++j) ci[j] += aip * ap[j];
+          }
+        }
+      },
+      std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, k)));
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+  }
+  return c;
+}
+
+Result<DenseMatrix> OuterProd(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.cols() != b.cols()) {
+    return Status::Invalid("OuterProd: column counts differ");
+  }
+  const int64_t m = a.rows();
+  const int64_t n = b.rows();
+  const int64_t k = a.cols();
+  DenseMatrix c(m, n, 0.0);
+  ParallelFor(
+      0, m,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const double* ai = a.row_ptr(i);
+          double* ci = c.row_ptr(i);
+          for (int64_t j = 0; j < n; ++j) {
+            const double* bj = b.row_ptr(j);
+            double s = 0.0;
+            for (int64_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+            ci[j] = s;
+          }
+        }
+      },
+      std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, n * k)));
+  return c;
+}
+
+namespace {
+
+template <typename F>
+Result<DenseMatrix> ZipElementwise(const DenseMatrix& a, const DenseMatrix& b,
+                                   F f, const char* what) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return Status::Invalid(std::string(what) + ": shapes differ");
+  }
+  DenseMatrix c(a.rows(), a.cols());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = c.data();
+  const int64_t n = a.rows() * a.cols();
+  for (int64_t i = 0; i < n; ++i) pc[i] = f(pa[i], pb[i]);
+  return c;
+}
+
+}  // namespace
+
+Result<DenseMatrix> Add(const DenseMatrix& a, const DenseMatrix& b) {
+  return ZipElementwise(a, b, [](double x, double y) { return x + y; }, "Add");
+}
+Result<DenseMatrix> Sub(const DenseMatrix& a, const DenseMatrix& b) {
+  return ZipElementwise(a, b, [](double x, double y) { return x - y; }, "Sub");
+}
+Result<DenseMatrix> ElemMul(const DenseMatrix& a, const DenseMatrix& b) {
+  return ZipElementwise(a, b, [](double x, double y) { return x * y; },
+                        "ElemMul");
+}
+
+Result<std::vector<double>> MatVec(const DenseMatrix& a,
+                                   const std::vector<double>& x) {
+  if (a.cols() != static_cast<int64_t>(x.size())) {
+    return Status::Invalid("MatVec: dimension mismatch");
+  }
+  std::vector<double> y(static_cast<size_t>(a.rows()), 0.0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_ptr(i);
+    double s = 0.0;
+    for (int64_t j = 0; j < a.cols(); ++j) s += ai[j] * x[static_cast<size_t>(j)];
+    y[static_cast<size_t>(i)] = s;
+  }
+  return y;
+}
+
+double FrobeniusNorm(const DenseMatrix& a) {
+  double s = 0.0;
+  const double* p = a.data();
+  const int64_t n = a.rows() * a.cols();
+  for (int64_t i = 0; i < n; ++i) s += p[i] * p[i];
+  return std::sqrt(s);
+}
+
+}  // namespace blas
+}  // namespace rma

@@ -1,0 +1,42 @@
+#ifndef RMA_MATRIX_BLAS_H_
+#define RMA_MATRIX_BLAS_H_
+
+#include "matrix/dense_matrix.h"
+#include "util/result.h"
+
+namespace rma {
+
+/// Level-3 style kernels over contiguous row-major matrices. All kernels are
+/// cache-blocked and parallelized over row bands; dimension mismatches return
+/// Status::Invalid.
+namespace blas {
+
+/// C = A * B  (A: m×k, B: k×n).
+Result<DenseMatrix> MatMul(const DenseMatrix& a, const DenseMatrix& b);
+
+/// C = Aᵀ * B (A: m×k, B: m×n) — the paper's CPD (R crossprod).
+Result<DenseMatrix> CrossProd(const DenseMatrix& a, const DenseMatrix& b);
+
+/// C = Aᵀ * A, exploiting symmetry (cblas_dsyrk analogue used for the
+/// covariance workload of Fig. 17).
+DenseMatrix Syrk(const DenseMatrix& a);
+
+/// C = A * Bᵀ (A: m×k, B: n×k) — the paper's OPD (R %o% on row vectors).
+Result<DenseMatrix> OuterProd(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Element-wise operations (equal shapes).
+Result<DenseMatrix> Add(const DenseMatrix& a, const DenseMatrix& b);
+Result<DenseMatrix> Sub(const DenseMatrix& a, const DenseMatrix& b);
+Result<DenseMatrix> ElemMul(const DenseMatrix& a, const DenseMatrix& b);
+
+/// y = A * x  (A: m×n, x: n).
+Result<std::vector<double>> MatVec(const DenseMatrix& a,
+                                   const std::vector<double>& x);
+
+/// Frobenius norm.
+double FrobeniusNorm(const DenseMatrix& a);
+
+}  // namespace blas
+}  // namespace rma
+
+#endif  // RMA_MATRIX_BLAS_H_

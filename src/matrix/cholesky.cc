@@ -1,0 +1,37 @@
+#include "matrix/cholesky.h"
+
+#include <cmath>
+
+namespace rma {
+
+Result<DenseMatrix> Cholesky(const DenseMatrix& a) {
+  const int64_t n = a.rows();
+  if (n != a.cols()) return Status::Invalid("chf: matrix must be square");
+  constexpr double kSymTol = 1e-8;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      if (std::fabs(a(i, j) - a(j, i)) >
+          kSymTol * (1.0 + std::fabs(a(i, j)))) {
+        return Status::NumericError("chf: matrix is not symmetric");
+      }
+    }
+  }
+  DenseMatrix u(n, n, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i; j < n; ++j) {
+      double s = a(i, j);
+      for (int64_t k = 0; k < i; ++k) s -= u(k, i) * u(k, j);
+      if (i == j) {
+        if (s <= 0.0) {
+          return Status::NumericError("chf: matrix is not positive definite");
+        }
+        u(i, j) = std::sqrt(s);
+      } else {
+        u(i, j) = s / u(i, i);
+      }
+    }
+  }
+  return u;
+}
+
+}  // namespace rma

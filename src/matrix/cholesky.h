@@ -1,0 +1,17 @@
+#ifndef RMA_MATRIX_CHOLESKY_H_
+#define RMA_MATRIX_CHOLESKY_H_
+
+#include "matrix/dense_matrix.h"
+#include "util/result.h"
+
+namespace rma {
+
+/// Cholesky factorization of a symmetric positive-definite matrix.
+/// Returns the upper-triangular factor U with UᵀU = A (R's `chol`
+/// convention, which the paper's CHF follows). Non-SPD input yields
+/// NumericError.
+Result<DenseMatrix> Cholesky(const DenseMatrix& a);
+
+}  // namespace rma
+
+#endif  // RMA_MATRIX_CHOLESKY_H_

@@ -1,0 +1,63 @@
+#include "matrix/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rma {
+
+std::vector<double> DenseMatrix::Col(int64_t j) const {
+  std::vector<double> out(static_cast<size_t>(rows_));
+  for (int64_t i = 0; i < rows_; ++i) out[static_cast<size_t>(i)] = (*this)(i, j);
+  return out;
+}
+
+std::vector<double> DenseMatrix::Row(int64_t i) const {
+  const double* p = row_ptr(i);
+  return std::vector<double>(p, p + cols_);
+}
+
+void DenseMatrix::SetCol(int64_t j, const std::vector<double>& v) {
+  RMA_DCHECK(static_cast<int64_t>(v.size()) == rows_);
+  for (int64_t i = 0; i < rows_; ++i) (*this)(i, j) = v[static_cast<size_t>(i)];
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix t(cols_, rows_);
+  constexpr int64_t kBlock = 32;
+  for (int64_t ib = 0; ib < rows_; ib += kBlock) {
+    for (int64_t jb = 0; jb < cols_; jb += kBlock) {
+      const int64_t ie = std::min(ib + kBlock, rows_);
+      const int64_t je = std::min(jb + kBlock, cols_);
+      for (int64_t i = ib; i < ie; ++i) {
+        for (int64_t j = jb; j < je; ++j) t(j, i) = (*this)(i, j);
+      }
+    }
+  }
+  return t;
+}
+
+double DenseMatrix::MaxAbsDiff(const DenseMatrix& o) const {
+  RMA_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - o.data_[i]));
+  }
+  return m;
+}
+
+std::string DenseMatrix::ToString(int64_t max_rows) const {
+  std::ostringstream out;
+  out << rows_ << "x" << cols_ << " matrix\n";
+  const int64_t shown = std::min(rows_, max_rows);
+  for (int64_t i = 0; i < shown; ++i) {
+    for (int64_t j = 0; j < cols_; ++j) {
+      out << (j == 0 ? "" : " ") << (*this)(i, j);
+    }
+    out << "\n";
+  }
+  if (shown < rows_) out << "...\n";
+  return out.str();
+}
+
+}  // namespace rma

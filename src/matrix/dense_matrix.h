@@ -1,0 +1,87 @@
+#ifndef RMA_MATRIX_DENSE_MATRIX_H_
+#define RMA_MATRIX_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rma {
+
+/// Dense row-major matrix of doubles over one contiguous allocation.
+///
+/// This is the "external library format" of the paper (Sec. 7.3): delegating
+/// a matrix operation to the contiguous kernels requires copying BAT columns
+/// into this layout and copying results back — exactly the transformation
+/// cost measured in Fig. 14.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int64_t rows, int64_t cols, double init = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), init) {
+    RMA_DCHECK(rows >= 0 && cols >= 0);
+  }
+
+  static DenseMatrix Identity(int64_t n) {
+    DenseMatrix m(n, n, 0.0);
+    for (int64_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  /// Wraps an existing row-major buffer (must have rows*cols entries).
+  static DenseMatrix FromRowMajor(int64_t rows, int64_t cols,
+                                  std::vector<double> data) {
+    RMA_CHECK(static_cast<int64_t>(data.size()) == rows * cols);
+    DenseMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(data);
+    return m;
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(int64_t i, int64_t j) {
+    RMA_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+  double operator()(int64_t i, int64_t j) const {
+    RMA_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row_ptr(int64_t i) { return data_.data() + i * cols_; }
+  const double* row_ptr(int64_t i) const { return data_.data() + i * cols_; }
+
+  /// Copies of a single column / row.
+  std::vector<double> Col(int64_t j) const;
+  std::vector<double> Row(int64_t i) const;
+  void SetCol(int64_t j, const std::vector<double>& v);
+
+  DenseMatrix Transposed() const;
+
+  /// Max |a-b| over all entries; matrices must be the same shape.
+  double MaxAbsDiff(const DenseMatrix& o) const;
+
+  /// True if same shape and all entries within eps.
+  bool AllClose(const DenseMatrix& o, double eps = 1e-9) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && MaxAbsDiff(o) <= eps;
+  }
+
+  std::string ToString(int64_t max_rows = 12) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace rma
+
+#endif  // RMA_MATRIX_DENSE_MATRIX_H_

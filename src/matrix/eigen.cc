@@ -1,0 +1,247 @@
+#include "matrix/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rma {
+
+bool IsSymmetric(const DenseMatrix& a, double tol) {
+  if (a.rows() != a.cols()) return false;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = i + 1; j < a.cols(); ++j) {
+      if (std::fabs(a(i, j) - a(j, i)) > tol * (1.0 + std::fabs(a(i, j)))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Status SymmetricEigen(const DenseMatrix& a, std::vector<double>* values,
+                      DenseMatrix* vectors) {
+  const int64_t n = a.rows();
+  if (n != a.cols()) return Status::Invalid("eigen: matrix must be square");
+  DenseMatrix m = a;
+  DenseMatrix v = DenseMatrix::Identity(n);
+  constexpr int kMaxSweeps = 100;
+  constexpr double kTol = 1e-14;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) off += m(i, j) * m(i, j);
+    }
+    if (std::sqrt(off) <= kTol * (1.0 + std::fabs(m(0, 0)))) break;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double theta = (m(q, q) - m(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        // Rotate rows/columns p and q of M: M = JᵀMJ.
+        for (int64_t i = 0; i < n; ++i) {
+          const double mip = m(i, p);
+          const double miq = m(i, q);
+          m(i, p) = c * mip - s * miq;
+          m(i, q) = s * mip + c * miq;
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          const double mpi = m(p, i);
+          const double mqi = m(q, i);
+          m(p, i) = c * mpi - s * mqi;
+          m(q, i) = s * mpi + c * mqi;
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  // Sort eigenpairs by descending eigenvalue (R's eigen() convention).
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&m](int64_t x, int64_t y) {
+    return m(x, x) > m(y, y);
+  });
+  values->assign(static_cast<size_t>(n), 0.0);
+  *vectors = DenseMatrix(n, n, 0.0);
+  for (int64_t j = 0; j < n; ++j) {
+    const int64_t src = order[static_cast<size_t>(j)];
+    (*values)[static_cast<size_t>(j)] = m(src, src);
+    for (int64_t i = 0; i < n; ++i) (*vectors)(i, j) = v(i, src);
+  }
+  // Deterministic sign convention (largest-|component| positive).
+  for (int64_t j = 0; j < n; ++j) {
+    int64_t arg = 0;
+    double best = -1.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double v_abs = std::fabs((*vectors)(i, j));
+      if (v_abs > best) {
+        best = v_abs;
+        arg = i;
+      }
+    }
+    if ((*vectors)(arg, j) < 0.0) {
+      for (int64_t i = 0; i < n; ++i) (*vectors)(i, j) = -(*vectors)(i, j);
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Reduces M in place to upper Hessenberg form with Householder reflectors.
+void HessenbergReduce(DenseMatrix* m) {
+  const int64_t n = m->rows();
+  for (int64_t k = 0; k < n - 2; ++k) {
+    double norm2 = 0.0;
+    for (int64_t i = k + 1; i < n; ++i) norm2 += (*m)(i, k) * (*m)(i, k);
+    const double norm = std::sqrt(norm2);
+    if (norm == 0.0) continue;
+    const double x0 = (*m)(k + 1, k);
+    const double alpha = x0 >= 0 ? -norm : norm;
+    const double v0 = x0 - alpha;
+    if (v0 == 0.0) continue;
+    std::vector<double> v(static_cast<size_t>(n), 0.0);
+    v[static_cast<size_t>(k + 1)] = 1.0;
+    for (int64_t i = k + 2; i < n; ++i) {
+      v[static_cast<size_t>(i)] = (*m)(i, k) / v0;
+    }
+    const double beta = -v0 / alpha;
+    // M = (I - beta v vᵀ) M (I - beta v vᵀ)
+    for (int64_t j = 0; j < n; ++j) {  // left
+      double s = 0.0;
+      for (int64_t i = k + 1; i < n; ++i) s += v[static_cast<size_t>(i)] * (*m)(i, j);
+      s *= beta;
+      for (int64_t i = k + 1; i < n; ++i) (*m)(i, j) -= s * v[static_cast<size_t>(i)];
+    }
+    for (int64_t i = 0; i < n; ++i) {  // right
+      double s = 0.0;
+      for (int64_t j = k + 1; j < n; ++j) s += (*m)(i, j) * v[static_cast<size_t>(j)];
+      s *= beta;
+      for (int64_t j = k + 1; j < n; ++j) (*m)(i, j) -= s * v[static_cast<size_t>(j)];
+    }
+  }
+}
+
+// Solves the trailing 2x2 block; returns false for a complex pair.
+bool TwoByTwoEigen(double a, double b, double c, double d, double* l1,
+                   double* l2) {
+  const double tr = a + d;
+  const double det = a * d - b * c;
+  const double disc = tr * tr / 4.0 - det;
+  if (disc < 0.0) return false;
+  const double root = std::sqrt(disc);
+  *l1 = tr / 2.0 + root;
+  *l2 = tr / 2.0 - root;
+  return true;
+}
+
+}  // namespace
+
+Status GeneralEigenvalues(const DenseMatrix& a, std::vector<double>* values) {
+  const int64_t n0 = a.rows();
+  if (n0 != a.cols()) return Status::Invalid("evl: matrix must be square");
+  DenseMatrix m = a;
+  HessenbergReduce(&m);
+  values->clear();
+  int64_t n = n0;  // active block is m[0..n)
+  int iter = 0;
+  constexpr int kMaxIterPerEig = 200;
+  while (n > 0) {
+    // Deflate tiny subdiagonals.
+    int64_t l = n - 1;
+    while (l > 0 && std::fabs(m(l, l - 1)) >
+                        1e-14 * (std::fabs(m(l - 1, l - 1)) +
+                                 std::fabs(m(l, l)) + 1e-300)) {
+      --l;
+    }
+    if (l == n - 1) {  // 1x1 block converged
+      values->push_back(m(n - 1, n - 1));
+      --n;
+      iter = 0;
+      continue;
+    }
+    if (l == n - 2) {  // try trailing 2x2 block
+      double l1 = 0.0;
+      double l2 = 0.0;
+      if (TwoByTwoEigen(m(n - 2, n - 2), m(n - 2, n - 1), m(n - 1, n - 2),
+                        m(n - 1, n - 1), &l1, &l2)) {
+        values->push_back(l1);
+        values->push_back(l2);
+        n -= 2;
+        iter = 0;
+        continue;
+      }
+      // Complex pair: only representable after it separates — it will not,
+      // so report it.
+      return Status::NumericError(
+          "evl: matrix has complex eigenvalues, not representable in a "
+          "relation of doubles");
+    }
+    if (++iter > kMaxIterPerEig) {
+      return Status::NumericError("evl: QR iteration did not converge");
+    }
+    // Wilkinson shift from the trailing 2x2 of the active block.
+    const double aa = m(n - 2, n - 2);
+    const double bb = m(n - 2, n - 1);
+    const double cc = m(n - 1, n - 2);
+    const double dd = m(n - 1, n - 1);
+    double mu = dd;
+    double l1 = 0.0;
+    double l2 = 0.0;
+    if (TwoByTwoEigen(aa, bb, cc, dd, &l1, &l2)) {
+      mu = std::fabs(l1 - dd) < std::fabs(l2 - dd) ? l1 : l2;
+    } else if (iter % 7 == 0) {
+      mu = std::fabs(bb) + std::fabs(cc);  // exceptional shift
+    }
+    // Explicit shifted QR step on the active Hessenberg block via Givens.
+    std::vector<double> cs(static_cast<size_t>(n), 1.0);
+    std::vector<double> sn(static_cast<size_t>(n), 0.0);
+    for (int64_t i = 0; i < n; ++i) m(i, i) -= mu;
+    for (int64_t k = 0; k < n - 1; ++k) {
+      const double x = m(k, k);
+      const double y = m(k + 1, k);
+      const double r = std::hypot(x, y);
+      const double c = r == 0.0 ? 1.0 : x / r;
+      const double s = r == 0.0 ? 0.0 : y / r;
+      cs[static_cast<size_t>(k)] = c;
+      sn[static_cast<size_t>(k)] = s;
+      for (int64_t j = k; j < n; ++j) {
+        const double t1 = m(k, j);
+        const double t2 = m(k + 1, j);
+        m(k, j) = c * t1 + s * t2;
+        m(k + 1, j) = -s * t1 + c * t2;
+      }
+    }
+    for (int64_t k = 0; k < n - 1; ++k) {  // RQ: apply transposed rotations
+      const double c = cs[static_cast<size_t>(k)];
+      const double s = sn[static_cast<size_t>(k)];
+      for (int64_t i = 0; i <= std::min(k + 2, n - 1); ++i) {
+        const double t1 = m(i, k);
+        const double t2 = m(i, k + 1);
+        m(i, k) = c * t1 + s * t2;
+        m(i, k + 1) = -s * t1 + c * t2;
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) m(i, i) += mu;
+  }
+  std::sort(values->begin(), values->end(), std::greater<double>());
+  return Status::OK();
+}
+
+Status Eigenvalues(const DenseMatrix& a, std::vector<double>* values) {
+  if (IsSymmetric(a)) {
+    DenseMatrix vectors;
+    return SymmetricEigen(a, values, &vectors);
+  }
+  return GeneralEigenvalues(a, values);
+}
+
+}  // namespace rma

@@ -1,0 +1,32 @@
+#ifndef RMA_MATRIX_EIGEN_H_
+#define RMA_MATRIX_EIGEN_H_
+
+#include <vector>
+
+#include "matrix/dense_matrix.h"
+#include "util/result.h"
+
+namespace rma {
+
+/// True if the matrix is square and symmetric within `tol`.
+bool IsSymmetric(const DenseMatrix& a, double tol = 1e-10);
+
+/// Eigen decomposition of a symmetric matrix via cyclic Jacobi.
+/// `values` descending; `vectors` holds the matching eigenvectors as columns.
+Status SymmetricEigen(const DenseMatrix& a, std::vector<double>* values,
+                      DenseMatrix* vectors);
+
+/// Real eigenvalues of a general square matrix (Hessenberg reduction +
+/// shifted QR iteration), sorted descending. Matrices with complex
+/// eigenvalues yield NumericError: relations of doubles cannot represent
+/// them (documented substitution; R would return complex values).
+Status GeneralEigenvalues(const DenseMatrix& a, std::vector<double>* values);
+
+/// Dispatch used by the RMA evl/evc operations: symmetric input uses the
+/// Jacobi path; general input falls back to GeneralEigenvalues (evl only —
+/// evc requires a symmetric matrix).
+Status Eigenvalues(const DenseMatrix& a, std::vector<double>* values);
+
+}  // namespace rma
+
+#endif  // RMA_MATRIX_EIGEN_H_

@@ -1,0 +1,162 @@
+#include "matrix/lu.h"
+
+#include <cmath>
+
+#include "matrix/blas.h"
+#include "matrix/qr.h"
+
+namespace rma {
+
+Status LuDecompose(DenseMatrix* a, std::vector<int64_t>* piv, int* sign) {
+  const int64_t n = a->rows();
+  if (n != a->cols()) return Status::Invalid("LU: matrix must be square");
+  piv->assign(static_cast<size_t>(n), 0);
+  *sign = 1;
+  DenseMatrix& m = *a;
+  for (int64_t k = 0; k < n; ++k) {
+    // Partial pivoting: largest |value| in column k at/below the diagonal.
+    int64_t p = k;
+    double best = std::fabs(m(k, k));
+    for (int64_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(m(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    (*piv)[static_cast<size_t>(k)] = p;
+    if (best == 0.0) return Status::NumericError("LU: singular matrix");
+    if (p != k) {
+      for (int64_t j = 0; j < n; ++j) std::swap(m(k, j), m(p, j));
+      *sign = -*sign;
+    }
+    const double pivot = m(k, k);
+    for (int64_t i = k + 1; i < n; ++i) {
+      const double l = m(i, k) / pivot;
+      m(i, k) = l;
+      if (l == 0.0) continue;
+      double* mi = m.row_ptr(i);
+      const double* mk = m.row_ptr(k);
+      for (int64_t j = k + 1; j < n; ++j) mi[j] -= l * mk[j];
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> Determinant(DenseMatrix a) {
+  if (a.rows() != a.cols()) {
+    return Status::Invalid("det: matrix must be square");
+  }
+  std::vector<int64_t> piv;
+  int sign = 1;
+  Status st = LuDecompose(&a, &piv, &sign);
+  if (st.IsNumericError()) return 0.0;  // exactly singular => det 0
+  RMA_RETURN_NOT_OK(st);
+  double det = sign;
+  for (int64_t i = 0; i < a.rows(); ++i) det *= a(i, i);
+  return det;
+}
+
+Result<DenseMatrix> Inverse(DenseMatrix a) {
+  const int64_t n = a.rows();
+  if (n != a.cols()) return Status::Invalid("inv: matrix must be square");
+  DenseMatrix inv = DenseMatrix::Identity(n);
+  // Gauss-Jordan with partial pivoting, applied to [A | I].
+  for (int64_t k = 0; k < n; ++k) {
+    int64_t p = k;
+    double best = std::fabs(a(k, k));
+    for (int64_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(a(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best == 0.0) return Status::NumericError("inv: singular matrix");
+    if (p != k) {
+      for (int64_t j = 0; j < n; ++j) {
+        std::swap(a(k, j), a(p, j));
+        std::swap(inv(k, j), inv(p, j));
+      }
+    }
+    const double pivot = a(k, k);
+    for (int64_t j = 0; j < n; ++j) {
+      a(k, j) /= pivot;
+      inv(k, j) /= pivot;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      if (i == k) continue;
+      const double f = a(i, k);
+      if (f == 0.0) continue;
+      for (int64_t j = 0; j < n; ++j) {
+        a(i, j) -= f * a(k, j);
+        inv(i, j) -= f * inv(k, j);
+      }
+    }
+  }
+  return inv;
+}
+
+Result<DenseMatrix> SolveSquare(DenseMatrix a, DenseMatrix b) {
+  const int64_t n = a.rows();
+  if (n != a.cols()) return Status::Invalid("solve: matrix must be square");
+  if (b.rows() != n) return Status::Invalid("solve: rhs row count mismatch");
+  std::vector<int64_t> piv;
+  int sign = 1;
+  RMA_RETURN_NOT_OK(LuDecompose(&a, &piv, &sign));
+  // Apply the row swaps to B.
+  for (int64_t k = 0; k < n; ++k) {
+    const int64_t p = piv[static_cast<size_t>(k)];
+    if (p != k) {
+      for (int64_t j = 0; j < b.cols(); ++j) std::swap(b(k, j), b(p, j));
+    }
+  }
+  // Forward substitution (L unit-lower).
+  for (int64_t k = 0; k < n; ++k) {
+    for (int64_t i = k + 1; i < n; ++i) {
+      const double l = a(i, k);
+      if (l == 0.0) continue;
+      for (int64_t j = 0; j < b.cols(); ++j) b(i, j) -= l * b(k, j);
+    }
+  }
+  // Back substitution (U upper).
+  for (int64_t k = n - 1; k >= 0; --k) {
+    const double d = a(k, k);
+    for (int64_t j = 0; j < b.cols(); ++j) b(k, j) /= d;
+    for (int64_t i = 0; i < k; ++i) {
+      const double u = a(i, k);
+      if (u == 0.0) continue;
+      for (int64_t j = 0; j < b.cols(); ++j) b(i, j) -= u * b(k, j);
+    }
+  }
+  return b;
+}
+
+Result<DenseMatrix> SolveLeastSquares(const DenseMatrix& a,
+                                      const DenseMatrix& b) {
+  if (a.rows() < a.cols()) {
+    return Status::Invalid("sol: system is underdetermined (rows < cols)");
+  }
+  if (a.rows() != b.rows()) {
+    return Status::Invalid("sol: rhs row count mismatch");
+  }
+  if (a.rows() == a.cols()) return SolveSquare(a, b);
+  DenseMatrix q;
+  DenseMatrix r;
+  RMA_RETURN_NOT_OK(HouseholderQr(a, &q, &r));
+  // x = R⁻¹ Qᵀ b ; R is k×k upper triangular.
+  RMA_ASSIGN_OR_RETURN(DenseMatrix qtb, blas::CrossProd(q, b));
+  const int64_t k = r.rows();
+  for (int64_t i = k - 1; i >= 0; --i) {
+    const double d = r(i, i);
+    if (d == 0.0) return Status::NumericError("sol: rank-deficient system");
+    for (int64_t j = 0; j < qtb.cols(); ++j) {
+      double s = qtb(i, j);
+      for (int64_t p = i + 1; p < k; ++p) s -= r(i, p) * qtb(p, j);
+      qtb(i, j) = s / d;
+    }
+  }
+  return qtb;
+}
+
+}  // namespace rma

@@ -1,0 +1,30 @@
+#ifndef RMA_MATRIX_LU_H_
+#define RMA_MATRIX_LU_H_
+
+#include "matrix/dense_matrix.h"
+#include "util/result.h"
+
+namespace rma {
+
+/// LU factorization with partial pivoting, packed in-place (L unit-lower,
+/// U upper). `piv[k]` is the row swapped into position k; `*sign` is the
+/// permutation parity (+1/-1). Returns NumericError for singular input.
+Status LuDecompose(DenseMatrix* a, std::vector<int64_t>* piv, int* sign);
+
+/// det(A) for square A (0.0 for exactly-singular input).
+Result<double> Determinant(DenseMatrix a);
+
+/// A⁻¹ via Gauss-Jordan with partial pivoting; NumericError when singular.
+Result<DenseMatrix> Inverse(DenseMatrix a);
+
+/// Solves A·X = B for square non-singular A (X has the shape of B).
+Result<DenseMatrix> SolveSquare(DenseMatrix a, DenseMatrix b);
+
+/// Solves min ‖A·x − b‖₂ via QR for m×n A with m ≥ n (exact solve when
+/// square). This implements the paper's `sol` on rectangular inputs.
+Result<DenseMatrix> SolveLeastSquares(const DenseMatrix& a,
+                                      const DenseMatrix& b);
+
+}  // namespace rma
+
+#endif  // RMA_MATRIX_LU_H_

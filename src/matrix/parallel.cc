@@ -1,0 +1,39 @@
+#include "matrix/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace rma {
+
+int DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_chunk, int max_threads) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (max_threads <= 0) max_threads = DefaultThreadCount();
+  const int64_t wanted = (n + min_chunk - 1) / min_chunk;
+  const int threads = static_cast<int>(
+      std::max<int64_t>(1, std::min<int64_t>(max_threads, wanted)));
+  if (threads == 1) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t chunk = (n + threads - 1) / threads;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    const int64_t lo = begin + t * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace rma

@@ -1,0 +1,23 @@
+#ifndef RMA_MATRIX_PARALLEL_H_
+#define RMA_MATRIX_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace rma {
+
+/// Number of worker threads the kernels use (hardware concurrency, >= 1).
+int DefaultThreadCount();
+
+/// Runs fn(begin..end) split across threads in contiguous chunks. Falls back
+/// to inline execution for small ranges. `fn` receives (chunk_begin,
+/// chunk_end) and must be thread-safe across disjoint chunks. `max_threads`
+/// caps the worker count (0 = DefaultThreadCount(); 1 = run inline — used to
+/// model single-threaded competitors).
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_chunk = 1024, int max_threads = 0);
+
+}  // namespace rma
+
+#endif  // RMA_MATRIX_PARALLEL_H_

@@ -1,0 +1,147 @@
+#include "matrix/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "matrix/qr.h"
+
+namespace rma {
+
+namespace {
+
+// One-sided Jacobi on W (m×k, m >= k): rotates column pairs until mutually
+// orthogonal; V accumulates the rotations.
+void OneSidedJacobi(DenseMatrix* w, DenseMatrix* v) {
+  const int64_t m = w->rows();
+  const int64_t k = w->cols();
+  *v = DenseMatrix::Identity(k);
+  constexpr double kTol = 1e-14;
+  constexpr int kMaxSweeps = 60;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool rotated = false;
+    for (int64_t p = 0; p < k - 1; ++p) {
+      for (int64_t q = p + 1; q < k; ++q) {
+        double alpha = 0.0;
+        double beta = 0.0;
+        double gamma = 0.0;
+        for (int64_t i = 0; i < m; ++i) {
+          const double wp = (*w)(i, p);
+          const double wq = (*w)(i, q);
+          alpha += wp * wp;
+          beta += wq * wq;
+          gamma += wp * wq;
+        }
+        if (std::fabs(gamma) <= kTol * std::sqrt(alpha * beta)) continue;
+        rotated = true;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (int64_t i = 0; i < m; ++i) {
+          const double wp = (*w)(i, p);
+          const double wq = (*w)(i, q);
+          (*w)(i, p) = c * wp - s * wq;
+          (*w)(i, q) = s * wp + c * wq;
+        }
+        for (int64_t i = 0; i < k; ++i) {
+          const double vp = (*v)(i, p);
+          const double vq = (*v)(i, q);
+          (*v)(i, p) = c * vp - s * vq;
+          (*v)(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+}
+
+Result<SvdResult> SvdTall(const DenseMatrix& a) {
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  DenseMatrix w = a;
+  DenseMatrix v;
+  OneSidedJacobi(&w, &v);
+  SvdResult out;
+  out.sigma.assign(static_cast<size_t>(k), 0.0);
+  out.u = DenseMatrix(m, k, 0.0);
+  out.v = DenseMatrix(k, k, 0.0);
+  // Column norms are the singular values; sort descending.
+  std::vector<double> norms(static_cast<size_t>(k), 0.0);
+  for (int64_t j = 0; j < k; ++j) {
+    double s = 0.0;
+    for (int64_t i = 0; i < m; ++i) s += w(i, j) * w(i, j);
+    norms[static_cast<size_t>(j)] = std::sqrt(s);
+  }
+  std::vector<int64_t> order(static_cast<size_t>(k));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&norms](int64_t x, int64_t y) {
+    return norms[static_cast<size_t>(x)] > norms[static_cast<size_t>(y)];
+  });
+  for (int64_t j = 0; j < k; ++j) {
+    const int64_t src = order[static_cast<size_t>(j)];
+    const double sigma = norms[static_cast<size_t>(src)];
+    out.sigma[static_cast<size_t>(j)] = sigma;
+    if (sigma > 0.0) {
+      for (int64_t i = 0; i < m; ++i) out.u(i, j) = w(i, src) / sigma;
+    }
+    for (int64_t i = 0; i < k; ++i) out.v(i, j) = v(i, src);
+  }
+  // Deterministic sign convention: the largest-|u| entry of each singular
+  // pair is positive. The choice is row-permutation equivariant, which keeps
+  // usv/vsv results consistent under the sort-avoidance optimization.
+  for (int64_t j = 0; j < k; ++j) {
+    int64_t arg = 0;
+    double best = -1.0;
+    for (int64_t i = 0; i < m; ++i) {
+      const double v_abs = std::fabs(out.u(i, j));
+      if (v_abs > best) {
+        best = v_abs;
+        arg = i;
+      }
+    }
+    if (out.u(arg, j) < 0.0) {
+      for (int64_t i = 0; i < m; ++i) out.u(i, j) = -out.u(i, j);
+      for (int64_t i = 0; i < k; ++i) out.v(i, j) = -out.v(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SvdResult> Svd(const DenseMatrix& a) {
+  if (a.empty()) return Status::Invalid("svd: empty matrix");
+  if (a.rows() >= a.cols()) return SvdTall(a);
+  // Wide matrix: factor the transpose and swap the roles of U and V.
+  RMA_ASSIGN_OR_RETURN(SvdResult t, SvdTall(a.Transposed()));
+  SvdResult out;
+  out.sigma = std::move(t.sigma);
+  out.u = std::move(t.v);
+  out.v = std::move(t.u);
+  return out;
+}
+
+Result<DenseMatrix> SvdFullU(const DenseMatrix& a) {
+  RMA_ASSIGN_OR_RETURN(SvdResult s, Svd(a));
+  if (s.u.cols() == s.u.rows()) return s.u;
+  // Complete the thin U to an orthonormal basis of R^m: QR of U with the
+  // Householder reflectors extended to the full m×m Q. Since U's non-null
+  // columns are orthonormal, the leading columns of Q reproduce them.
+  DenseMatrix q;
+  RMA_RETURN_NOT_OK(FullQ(s.u, &q));
+  return q;
+}
+
+Result<int64_t> MatrixRank(const DenseMatrix& a, double eps_factor) {
+  RMA_ASSIGN_OR_RETURN(SvdResult s, Svd(a));
+  if (s.sigma.empty()) return static_cast<int64_t>(0);
+  const double cutoff = static_cast<double>(std::max(a.rows(), a.cols())) *
+                        s.sigma.front() * eps_factor;
+  int64_t rank = 0;
+  for (double v : s.sigma) rank += (v > cutoff && v > 0.0);
+  return rank;
+}
+
+}  // namespace rma

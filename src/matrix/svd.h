@@ -1,0 +1,32 @@
+#ifndef RMA_MATRIX_SVD_H_
+#define RMA_MATRIX_SVD_H_
+
+#include <vector>
+
+#include "matrix/dense_matrix.h"
+#include "util/result.h"
+
+namespace rma {
+
+/// Singular value decomposition A = U · diag(σ) · Vᵀ.
+struct SvdResult {
+  DenseMatrix u;              ///< m×p thin left singular vectors (p=min(m,k)).
+  std::vector<double> sigma;  ///< p singular values, descending.
+  DenseMatrix v;              ///< k×p right singular vectors.
+};
+
+/// One-sided Jacobi SVD (robust, dependency-free). Handles any shape.
+Result<SvdResult> Svd(const DenseMatrix& a);
+
+/// Full m×m left factor: the thin U completed to an orthonormal basis
+/// (extra columns correspond to singular value 0). Backs the paper's USV,
+/// whose shape type (r1,r1) prescribes an |r|×|r| result.
+Result<DenseMatrix> SvdFullU(const DenseMatrix& a);
+
+/// Numerical rank: number of singular values above
+/// max(m,k)·σ_max·eps_factor (R's qr()/Matrix::rankMatrix convention).
+Result<int64_t> MatrixRank(const DenseMatrix& a, double eps_factor = 1e-12);
+
+}  // namespace rma
+
+#endif  // RMA_MATRIX_SVD_H_

@@ -1,0 +1,240 @@
+#include "rel/expression.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace rma::rel {
+
+ExprPtr Expr::Column(std::string name) {
+  return ExprPtr(new Expr(Kind::kColumn, std::move(name), Value(int64_t{0}), {}));
+}
+
+ExprPtr Expr::Literal(Value v) {
+  return ExprPtr(new Expr(Kind::kLiteral, "", std::move(v), {}));
+}
+
+ExprPtr Expr::Binary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  return ExprPtr(new Expr(Kind::kBinary, std::move(op), Value(int64_t{0}),
+                          {std::move(lhs), std::move(rhs)}));
+}
+
+ExprPtr Expr::Unary(std::string op, ExprPtr operand) {
+  return ExprPtr(new Expr(Kind::kUnary, std::move(op), Value(int64_t{0}),
+                          {std::move(operand)}));
+}
+
+ExprPtr Expr::Call(std::string fn, std::vector<ExprPtr> args) {
+  return ExprPtr(
+      new Expr(Kind::kCall, ToUpper(fn), Value(int64_t{0}), std::move(args)));
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return name_;
+    case Kind::kLiteral:
+      return ValueToString(value_);
+    case Kind::kBinary:
+      return "(" + children_[0]->ToString() + " " + name_ + " " +
+             children_[1]->ToString() + ")";
+    case Kind::kUnary:
+      return "(" + name_ + " " + children_[0]->ToString() + ")";
+    case Kind::kCall: {
+      std::string out = name_ + "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsComparisonOp(const std::string& op) {
+  return op == "<" || op == "<=" || op == ">" || op == ">=" || op == "=" ||
+         op == "==" || op == "<>" || op == "!=";
+}
+
+bool IsLogicOp(const std::string& op) { return op == "AND" || op == "OR"; }
+
+bool IsArithmeticOp(const std::string& op) {
+  return op == "+" || op == "-" || op == "*" || op == "/" || op == "%";
+}
+
+int FunctionArity(const std::string& fn) {
+  if (fn == "SQRT" || fn == "ABS" || fn == "LN" || fn == "EXP") return 1;
+  if (fn == "POW") return 2;
+  return -1;
+}
+
+}  // namespace
+
+Result<BoundExpr> Bind(const ExprPtr& expr, const Schema& schema) {
+  RMA_CHECK(expr != nullptr);
+  BoundExpr out;
+  out.kind_ = expr->kind();
+  switch (expr->kind()) {
+    case Expr::Kind::kColumn: {
+      int idx = -1;
+      if (!expr->name().empty() && expr->name()[0] == '$') {
+        idx = std::atoi(expr->name().c_str() + 1);
+        if (idx < 0 || idx >= schema.num_attributes()) {
+          return Status::KeyError("column position out of range: " +
+                                  expr->name());
+        }
+      } else {
+        RMA_ASSIGN_OR_RETURN(idx, schema.IndexOf(expr->name()));
+      }
+      out.column_index_ = idx;
+      out.type_ = schema.attribute(idx).type;
+      return out;
+    }
+    case Expr::Kind::kLiteral: {
+      out.literal_ = expr->value();
+      out.type_ = ValueType(expr->value());
+      return out;
+    }
+    case Expr::Kind::kUnary: {
+      RMA_ASSIGN_OR_RETURN(BoundExpr child, Bind(expr->children()[0], schema));
+      out.op_ = ToUpper(expr->name());
+      if (out.op_ == "-") {
+        if (!IsNumeric(child.type())) {
+          return Status::TypeError("unary - on non-numeric operand");
+        }
+        out.type_ = child.type();
+      } else if (out.op_ == "NOT") {
+        out.type_ = DataType::kInt64;
+      } else {
+        return Status::Invalid("unknown unary operator: " + expr->name());
+      }
+      out.children_.push_back(std::move(child));
+      return out;
+    }
+    case Expr::Kind::kBinary: {
+      RMA_ASSIGN_OR_RETURN(BoundExpr lhs, Bind(expr->children()[0], schema));
+      RMA_ASSIGN_OR_RETURN(BoundExpr rhs, Bind(expr->children()[1], schema));
+      out.op_ = ToUpper(expr->name());
+      if (IsArithmeticOp(out.op_)) {
+        if (!IsNumeric(lhs.type()) || !IsNumeric(rhs.type())) {
+          return Status::TypeError("arithmetic on non-numeric operand");
+        }
+        const bool both_int = lhs.type() == DataType::kInt64 &&
+                              rhs.type() == DataType::kInt64;
+        out.type_ = (both_int && out.op_ != "/") ? DataType::kInt64
+                                                 : DataType::kDouble;
+      } else if (IsComparisonOp(out.op_) || IsLogicOp(out.op_)) {
+        out.type_ = DataType::kInt64;
+      } else {
+        return Status::Invalid("unknown binary operator: " + expr->name());
+      }
+      out.children_.push_back(std::move(lhs));
+      out.children_.push_back(std::move(rhs));
+      return out;
+    }
+    case Expr::Kind::kCall: {
+      const int arity = FunctionArity(expr->name());
+      if (arity < 0) {
+        return Status::Invalid("unknown function: " + expr->name());
+      }
+      if (static_cast<int>(expr->children().size()) != arity) {
+        return Status::Invalid("wrong argument count for " + expr->name());
+      }
+      out.op_ = expr->name();
+      out.type_ = DataType::kDouble;
+      for (const auto& c : expr->children()) {
+        RMA_ASSIGN_OR_RETURN(BoundExpr bc, Bind(c, schema));
+        if (!IsNumeric(bc.type())) {
+          return Status::TypeError(expr->name() + " on non-numeric operand");
+        }
+        out.children_.push_back(std::move(bc));
+      }
+      return out;
+    }
+  }
+  return Status::Invalid("unreachable expression kind");
+}
+
+Value BoundExpr::Eval(const Relation& r, int64_t row) const {
+  switch (kind_) {
+    case Expr::Kind::kColumn:
+      return r.Get(row, column_index_);
+    case Expr::Kind::kLiteral:
+      return literal_;
+    case Expr::Kind::kUnary: {
+      if (op_ == "-") {
+        const Value v = children_[0].Eval(r, row);
+        if (ValueType(v) == DataType::kInt64) {
+          return Value(-std::get<int64_t>(v));
+        }
+        return Value(-ValueToDouble(v));
+      }
+      return Value(static_cast<int64_t>(!children_[0].EvalBool(r, row)));
+    }
+    case Expr::Kind::kBinary: {
+      if (op_ == "AND") {
+        return Value(static_cast<int64_t>(children_[0].EvalBool(r, row) &&
+                                          children_[1].EvalBool(r, row)));
+      }
+      if (op_ == "OR") {
+        return Value(static_cast<int64_t>(children_[0].EvalBool(r, row) ||
+                                          children_[1].EvalBool(r, row)));
+      }
+      const Value lv = children_[0].Eval(r, row);
+      const Value rv = children_[1].Eval(r, row);
+      if (op_ == "=" || op_ == "==") {
+        return Value(static_cast<int64_t>(ValueEquals(lv, rv)));
+      }
+      if (op_ == "<>" || op_ == "!=") {
+        return Value(static_cast<int64_t>(!ValueEquals(lv, rv)));
+      }
+      if (op_ == "<") return Value(static_cast<int64_t>(ValueLess(lv, rv)));
+      if (op_ == ">") return Value(static_cast<int64_t>(ValueLess(rv, lv)));
+      if (op_ == "<=") return Value(static_cast<int64_t>(!ValueLess(rv, lv)));
+      if (op_ == ">=") return Value(static_cast<int64_t>(!ValueLess(lv, rv)));
+      // Arithmetic.
+      if (type_ == DataType::kInt64) {
+        const int64_t a = std::get<int64_t>(lv);
+        const int64_t b = std::get<int64_t>(rv);
+        if (op_ == "+") return Value(a + b);
+        if (op_ == "-") return Value(a - b);
+        if (op_ == "*") return Value(a * b);
+        if (op_ == "%") return Value(b == 0 ? int64_t{0} : a % b);
+      }
+      const double a = ValueToDouble(lv);
+      const double b = ValueToDouble(rv);
+      if (op_ == "+") return Value(a + b);
+      if (op_ == "-") return Value(a - b);
+      if (op_ == "*") return Value(a * b);
+      if (op_ == "/") return Value(b == 0.0 ? 0.0 : a / b);
+      if (op_ == "%") return Value(b == 0.0 ? 0.0 : std::fmod(a, b));
+      RMA_CHECK(false && "unknown binary op at eval");
+      return Value(int64_t{0});
+    }
+    case Expr::Kind::kCall: {
+      const double a = children_[0].EvalDouble(r, row);
+      if (op_ == "SQRT") return Value(std::sqrt(a));
+      if (op_ == "ABS") return Value(std::fabs(a));
+      if (op_ == "LN") return Value(std::log(a));
+      if (op_ == "EXP") return Value(std::exp(a));
+      if (op_ == "POW") return Value(std::pow(a, children_[1].EvalDouble(r, row)));
+      RMA_CHECK(false && "unknown function at eval");
+      return Value(0.0);
+    }
+  }
+  RMA_CHECK(false && "unreachable kind at eval");
+  return Value(int64_t{0});
+}
+
+bool BoundExpr::EvalBool(const Relation& r, int64_t row) const {
+  const Value v = Eval(r, row);
+  if (ValueType(v) == DataType::kString) {
+    return !std::get<std::string>(v).empty();
+  }
+  return ValueToDouble(v) != 0.0;
+}
+
+}  // namespace rma::rel

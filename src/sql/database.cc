@@ -1,0 +1,61 @@
+#include "sql/database.h"
+
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "util/string_util.h"
+
+namespace rma::sql {
+
+Status Database::Register(const std::string& name, Relation rel) {
+  rel.set_name(name);
+  tables_[ToLower(name)] = std::move(rel);
+  return Status::OK();
+}
+
+Result<Relation> Database::Get(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::KeyError("unknown table: " + name);
+  }
+  return it->second;
+}
+
+Status Database::Drop(const std::string& name) {
+  if (tables_.erase(ToLower(name)) == 0) {
+    return Status::KeyError("unknown table: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, rel] : tables_) out.push_back(rel.name());
+  return out;
+}
+
+Result<Relation> Database::Query(const std::string& sql) const {
+  RMA_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(sql));
+  return ExecuteSelect(*this, *stmt, rma_options);
+}
+
+Result<Relation> Database::Execute(const std::string& sql) {
+  RMA_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      return ExecuteSelect(*this, *stmt.select, rma_options);
+    case Statement::Kind::kCreateTableAs: {
+      RMA_ASSIGN_OR_RETURN(Relation rel,
+                           ExecuteSelect(*this, *stmt.select, rma_options));
+      RMA_RETURN_NOT_OK(Register(stmt.table_name, rel));
+      return rel;
+    }
+    case Statement::Kind::kDropTable: {
+      RMA_RETURN_NOT_OK(Drop(stmt.table_name));
+      return Relation();
+    }
+  }
+  return Status::Invalid("unreachable statement kind");
+}
+
+}  // namespace rma::sql

@@ -1,0 +1,50 @@
+#ifndef RMA_SQL_DATABASE_H_
+#define RMA_SQL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace rma::sql {
+
+/// A named-relation catalog plus the SQL entry point.
+///
+/// Example (the paper's introduction):
+///   Database db;
+///   db.Register("rating", rating);
+///   auto v = db.Query("SELECT * FROM INV(rating BY User)");
+class Database {
+ public:
+  /// Adds (or replaces) a table. The relation's name is set to `name`.
+  Status Register(const std::string& name, Relation rel);
+
+  /// Looks a table up (case-insensitive).
+  Result<Relation> Get(const std::string& name) const;
+
+  Status Drop(const std::string& name);
+
+  bool Has(const std::string& name) const { return Get(name).ok(); }
+
+  std::vector<std::string> TableNames() const;
+
+  /// Runs a SELECT statement and returns the result relation.
+  Result<Relation> Query(const std::string& sql) const;
+
+  /// Runs any statement. CREATE TABLE ... AS stores and returns the result;
+  /// DROP TABLE returns an empty relation.
+  Result<Relation> Execute(const std::string& sql);
+
+  /// Options applied to relational matrix operations inside queries.
+  RmaOptions rma_options;
+
+ private:
+  std::map<std::string, Relation> tables_;  // keyed by lower-cased name
+};
+
+}  // namespace rma::sql
+
+#endif  // RMA_SQL_DATABASE_H_

@@ -1,0 +1,453 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "core/algebra.h"
+#include "core/rma.h"
+#include "rel/operators.h"
+#include "sql/database.h"
+#include "storage/bat_ops.h"
+#include "util/string_util.h"
+
+namespace rma::sql {
+
+namespace {
+
+/// A relation flowing through the executor, with per-column resolution
+/// metadata: the original (pre-uniquification) attribute name and the table
+/// alias it came from. Both aligned with column positions.
+struct Bound {
+  Relation rel;
+  std::vector<std::string> names;  ///< original attribute names
+  std::vector<std::string> quals;  ///< table alias per column ("" if none)
+};
+
+Bound BindRelation(Relation rel, const std::string& alias) {
+  Bound b;
+  b.names = rel.schema().Names();
+  b.quals.assign(b.names.size(), alias);
+  b.rel = std::move(rel);
+  return b;
+}
+
+bool IsAggregateName(const std::string& fn) {
+  const std::string f = ToUpper(fn);
+  return f == "COUNT" || f == "SUM" || f == "AVG" || f == "MIN" || f == "MAX";
+}
+
+bool ContainsAggregate(const SqlExprPtr& e) {
+  if (e == nullptr) return false;
+  if (e->kind == SqlExpr::Kind::kCall && IsAggregateName(e->name)) return true;
+  for (const auto& a : e->args) {
+    if (ContainsAggregate(a)) return true;
+  }
+  return false;
+}
+
+/// Resolves a (possibly qualified) column reference to a position.
+Result<int> ResolveColumn(const Bound& b, const std::string& qualifier,
+                          const std::string& name) {
+  int found = -1;
+  for (size_t i = 0; i < b.names.size(); ++i) {
+    if (!EqualsIgnoreCase(b.names[i], name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(b.quals[i], qualifier)) {
+      continue;
+    }
+    if (found >= 0) {
+      return Status::KeyError("ambiguous column reference: " + name);
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    const std::string full =
+        qualifier.empty() ? name : qualifier + "." + name;
+    return Status::KeyError("unknown column: " + full);
+  }
+  return found;
+}
+
+/// Rewrites a SQL expression into a rel::Expr with positional column refs.
+/// Aggregates are rejected (the caller extracts them beforehand).
+Result<rel::ExprPtr> ResolveScalar(const SqlExprPtr& e, const Bound& b) {
+  switch (e->kind) {
+    case SqlExpr::Kind::kColumn: {
+      RMA_ASSIGN_OR_RETURN(int idx, ResolveColumn(b, e->qualifier, e->name));
+      return rel::Expr::ColumnAt(idx);
+    }
+    case SqlExpr::Kind::kLiteral:
+      return rel::Expr::Literal(e->literal);
+    case SqlExpr::Kind::kUnary: {
+      RMA_ASSIGN_OR_RETURN(rel::ExprPtr x, ResolveScalar(e->args[0], b));
+      return rel::Expr::Unary(e->name, std::move(x));
+    }
+    case SqlExpr::Kind::kBinary: {
+      RMA_ASSIGN_OR_RETURN(rel::ExprPtr l, ResolveScalar(e->args[0], b));
+      RMA_ASSIGN_OR_RETURN(rel::ExprPtr r, ResolveScalar(e->args[1], b));
+      return rel::Expr::Binary(e->name, std::move(l), std::move(r));
+    }
+    case SqlExpr::Kind::kCall: {
+      if (IsAggregateName(e->name)) {
+        return Status::Invalid("aggregate " + e->name +
+                               " is not allowed in this context");
+      }
+      std::vector<rel::ExprPtr> args;
+      for (const auto& a : e->args) {
+        RMA_ASSIGN_OR_RETURN(rel::ExprPtr x, ResolveScalar(a, b));
+        args.push_back(std::move(x));
+      }
+      return rel::Expr::Call(e->name, std::move(args));
+    }
+    case SqlExpr::Kind::kStar:
+      return Status::Invalid("'*' is not allowed in this context");
+  }
+  return Status::Invalid("unreachable SQL expression kind");
+}
+
+std::string DeriveName(const SqlExprPtr& e, int fallback_index) {
+  if (e->kind == SqlExpr::Kind::kColumn) return e->name;
+  if (e->kind == SqlExpr::Kind::kCall) return ToLower(e->name);
+  return "col" + std::to_string(fallback_index);
+}
+
+std::vector<std::string> UniquifyNames(std::vector<std::string> names) {
+  std::unordered_set<std::string> used;
+  for (auto& n : names) {
+    std::string candidate = n;
+    int suffix = 2;
+    while (!used.insert(candidate).second) {
+      candidate = n + "_" + std::to_string(suffix++);
+    }
+    n = std::move(candidate);
+  }
+  return names;
+}
+
+// --- FROM evaluation --------------------------------------------------------
+
+Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
+                               const RmaOptions& opts);
+
+/// Turns a (possibly nested) FROM-clause operation reference into an
+/// algebra expression: kRmaOp children stay symbolic so the rewriter can
+/// match across nesting levels; any other reference is evaluated here and
+/// becomes a leaf.
+Result<RmaExprPtr> BuildRmaExpr(const Database& db, const TableRefPtr& ref,
+                                const RmaOptions& opts) {
+  if (ref->kind != TableRef::Kind::kRmaOp) {
+    RMA_ASSIGN_OR_RETURN(Bound b, EvaluateTableRef(db, ref, opts));
+    return RmaExpr::Leaf(std::move(b.rel));
+  }
+  auto expr = std::make_shared<RmaExpr>();
+  expr->kind = RmaExpr::Kind::kOp;
+  expr->op = ref->op;
+  expr->alias = ref->alias;
+  for (const auto& a : ref->rma_args) {
+    RMA_ASSIGN_OR_RETURN(RmaExprPtr child, BuildRmaExpr(db, a.table, opts));
+    expr->children.push_back(std::move(child));
+    expr->orders.push_back(a.order);
+  }
+  return expr;
+}
+
+/// Splits an ON condition into equi-join pairs (left index, right index)
+/// plus a residual predicate evaluated after the join.
+void CollectJoinConditions(const SqlExprPtr& e, std::vector<SqlExprPtr>* out) {
+  if (e->kind == SqlExpr::Kind::kBinary && ToUpper(e->name) == "AND") {
+    CollectJoinConditions(e->args[0], out);
+    CollectJoinConditions(e->args[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+Result<Bound> EvaluateJoin(const Database& db, const TableRef& ref,
+                           const RmaOptions& opts) {
+  RMA_ASSIGN_OR_RETURN(Bound left, EvaluateTableRef(db, ref.left, opts));
+  RMA_ASSIGN_OR_RETURN(Bound right, EvaluateTableRef(db, ref.right, opts));
+  Bound combined;
+  combined.names = left.names;
+  combined.names.insert(combined.names.end(), right.names.begin(),
+                        right.names.end());
+  combined.quals = left.quals;
+  combined.quals.insert(combined.quals.end(), right.quals.begin(),
+                        right.quals.end());
+  const int left_cols = left.rel.num_columns();
+
+  if (ref.join_kind == TableRef::JoinKind::kCross || ref.on == nullptr) {
+    RMA_ASSIGN_OR_RETURN(combined.rel, rel::CrossJoin(left.rel, right.rel));
+    return combined;
+  }
+  // INNER JOIN ... ON: extract equality pairs across the two sides for a
+  // hash join; evaluate any residual conjuncts as a post-filter.
+  std::vector<SqlExprPtr> conjuncts;
+  CollectJoinConditions(ref.on, &conjuncts);
+  std::vector<int> lkeys;
+  std::vector<int> rkeys;
+  std::vector<SqlExprPtr> residual;
+  for (const auto& c : conjuncts) {
+    bool handled = false;
+    if (c->kind == SqlExpr::Kind::kBinary && c->name == "=") {
+      const auto& a = c->args[0];
+      const auto& bb = c->args[1];
+      if (a->kind == SqlExpr::Kind::kColumn &&
+          bb->kind == SqlExpr::Kind::kColumn) {
+        auto ia = ResolveColumn(combined, a->qualifier, a->name);
+        auto ib = ResolveColumn(combined, bb->qualifier, bb->name);
+        if (ia.ok() && ib.ok()) {
+          int l = *ia;
+          int r = *ib;
+          if (l > r) std::swap(l, r);
+          if (l < left_cols && r >= left_cols) {
+            lkeys.push_back(l);
+            rkeys.push_back(r - left_cols);
+            handled = true;
+          }
+        }
+      }
+    }
+    if (!handled) residual.push_back(c);
+  }
+  if (lkeys.empty()) {
+    RMA_ASSIGN_OR_RETURN(combined.rel, rel::CrossJoin(left.rel, right.rel));
+    residual = conjuncts;
+  } else {
+    RMA_ASSIGN_OR_RETURN(combined.rel,
+                         rel::HashJoinAt(left.rel, right.rel, lkeys, rkeys));
+  }
+  for (const auto& c : residual) {
+    RMA_ASSIGN_OR_RETURN(rel::ExprPtr pred, ResolveScalar(c, combined));
+    RMA_ASSIGN_OR_RETURN(combined.rel, rel::Select(combined.rel, pred));
+  }
+  return combined;
+}
+
+Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
+                               const RmaOptions& opts) {
+  switch (ref->kind) {
+    case TableRef::Kind::kTable: {
+      RMA_ASSIGN_OR_RETURN(Relation rel, db.Get(ref->table_name));
+      const std::string alias =
+          ref->alias.empty() ? ref->table_name : ref->alias;
+      rel.set_name(alias);
+      return BindRelation(std::move(rel), alias);
+    }
+    case TableRef::Kind::kSubquery: {
+      RMA_ASSIGN_OR_RETURN(Relation rel,
+                           ExecuteSelect(db, *ref->subquery, opts));
+      if (!ref->alias.empty()) rel.set_name(ref->alias);
+      return BindRelation(std::move(rel), ref->alias);
+    }
+    case TableRef::Kind::kRmaOp: {
+      // Build the whole nested-operation tree as an algebra expression so
+      // the cross-algebra rewriter sees patterns that span FROM-clause
+      // nesting levels (e.g. MMU(TRA(w3 BY U) BY C, w3 BY U) → CPD).
+      RMA_ASSIGN_OR_RETURN(RmaExprPtr expr, BuildRmaExpr(db, ref, opts));
+      RMA_ASSIGN_OR_RETURN(Relation rel, EvaluateOptimized(expr, opts));
+      return BindRelation(std::move(rel), ref->alias);
+    }
+    case TableRef::Kind::kJoin:
+      return EvaluateJoin(db, *ref, opts);
+  }
+  return Status::Invalid("unreachable table-ref kind");
+}
+
+// --- aggregation ------------------------------------------------------------
+
+struct AggInfo {
+  std::string func;
+  SqlExprPtr arg;  ///< null for COUNT(*)
+};
+
+/// A select item in an aggregating query: either a group-by column or a
+/// single aggregate call (standard minimal SQL; richer expressions over
+/// aggregates are written as subqueries, as in the paper's example).
+Result<Relation> ExecuteAggregation(const SelectStmt& stmt, const Bound& from) {
+  // Resolve group-by columns.
+  std::vector<int> group_idx;
+  for (const auto& g : stmt.group_by) {
+    if (g->kind != SqlExpr::Kind::kColumn) {
+      return Status::Invalid("GROUP BY supports column references only");
+    }
+    RMA_ASSIGN_OR_RETURN(int idx, ResolveColumn(from, g->qualifier, g->name));
+    group_idx.push_back(idx);
+  }
+  // Classify select items.
+  struct OutItem {
+    bool is_group = false;
+    int group_pos = -1;    // index into group_idx
+    int agg_pos = -1;      // index into aggs
+    std::string name;
+  };
+  std::vector<OutItem> out_items;
+  std::vector<AggInfo> aggs;
+  int fallback = 0;
+  for (const auto& item : stmt.items) {
+    if (item.expr->kind == SqlExpr::Kind::kStar) {
+      return Status::Invalid("SELECT * cannot be combined with GROUP BY");
+    }
+    OutItem out;
+    out.name = !item.alias.empty() ? item.alias
+                                   : DeriveName(item.expr, fallback);
+    ++fallback;
+    if (item.expr->kind == SqlExpr::Kind::kColumn) {
+      RMA_ASSIGN_OR_RETURN(
+          int idx, ResolveColumn(from, item.expr->qualifier, item.expr->name));
+      auto it = std::find(group_idx.begin(), group_idx.end(), idx);
+      if (it == group_idx.end()) {
+        return Status::Invalid("column " + item.expr->name +
+                               " must appear in GROUP BY or an aggregate");
+      }
+      out.is_group = true;
+      out.group_pos = static_cast<int>(it - group_idx.begin());
+    } else if (item.expr->kind == SqlExpr::Kind::kCall &&
+               IsAggregateName(item.expr->name)) {
+      AggInfo info;
+      info.func = ToUpper(item.expr->name);
+      if (item.expr->args.size() == 1 &&
+          item.expr->args[0]->kind == SqlExpr::Kind::kStar) {
+        if (info.func != "COUNT") {
+          return Status::Invalid(info.func + "(*) is not supported");
+        }
+        info.arg = nullptr;
+      } else if (item.expr->args.size() == 1) {
+        info.arg = item.expr->args[0];
+      } else {
+        return Status::Invalid("aggregate takes exactly one argument");
+      }
+      out.agg_pos = static_cast<int>(aggs.size());
+      aggs.push_back(std::move(info));
+    } else {
+      return Status::Invalid(
+          "each select item must be a group-by column or an aggregate; use "
+          "a subquery for expressions over aggregates");
+    }
+    out_items.push_back(std::move(out));
+  }
+  // Pre-projection: group columns g0.. + aggregate arguments a0..
+  std::vector<rel::ProjectItem> pre;
+  for (size_t g = 0; g < group_idx.size(); ++g) {
+    pre.push_back({rel::Expr::ColumnAt(group_idx[g]),
+                   "g" + std::to_string(g)});
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].arg == nullptr) continue;  // COUNT(*)
+    RMA_ASSIGN_OR_RETURN(rel::ExprPtr e, ResolveScalar(aggs[a].arg, from));
+    pre.push_back({std::move(e), "a" + std::to_string(a)});
+  }
+  if (pre.empty()) {
+    // Only COUNT(*) and no grouping: a zero-column projection would lose the
+    // row count, so stage a constant column.
+    pre.push_back({rel::Expr::LiteralInt(1), "_one"});
+  }
+  RMA_ASSIGN_OR_RETURN(Relation staged, rel::Project(from.rel, pre));
+  // Aggregate.
+  std::vector<std::string> group_names;
+  for (size_t g = 0; g < group_idx.size(); ++g) {
+    group_names.push_back("g" + std::to_string(g));
+  }
+  std::vector<rel::AggSpec> specs;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    specs.push_back({aggs[a].func,
+                     aggs[a].arg == nullptr ? "" : "a" + std::to_string(a),
+                     "out" + std::to_string(a)});
+  }
+  RMA_ASSIGN_OR_RETURN(Relation agged,
+                       rel::Aggregate(staged, group_names, specs));
+  // Final projection in select-list order with output names.
+  std::vector<rel::ProjectItem> fin;
+  std::vector<std::string> out_names;
+  for (const auto& out : out_items) out_names.push_back(out.name);
+  out_names = UniquifyNames(std::move(out_names));
+  for (size_t i = 0; i < out_items.size(); ++i) {
+    const auto& out = out_items[i];
+    const std::string src = out.is_group
+                                ? "g" + std::to_string(out.group_pos)
+                                : "out" + std::to_string(out.agg_pos);
+    RMA_ASSIGN_OR_RETURN(int idx, agged.schema().IndexOf(src));
+    fin.push_back({rel::Expr::ColumnAt(idx), out_names[i]});
+  }
+  return rel::Project(agged, fin);
+}
+
+// --- ORDER BY ----------------------------------------------------------------
+
+Result<Relation> ApplyOrderBy(Relation rel,
+                              const std::vector<OrderItem>& order_by) {
+  std::vector<int> key_idx;
+  std::vector<bool> asc;
+  for (const auto& item : order_by) {
+    if (item.expr->kind != SqlExpr::Kind::kColumn) {
+      return Status::Invalid("ORDER BY supports column references only");
+    }
+    RMA_ASSIGN_OR_RETURN(int idx,
+                         rel.schema().IndexOfIgnoreCase(item.expr->name));
+    key_idx.push_back(idx);
+    asc.push_back(item.ascending);
+  }
+  std::vector<int64_t> perm(static_cast<size_t>(rel.num_rows()));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](int64_t a, int64_t b) {
+    for (size_t k = 0; k < key_idx.size(); ++k) {
+      const Bat& col = *rel.column(key_idx[k]);
+      const int c = col.Compare(a, col, b);
+      if (c != 0) return asc[k] ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  return rel.TakeRows(perm);
+}
+
+}  // namespace
+
+Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
+                               const RmaOptions& opts) {
+  if (stmt.from == nullptr) {
+    return Status::Invalid("query requires a FROM clause");
+  }
+  RMA_ASSIGN_OR_RETURN(Bound from, EvaluateTableRef(db, stmt.from, opts));
+  if (stmt.where != nullptr) {
+    RMA_ASSIGN_OR_RETURN(rel::ExprPtr pred, ResolveScalar(stmt.where, from));
+    RMA_ASSIGN_OR_RETURN(from.rel, rel::Select(from.rel, pred));
+  }
+  bool has_agg = !stmt.group_by.empty();
+  for (const auto& item : stmt.items) {
+    if (ContainsAggregate(item.expr)) has_agg = true;
+  }
+  Relation result;
+  if (has_agg) {
+    RMA_ASSIGN_OR_RETURN(result, ExecuteAggregation(stmt, from));
+  } else {
+    std::vector<rel::ProjectItem> items;
+    std::vector<std::string> names;
+    int fallback = 0;
+    for (const auto& item : stmt.items) {
+      if (item.expr->kind == SqlExpr::Kind::kStar) {
+        for (int c = 0; c < from.rel.num_columns(); ++c) {
+          items.push_back({rel::Expr::ColumnAt(c), ""});
+          names.push_back(from.rel.schema().attribute(c).name);
+        }
+        continue;
+      }
+      RMA_ASSIGN_OR_RETURN(rel::ExprPtr e, ResolveScalar(item.expr, from));
+      items.push_back({std::move(e), ""});
+      names.push_back(!item.alias.empty() ? item.alias
+                                          : DeriveName(item.expr, fallback));
+      ++fallback;
+    }
+    names = UniquifyNames(std::move(names));
+    for (size_t i = 0; i < items.size(); ++i) items[i].name = names[i];
+    RMA_ASSIGN_OR_RETURN(result, rel::Project(from.rel, items));
+  }
+  if (!stmt.order_by.empty()) {
+    RMA_ASSIGN_OR_RETURN(result, ApplyOrderBy(std::move(result),
+                                              stmt.order_by));
+  }
+  if (stmt.limit >= 0) {
+    RMA_ASSIGN_OR_RETURN(result, rel::Limit(result, 0, stmt.limit));
+  }
+  return result;
+}
+
+}  // namespace rma::sql

@@ -1,0 +1,22 @@
+#ifndef RMA_SQL_EXECUTOR_H_
+#define RMA_SQL_EXECUTOR_H_
+
+#include "core/options.h"
+#include "sql/ast.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace rma::sql {
+
+class Database;
+
+/// Evaluates an analyzed SELECT statement against the catalog. The executor
+/// interprets the algebra directly: FROM (joins and relational matrix
+/// operations), WHERE, GROUP BY + aggregates, SELECT projection, ORDER BY,
+/// LIMIT.
+Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
+                               const RmaOptions& opts);
+
+}  // namespace rma::sql
+
+#endif  // RMA_SQL_EXECUTOR_H_

@@ -1,0 +1,129 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace rma::sql {
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {  // line comment
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      t.kind = TokenKind::kIdent;
+      t.text = input.substr(i, j - i);
+      i = j;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      if (j < n && input[j] == '.') {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      }
+      if (j < n && (input[j] == 'e' || input[j] == 'E')) {
+        is_float = true;
+        ++j;
+        if (j < n && (input[j] == '+' || input[j] == '-')) ++j;
+        if (j >= n || !std::isdigit(static_cast<unsigned char>(input[j]))) {
+          return Status::ParseError("malformed number at offset " +
+                                    std::to_string(i));
+        }
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      }
+      t.text = input.substr(i, j - i);
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        t.float_value = std::strtod(t.text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInt;
+        t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+      }
+      i = j;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      std::string s;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {  // escaped quote
+            s += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        s += input[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(i));
+      }
+      t.kind = TokenKind::kString;
+      t.text = std::move(s);
+      i = j;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Two-character symbols first.
+    if (i + 1 < n) {
+      const std::string two = input.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=" ||
+          two == "==") {
+        t.kind = TokenKind::kSymbol;
+        t.text = two;
+        i += 2;
+        out.push_back(std::move(t));
+        continue;
+      }
+    }
+    const std::string one(1, c);
+    if (one == "(" || one == ")" || one == "," || one == "." || one == "*" ||
+        one == "+" || one == "-" || one == "/" || one == "%" || one == "<" ||
+        one == ">" || one == "=" || one == ";") {
+      t.kind = TokenKind::kSymbol;
+      t.text = one;
+      ++i;
+      out.push_back(std::move(t));
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + one +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace rma::sql

@@ -1,0 +1,33 @@
+#ifndef RMA_SQL_LEXER_H_
+#define RMA_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace rma::sql {
+
+enum class TokenKind : int {
+  kIdent,     ///< identifier or keyword (keywords resolved by the parser)
+  kInt,       ///< integer literal
+  kFloat,     ///< floating-point literal
+  kString,    ///< 'single-quoted' string literal ('' escapes a quote)
+  kSymbol,    ///< operator/punctuation: ( ) , . * + - / % < <= > >= = <> !=
+  kEnd,       ///< end of input
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  ///< identifier/symbol text or literal spelling
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;  ///< byte offset (for error messages)
+};
+
+/// Tokenizes a SQL statement. ParseError on malformed literals.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace rma::sql
+
+#endif  // RMA_SQL_LEXER_H_

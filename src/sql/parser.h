@@ -1,0 +1,28 @@
+#ifndef RMA_SQL_PARSER_H_
+#define RMA_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace rma::sql {
+
+/// Parses one SQL statement (trailing semicolon optional).
+///
+/// Supported grammar (case-insensitive keywords):
+///   SELECT items FROM from [WHERE e] [GROUP BY cols] [ORDER BY cols [DESC]]
+///     [LIMIT n]
+///   CREATE TABLE name AS select ; DROP TABLE name
+///   from:  ref ([CROSS] JOIN ref [ON e] | ',' ref)*
+///   ref:   table [AS? alias] | '(' select ')' alias
+///        | RMAOP '(' arg [',' arg] ')' [alias]      -- INV, MMU, TRA, ...
+///   arg:   ref BY col | ref BY '(' col, ... ')'
+Result<Statement> Parse(const std::string& input);
+
+/// Parses a bare SELECT query.
+Result<SelectStmtPtr> ParseSelect(const std::string& input);
+
+}  // namespace rma::sql
+
+#endif  // RMA_SQL_PARSER_H_

@@ -1,0 +1,335 @@
+#include "storage/bat_ops.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "storage/sparse_bat.h"
+
+namespace rma {
+namespace bat_ops {
+
+namespace {
+
+int CompareRows(const std::vector<BatPtr>& keys, int64_t i, int64_t j) {
+  for (const auto& k : keys) {
+    const int c = k->Compare(i, *k, j);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<int64_t> ArgSort(const std::vector<BatPtr>& keys) {
+  RMA_CHECK(!keys.empty());
+  const int64_t n = keys[0]->size();
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  if (keys.size() == 1 && keys[0]->type() == DataType::kInt64) {
+    // Fast path: single integer key.
+    auto* b = dynamic_cast<const Int64Bat*>(keys[0].get());
+    if (b != nullptr) {
+      const auto& d = b->data();
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&d](int64_t a, int64_t c) { return d[a] < d[c]; });
+      return perm;
+    }
+  }
+  if (keys.size() == 1 && keys[0]->type() == DataType::kDouble) {
+    auto* b = dynamic_cast<const DoubleBat*>(keys[0].get());
+    if (b != nullptr) {
+      const auto& d = b->data();
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&d](int64_t a, int64_t c) { return d[a] < d[c]; });
+      return perm;
+    }
+  }
+  std::stable_sort(perm.begin(), perm.end(), [&keys](int64_t a, int64_t b) {
+    return CompareRows(keys, a, b) < 0;
+  });
+  return perm;
+}
+
+std::vector<int64_t> ArgSortUnique(const std::vector<BatPtr>& keys,
+                                   bool* unique) {
+  std::vector<int64_t> perm = ArgSort(keys);
+  *unique = true;
+  for (size_t i = 1; i < perm.size(); ++i) {
+    if (CompareRows(keys, perm[i - 1], perm[i]) == 0) {
+      *unique = false;
+      break;
+    }
+  }
+  return perm;
+}
+
+bool IsSorted(const std::vector<BatPtr>& keys) {
+  if (keys.empty()) return true;
+  const int64_t n = keys[0]->size();
+  for (int64_t i = 1; i < n; ++i) {
+    if (CompareRows(keys, i - 1, i) > 0) return false;
+  }
+  return true;
+}
+
+bool IsKey(const std::vector<BatPtr>& keys) {
+  if (keys.empty()) return true;
+  const int64_t n = keys[0]->size();
+  // Flat open-addressing duplicate probe — one O(n) hash pass instead of a
+  // sort (this backs the key validation on the sort-avoiding paths).
+  size_t cap = 16;
+  while (cap < static_cast<size_t>(n) * 2) cap <<= 1;
+  const size_t mask = cap - 1;
+  std::vector<int64_t> slot(cap, -1);
+  std::vector<uint64_t> hashes(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t h = HashRow(keys, i);
+    hashes[static_cast<size_t>(i)] = h;
+    size_t pos = static_cast<size_t>(h) & mask;
+    while (slot[pos] >= 0) {
+      if (hashes[static_cast<size_t>(slot[pos])] == h &&
+          EqualRows(keys, slot[pos], keys, i)) {
+        return false;
+      }
+      pos = (pos + 1) & mask;
+    }
+    slot[pos] = i;
+  }
+  return true;
+}
+
+uint64_t HashRow(const std::vector<BatPtr>& keys, int64_t i) {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const auto& k : keys) {
+    const uint64_t v = k->Hash(i);
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+RowIndex BuildRowIndex(const std::vector<BatPtr>& keys) {
+  RowIndex index;
+  if (keys.empty()) return index;
+  const int64_t n = keys[0]->size();
+  index.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) index[HashRow(keys, i)].push_back(i);
+  return index;
+}
+
+bool EqualRows(const std::vector<BatPtr>& a, int64_t i,
+               const std::vector<BatPtr>& b, int64_t j) {
+  RMA_DCHECK(a.size() == b.size());
+  for (size_t c = 0; c < a.size(); ++c) {
+    if (a[c]->Compare(i, *b[c], j) != 0) return false;
+  }
+  return true;
+}
+
+Result<std::vector<int64_t>> AlignByKey(const std::vector<BatPtr>& build,
+                                        const std::vector<BatPtr>& probe) {
+  RMA_CHECK(!build.empty() && build.size() == probe.size());
+  const int64_t n = probe[0]->size();
+  if (build[0]->size() != n) {
+    return Status::Invalid("AlignByKey: relations differ in cardinality");
+  }
+  // Flat open-addressing table (linear probing, power-of-two capacity): a
+  // single allocation instead of one bucket vector per distinct key, which
+  // is what makes hash alignment cheaper than two multi-column sorts.
+  size_t cap = 16;
+  while (cap < static_cast<size_t>(n) * 2) cap <<= 1;
+  const size_t mask = cap - 1;
+  std::vector<int64_t> slot(cap, -1);
+  std::vector<uint64_t> hashes(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t h = HashRow(build, i);
+    hashes[static_cast<size_t>(i)] = h;
+    size_t pos = static_cast<size_t>(h) & mask;
+    while (slot[pos] >= 0) {
+      if (hashes[static_cast<size_t>(slot[pos])] == h &&
+          EqualRows(build, slot[pos], build, i)) {
+        // Duplicate build key: the order schema is not a key. The sorting
+        // fallback re-detects this and reports the user-facing error.
+        return Status::KeyError("AlignByKey: build keys are not unique");
+      }
+      pos = (pos + 1) & mask;
+    }
+    slot[pos] = i;
+  }
+  std::vector<int64_t> out(static_cast<size_t>(n), -1);
+  std::vector<uint8_t> consumed(static_cast<size_t>(n), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t h = HashRow(probe, i);
+    size_t pos = static_cast<size_t>(h) & mask;
+    int64_t match = -1;
+    while (slot[pos] >= 0) {
+      const int64_t cand = slot[pos];
+      if (hashes[static_cast<size_t>(cand)] == h &&
+          EqualRows(build, cand, probe, i)) {
+        match = cand;
+        break;
+      }
+      pos = (pos + 1) & mask;
+    }
+    if (match < 0) {
+      return Status::KeyError("AlignByKey: probe row has no matching key");
+    }
+    if (consumed[static_cast<size_t>(match)] != 0) {
+      return Status::KeyError("AlignByKey: probe keys are not unique");
+    }
+    consumed[static_cast<size_t>(match)] = 1;
+    out[static_cast<size_t>(i)] = match;
+  }
+  // Every build row was consumed exactly once: the match is a bijection, so
+  // both key sets are provably unique — callers need no separate key check.
+  return out;
+}
+
+namespace {
+
+const SparseDoubleBat* AsSparse(const BatPtr& b) {
+  return dynamic_cast<const SparseDoubleBat*>(b.get());
+}
+
+std::vector<double> DenseOf(const BatPtr& b) {
+  if (const auto* s = AsSparse(b)) return s->ToDense();
+  return ToDoubleVector(*b);
+}
+
+}  // namespace
+
+BatPtr AddColumns(const BatPtr& a, const BatPtr& b) {
+  RMA_DCHECK(a->size() == b->size());
+  const auto* sa = AsSparse(a);
+  const auto* sb = AsSparse(b);
+  if (sa != nullptr && sb != nullptr) return SparseAdd(*sa, *sb);
+  std::vector<double> x = DenseOf(a);
+  const std::vector<double> y = DenseOf(b);
+  for (size_t i = 0; i < x.size(); ++i) x[i] += y[i];
+  return MakeDoubleBat(std::move(x));
+}
+
+BatPtr SubColumns(const BatPtr& a, const BatPtr& b) {
+  RMA_DCHECK(a->size() == b->size());
+  std::vector<double> x = DenseOf(a);
+  const std::vector<double> y = DenseOf(b);
+  for (size_t i = 0; i < x.size(); ++i) x[i] -= y[i];
+  return MakeDoubleBat(std::move(x));
+}
+
+BatPtr MulColumns(const BatPtr& a, const BatPtr& b) {
+  RMA_DCHECK(a->size() == b->size());
+  std::vector<double> x = DenseOf(a);
+  const std::vector<double> y = DenseOf(b);
+  for (size_t i = 0; i < x.size(); ++i) x[i] *= y[i];
+  return MakeDoubleBat(std::move(x));
+}
+
+std::vector<double> AddDense(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  RMA_DCHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  RMA_DCHECK(x.size() == y->size());
+  double* yd = y->data();
+  const double* xd = x.data();
+  for (size_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+}
+
+void Scale(double alpha, std::vector<double>* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  RMA_DCHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Sum(const std::vector<double>& a) {
+  double s = 0.0;
+  for (double v : a) s += v;
+  return s;
+}
+
+std::vector<int64_t> SelectIndices(
+    const Bat& bat, const std::function<bool(const Value&)>& pred) {
+  std::vector<int64_t> out;
+  const int64_t n = bat.size();
+  for (int64_t i = 0; i < n; ++i) {
+    if (pred(bat.GetValue(i))) out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+template <typename T, typename Cmp>
+void ScanTyped(const std::vector<T>& data, Cmp cmp, double threshold,
+               std::vector<int64_t>* out) {
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (cmp(static_cast<double>(data[i]), threshold)) {
+      out->push_back(static_cast<int64_t>(i));
+    }
+  }
+}
+
+template <typename T>
+void ScanOp(const std::vector<T>& data, const std::string& op, double t,
+            std::vector<int64_t>* out) {
+  if (op == "<") {
+    ScanTyped(data, std::less<double>(), t, out);
+  } else if (op == "<=") {
+    ScanTyped(data, std::less_equal<double>(), t, out);
+  } else if (op == ">") {
+    ScanTyped(data, std::greater<double>(), t, out);
+  } else if (op == ">=") {
+    ScanTyped(data, std::greater_equal<double>(), t, out);
+  } else if (op == "==") {
+    ScanTyped(data, std::equal_to<double>(), t, out);
+  } else if (op == "!=") {
+    ScanTyped(data, std::not_equal_to<double>(), t, out);
+  } else {
+    RMA_CHECK(false && "unknown comparison op");
+  }
+}
+
+}  // namespace
+
+std::vector<int64_t> SelectNumeric(const Bat& bat, const std::string& op,
+                                   double threshold) {
+  std::vector<int64_t> out;
+  if (bat.type() == DataType::kDouble) {
+    if (const auto* d = dynamic_cast<const DoubleBat*>(&bat)) {
+      ScanOp(d->data(), op, threshold, &out);
+      return out;
+    }
+  }
+  if (bat.type() == DataType::kInt64) {
+    if (const auto* d = dynamic_cast<const Int64Bat*>(&bat)) {
+      ScanOp(d->data(), op, threshold, &out);
+      return out;
+    }
+  }
+  // Generic fallback (sparse columns, ...).
+  const int64_t n = bat.size();
+  for (int64_t i = 0; i < n; ++i) {
+    const double v = bat.GetDouble(i);
+    bool keep = false;
+    if (op == "<") keep = v < threshold;
+    else if (op == "<=") keep = v <= threshold;
+    else if (op == ">") keep = v > threshold;
+    else if (op == ">=") keep = v >= threshold;
+    else if (op == "==") keep = v == threshold;
+    else if (op == "!=") keep = v != threshold;
+    if (keep) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace bat_ops
+}  // namespace rma

@@ -1,0 +1,91 @@
+#ifndef RMA_STORAGE_BAT_OPS_H_
+#define RMA_STORAGE_BAT_OPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/bat.h"
+#include "util/result.h"
+
+namespace rma {
+
+/// Vectorized BAT-level operations (the MonetDB kernel surface).
+///
+/// Relational operators and the BAT-resident matrix kernels are written in
+/// terms of these primitives: multi-column stable argsort, gather
+/// (leftfetchjoin), predicated selection producing candidate lists, hash-key
+/// maps, and double-column arithmetic.
+namespace bat_ops {
+
+/// Stable argsort of rows under the lexicographic order of `keys`
+/// (all BATs must have equal length). Returns the permutation `perm` such
+/// that row `perm[0]` is smallest.
+std::vector<int64_t> ArgSort(const std::vector<BatPtr>& keys);
+
+/// Like ArgSort but also reports via `*unique` whether all key rows are
+/// distinct (the paper requires order schemas to form a key).
+std::vector<int64_t> ArgSortUnique(const std::vector<BatPtr>& keys,
+                                   bool* unique);
+
+/// True if rows are already sorted (non-strictly) under `keys`.
+bool IsSorted(const std::vector<BatPtr>& keys);
+
+/// True if all key rows are pairwise distinct. O(n) extra space.
+bool IsKey(const std::vector<BatPtr>& keys);
+
+/// 64-bit row hash combining all `keys` at row `i`.
+uint64_t HashRow(const std::vector<BatPtr>& keys, int64_t i);
+
+/// Hash map from key-row hash -> row indices. Collisions are resolved by the
+/// caller via EqualRows.
+using RowIndex = std::unordered_map<uint64_t, std::vector<int64_t>>;
+RowIndex BuildRowIndex(const std::vector<BatPtr>& keys);
+
+/// True if row `i` of `a` equals row `j` of `b` column-wise.
+bool EqualRows(const std::vector<BatPtr>& a, int64_t i,
+               const std::vector<BatPtr>& b, int64_t j);
+
+/// For each row of `probe` keys, finds the index of the matching row in
+/// `build` keys. Returns KeyError if some probe row has no match or either
+/// side contains duplicate keys — callers fall back to rank alignment
+/// (which reports the user-facing uniqueness error). On success the match
+/// is a bijection, which proves both key sets unique: no separate key
+/// validation is needed. This is the "relative sorting" optimization of
+/// Sec. 8.1.
+Result<std::vector<int64_t>> AlignByKey(const std::vector<BatPtr>& build,
+                                        const std::vector<BatPtr>& probe);
+
+// --- double-column arithmetic (element-wise, equal lengths) ---------------
+
+/// out[i] = a[i] + b[i]; uses the sparse fast path when both are compressed.
+BatPtr AddColumns(const BatPtr& a, const BatPtr& b);
+BatPtr SubColumns(const BatPtr& a, const BatPtr& b);
+BatPtr MulColumns(const BatPtr& a, const BatPtr& b);
+
+std::vector<double> AddDense(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// y[i] += alpha * x[i]
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+/// x[i] *= alpha
+void Scale(double alpha, std::vector<double>* x);
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+double Sum(const std::vector<double>& a);
+
+// --- predicated selection (candidate lists) --------------------------------
+
+/// Row indices where pred(bat value) holds.
+std::vector<int64_t> SelectIndices(const Bat& bat,
+                                   const std::function<bool(const Value&)>& pred);
+
+/// Row indices where the double value compares `op` against `threshold`;
+/// op is one of "<", "<=", ">", ">=", "==", "!=". Fast path for doubles/ints.
+std::vector<int64_t> SelectNumeric(const Bat& bat, const std::string& op,
+                                   double threshold);
+
+}  // namespace bat_ops
+}  // namespace rma
+
+#endif  // RMA_STORAGE_BAT_OPS_H_

@@ -1,0 +1,29 @@
+#ifndef RMA_STORAGE_DATA_TYPE_H_
+#define RMA_STORAGE_DATA_TYPE_H_
+
+#include <string>
+
+namespace rma {
+
+/// Attribute/value types supported by the column store.
+///
+/// The paper's application parts are numeric (materialized as double for
+/// matrix operations); order parts may additionally hold strings (user names,
+/// timestamps rendered as text, conference names, ...).
+enum class DataType : int {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+/// Human-readable type name ("INT", "DOUBLE", "STRING").
+const char* DataTypeName(DataType t);
+
+/// True for kInt64/kDouble — values usable in an application part.
+inline bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble;
+}
+
+}  // namespace rma
+
+#endif  // RMA_STORAGE_DATA_TYPE_H_

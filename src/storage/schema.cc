@@ -1,0 +1,93 @@
+#include "storage/schema.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace rma {
+
+Result<Schema> Schema::Make(std::vector<Attribute> attrs) {
+  std::unordered_set<std::string> seen;
+  for (const auto& a : attrs) {
+    if (!seen.insert(a.name).second) {
+      return Status::Invalid("duplicate attribute name: " + a.name);
+    }
+  }
+  return Schema(std::move(attrs));
+}
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::KeyError("unknown attribute: " + name);
+}
+
+Result<int> Schema::IndexOfIgnoreCase(const std::string& name) const {
+  int found = -1;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (EqualsIgnoreCase(attrs_[i].name, name)) {
+      if (found >= 0) {
+        return Status::KeyError("ambiguous attribute: " + name);
+      }
+      found = static_cast<int>(i);
+    }
+  }
+  if (found < 0) return Status::KeyError("unknown attribute: " + name);
+  return found;
+}
+
+std::vector<std::string> Schema::Names() const {
+  std::vector<std::string> out;
+  out.reserve(attrs_.size());
+  for (const auto& a : attrs_) out.push_back(a.name);
+  return out;
+}
+
+Result<Schema> Schema::Concat(const Schema& a, const Schema& b) {
+  std::vector<Attribute> attrs = a.attrs_;
+  attrs.insert(attrs.end(), b.attrs_.begin(), b.attrs_.end());
+  return Make(std::move(attrs));
+}
+
+Schema Schema::Select(const std::vector<int>& indices) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(indices.size());
+  for (int i : indices) attrs.push_back(attrs_[static_cast<size_t>(i)]);
+  return Schema(std::move(attrs));
+}
+
+Result<std::vector<int>> Schema::IndicesOf(
+    const std::vector<std::string>& names) const {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const auto& n : names) {
+    RMA_ASSIGN_OR_RETURN(int idx, IndexOf(n));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+std::vector<int> Schema::ComplementOf(const std::vector<int>& indices) const {
+  std::vector<bool> used(attrs_.size(), false);
+  for (int i : indices) used[static_cast<size_t>(i)] = true;
+  std::vector<int> out;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (!used[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attrs_[i].name;
+    out += ":";
+    out += DataTypeName(attrs_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rma

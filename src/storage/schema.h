@@ -1,0 +1,70 @@
+#ifndef RMA_STORAGE_SCHEMA_H_
+#define RMA_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/data_type.h"
+#include "util/result.h"
+
+namespace rma {
+
+/// A named, typed attribute of a relation schema.
+struct Attribute {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Attribute& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// A finite ordered list of attributes (Sec. 3.1). Attribute names within a
+/// schema are unique.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {}
+
+  /// Builds a schema, rejecting duplicate attribute names.
+  static Result<Schema> Make(std::vector<Attribute> attrs);
+
+  int num_attributes() const { return static_cast<int>(attrs_.size()); }
+  const Attribute& attribute(int i) const { return attrs_[static_cast<size_t>(i)]; }
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+
+  /// Position of `name`, or KeyError. Exact (case-sensitive) match.
+  Result<int> IndexOf(const std::string& name) const;
+
+  /// Position of `name` ignoring ASCII case (SQL identifier resolution),
+  /// or KeyError. Ambiguity (two case-insensitive matches) is an error.
+  Result<int> IndexOfIgnoreCase(const std::string& name) const;
+
+  bool Contains(const std::string& name) const { return IndexOf(name).ok(); }
+
+  /// All attribute names, in order.
+  std::vector<std::string> Names() const;
+
+  /// Concatenation (U ◦ V); duplicate names are rejected.
+  static Result<Schema> Concat(const Schema& a, const Schema& b);
+
+  /// Sub-schema at `indices`, in that order.
+  Schema Select(const std::vector<int>& indices) const;
+
+  /// Positions of `names` in this schema (KeyError on a miss).
+  Result<std::vector<int>> IndicesOf(const std::vector<std::string>& names) const;
+
+  /// Complement of `indices`: positions not listed, in schema order.
+  std::vector<int> ComplementOf(const std::vector<int>& indices) const;
+
+  bool operator==(const Schema& o) const { return attrs_ == o.attrs_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace rma
+
+#endif  // RMA_STORAGE_SCHEMA_H_

@@ -1,0 +1,107 @@
+#include "storage/sparse_bat.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace rma {
+
+std::shared_ptr<SparseDoubleBat> SparseDoubleBat::FromDense(
+    const std::vector<double>& dense) {
+  std::vector<int64_t> pos;
+  std::vector<double> val;
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] != 0.0) {
+      pos.push_back(static_cast<int64_t>(i));
+      val.push_back(dense[i]);
+    }
+  }
+  return std::make_shared<SparseDoubleBat>(static_cast<int64_t>(dense.size()),
+                                           std::move(pos), std::move(val));
+}
+
+BatPtr SparseDoubleBat::MaybeCompress(const BatPtr& bat, double min_zero_share) {
+  if (bat->type() != DataType::kDouble) return bat;
+  auto* dense = dynamic_cast<const DoubleBat*>(bat.get());
+  if (dense == nullptr) return bat;
+  const auto& d = dense->data();
+  if (d.empty()) return bat;
+  int64_t zeros = 0;
+  for (double v : d) zeros += (v == 0.0);
+  if (static_cast<double>(zeros) / static_cast<double>(d.size()) <
+      min_zero_share) {
+    return bat;
+  }
+  return FromDense(d);
+}
+
+std::vector<double> SparseDoubleBat::ToDense() const {
+  std::vector<double> out(static_cast<size_t>(n_), 0.0);
+  for (size_t k = 0; k < positions_.size(); ++k) {
+    out[static_cast<size_t>(positions_[k])] = values_[k];
+  }
+  return out;
+}
+
+double SparseDoubleBat::GetDouble(int64_t i) const {
+  auto it = std::lower_bound(positions_.begin(), positions_.end(), i);
+  if (it != positions_.end() && *it == i) {
+    return values_[static_cast<size_t>(it - positions_.begin())];
+  }
+  return 0.0;
+}
+
+std::string SparseDoubleBat::GetString(int64_t i) const {
+  return FormatDouble(GetDouble(i));
+}
+
+BatPtr SparseDoubleBat::Take(const std::vector<int64_t>& indices) const {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (int64_t idx : indices) out.push_back(GetDouble(idx));
+  return MakeDoubleBat(std::move(out));
+}
+
+int SparseDoubleBat::Compare(int64_t i, const Bat& other, int64_t j) const {
+  const double a = GetDouble(i);
+  const double b = other.GetDouble(j);
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+std::shared_ptr<SparseDoubleBat> SparseAdd(const SparseDoubleBat& a,
+                                           const SparseDoubleBat& b) {
+  RMA_DCHECK(a.size() == b.size());
+  std::vector<int64_t> pos;
+  std::vector<double> val;
+  pos.reserve(a.positions().size() + b.positions().size());
+  val.reserve(pos.capacity());
+  size_t i = 0;
+  size_t j = 0;
+  const auto& ap = a.positions();
+  const auto& bp = b.positions();
+  while (i < ap.size() || j < bp.size()) {
+    if (j >= bp.size() || (i < ap.size() && ap[i] < bp[j])) {
+      pos.push_back(ap[i]);
+      val.push_back(a.values()[i]);
+      ++i;
+    } else if (i >= ap.size() || bp[j] < ap[i]) {
+      pos.push_back(bp[j]);
+      val.push_back(b.values()[j]);
+      ++j;
+    } else {
+      const double s = a.values()[i] + b.values()[j];
+      if (s != 0.0) {
+        pos.push_back(ap[i]);
+        val.push_back(s);
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return std::make_shared<SparseDoubleBat>(a.size(), std::move(pos),
+                                           std::move(val));
+}
+
+}  // namespace rma

@@ -1,0 +1,62 @@
+#include "storage/value.h"
+
+#include "util/string_util.h"
+
+namespace rma {
+
+DataType ValueType(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return DataType::kInt64;
+    case 1:
+      return DataType::kDouble;
+    default:
+      return DataType::kString;
+  }
+}
+
+std::string ValueToString(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::to_string(std::get<int64_t>(v));
+    case 1:
+      return FormatDouble(std::get<double>(v));
+    default:
+      return std::get<std::string>(v);
+  }
+}
+
+double ValueToDouble(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return static_cast<double>(std::get<int64_t>(v));
+    case 1:
+      return std::get<double>(v);
+    default:
+      return 0.0;
+  }
+}
+
+namespace {
+
+bool IsNumericValue(const Value& v) { return v.index() < 2; }
+
+}  // namespace
+
+bool ValueLess(const Value& a, const Value& b) {
+  const bool an = IsNumericValue(a);
+  const bool bn = IsNumericValue(b);
+  if (an && bn) return ValueToDouble(a) < ValueToDouble(b);
+  if (an != bn) return an;  // numerics order before strings
+  return std::get<std::string>(a) < std::get<std::string>(b);
+}
+
+bool ValueEquals(const Value& a, const Value& b) {
+  const bool an = IsNumericValue(a);
+  const bool bn = IsNumericValue(b);
+  if (an && bn) return ValueToDouble(a) == ValueToDouble(b);
+  if (an != bn) return false;
+  return std::get<std::string>(a) == std::get<std::string>(b);
+}
+
+}  // namespace rma

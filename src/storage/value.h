@@ -1,0 +1,33 @@
+#ifndef RMA_STORAGE_VALUE_H_
+#define RMA_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "storage/data_type.h"
+
+namespace rma {
+
+/// A single (non-null) cell value. Used at module boundaries (row building,
+/// SQL evaluation, tests); hot paths operate on typed columns directly.
+using Value = std::variant<int64_t, double, std::string>;
+
+/// Dynamic type of a value.
+DataType ValueType(const Value& v);
+
+/// Rendering used by relation printing and the column cast (▽U).
+std::string ValueToString(const Value& v);
+
+/// Numeric coercion; strings yield 0.0 (callers validate types beforehand).
+double ValueToDouble(const Value& v);
+
+/// Total order across values. Numeric values (int64/double) compare
+/// numerically with each other; strings compare lexicographically; numerics
+/// order before strings (mixed-type columns do not occur in practice).
+bool ValueLess(const Value& a, const Value& b);
+bool ValueEquals(const Value& a, const Value& b);
+
+}  // namespace rma
+
+#endif  // RMA_STORAGE_VALUE_H_

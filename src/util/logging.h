@@ -1,0 +1,32 @@
+#ifndef RMA_UTIL_LOGGING_H_
+#define RMA_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rma::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "%s:%d: check failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace rma::internal
+
+/// Invariant check, active in all build types. Use for programmer errors
+/// (library bugs), not user-facing validation (which returns Status).
+#define RMA_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) ::rma::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+#ifdef NDEBUG
+#define RMA_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define RMA_DCHECK(expr) RMA_CHECK(expr)
+#endif
+
+#endif  // RMA_UTIL_LOGGING_H_

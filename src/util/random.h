@@ -1,0 +1,41 @@
+#ifndef RMA_UTIL_RANDOM_H_
+#define RMA_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace rma {
+
+/// Deterministic pseudo-random generator used by workload generators and
+/// property tests. A fixed seed makes experiments and tests reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p) { return std::bernoulli_distribution(p)(gen_); }
+
+  /// Normal draw.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace rma
+
+#endif  // RMA_UTIL_RANDOM_H_

@@ -1,0 +1,82 @@
+#ifndef RMA_UTIL_RESULT_H_
+#define RMA_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace rma {
+
+/// Either a value of type `T` or an error `Status` (Arrow-style).
+///
+/// Usage:
+///   Result<Relation> r = Inv(rel, {"User"});
+///   if (!r.ok()) return r.status();
+///   const Relation& rel = *r;
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit conversion from a (non-OK) status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    RMA_DCHECK(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Returns the contained value; undefined behaviour if `!ok()`.
+  T& ValueUnsafe() & { return std::get<T>(repr_); }
+  const T& ValueUnsafe() const& { return std::get<T>(repr_); }
+  T&& ValueUnsafe() && { return std::get<T>(std::move(repr_)); }
+
+  /// Returns the contained value or aborts with the error (tests/examples).
+  T ValueOrDie() && {
+    status().Abort();
+    return std::get<T>(std::move(repr_));
+  }
+  const T& ValueOrDie() const& {
+    status().Abort();
+    return std::get<T>(repr_);
+  }
+
+  T& operator*() & { return ValueUnsafe(); }
+  const T& operator*() const& { return ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace rma
+
+/// Propagates a non-OK status from an expression returning `Status`.
+#define RMA_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::rma::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define RMA_CONCAT_IMPL(a, b) a##b
+#define RMA_CONCAT(a, b) RMA_CONCAT_IMPL(a, b)
+
+/// Evaluates an expression returning `Result<T>`, propagating errors;
+/// on success binds the value to `lhs` (by move).
+#define RMA_ASSIGN_OR_RETURN(lhs, expr)                            \
+  RMA_ASSIGN_OR_RETURN_IMPL(RMA_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define RMA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)  \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueUnsafe();
+
+#endif  // RMA_UTIL_RESULT_H_

@@ -1,0 +1,50 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rma {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid";
+    case StatusCode::kKeyError:
+      return "KeyError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNumericError:
+      return "NumericError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kUnknownError:
+      return "Unknown";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::Abort() const {
+  if (ok()) return;
+  std::fprintf(stderr, "fatal status: %s\n", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace rma

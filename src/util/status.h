@@ -1,0 +1,108 @@
+#ifndef RMA_UTIL_STATUS_H_
+#define RMA_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace rma {
+
+/// Error categories used throughout the library (Arrow/RocksDB style).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Malformed input (bad schema, wrong arity, ...).
+  kKeyError = 2,          ///< Lookup failure (unknown attribute/table).
+  kTypeError = 3,         ///< Value of the wrong data type.
+  kNotImplemented = 4,    ///< Feature intentionally absent.
+  kOutOfRange = 5,        ///< Index outside the valid domain.
+  kNumericError = 6,      ///< Singular matrix, non-convergence, ...
+  kResourceExhausted = 7, ///< Memory/size budget exceeded.
+  kIoError = 8,           ///< File read/write failure.
+  kParseError = 9,        ///< SQL/CSV syntax error.
+  kUnknownError = 10,
+};
+
+/// Outcome of a fallible operation. Cheap to copy in the OK case (no
+/// allocation); error states carry a code and a message.
+///
+/// The library does not use exceptions: every fallible public entry point
+/// returns `Status` or `Result<T>` (see result.h).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsKeyError() const { return code() == StatusCode::kKeyError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNumericError() const { return code() == StatusCode::kNumericError; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+
+  /// Human-readable rendering, e.g. "Invalid: order schema is not a key".
+  std::string ToString() const;
+
+  /// Aborts the process if the status is not OK. Use in tests/examples only.
+  void Abort() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;  // nullptr == OK
+};
+
+/// Short name for a status code, e.g. "Invalid".
+const char* StatusCodeName(StatusCode code);
+
+}  // namespace rma
+
+#endif  // RMA_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef RMA_UTIL_STRING_UTIL_H_
+#define RMA_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rma {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep` (no trimming; empty fields preserved).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// ASCII lower-casing (SQL keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive equality for ASCII strings.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Formats a double the way column names derived from values are printed:
+/// integral values render without a decimal point ("7"), others compactly
+/// ("7.25"). Used by the column cast (▽U) when order values are numeric.
+std::string FormatDouble(double v);
+
+}  // namespace rma
+
+#endif  // RMA_UTIL_STRING_UTIL_H_

@@ -1,0 +1,31 @@
+#ifndef RMA_UTIL_TIMER_H_
+#define RMA_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace rma {
+
+/// Wall-clock stopwatch used by the benchmark harness.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rma
+
+#endif  // RMA_UTIL_TIMER_H_

@@ -1,0 +1,192 @@
+#include "workload/bixi.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace rma::workload {
+
+namespace {
+
+std::string FormatTimestamp(int64_t epoch_minutes) {
+  // Minutes since 2014-01-01 00:00, rendered as "YYYY-MM-DD HH:MM:00".
+  const int64_t minutes = epoch_minutes % 60;
+  const int64_t hours = (epoch_minutes / 60) % 24;
+  const int64_t days = epoch_minutes / (60 * 24);
+  const int64_t year = 2014 + days / 365;
+  const int64_t day_of_year = days % 365;
+  const int64_t month = day_of_year / 31 + 1;
+  const int64_t day = day_of_year % 31 + 1;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:00",
+                static_cast<int>(year), static_cast<int>(month),
+                static_cast<int>(day), static_cast<int>(hours),
+                static_cast<int>(minutes));
+  return buf;
+}
+
+// Planar distance in km from lat/lon deltas around Montreal.
+double DistanceKm(double lat1, double lon1, double lat2, double lon2) {
+  const double dy = (lat2 - lat1) * 111.0;
+  const double dx = (lon2 - lon1) * 78.0;  // cos(45.5°)·111
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+BixiData GenerateBixi(int64_t num_trips, int num_stations, uint64_t seed) {
+  Rng rng(seed);
+  // Stations around Montreal (45.5 N, -73.6 W).
+  std::vector<int64_t> codes;
+  std::vector<std::string> names;
+  std::vector<double> lats;
+  std::vector<double> lons;
+  for (int i = 0; i < num_stations; ++i) {
+    codes.push_back(1000 + i);
+    names.push_back("Station_" + std::to_string(i));
+    lats.push_back(45.40 + rng.Uniform(0.0, 0.2));
+    lons.push_back(-73.70 + rng.Uniform(0.0, 0.2));
+  }
+  // Popular station pairs: a Zipf-like skew so that frequent pairs pass the
+  // "at least 50 trips" filter.
+  const int num_pairs = std::max(16, num_stations * 4);
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<size_t>(num_pairs));
+  for (int p = 0; p < num_pairs; ++p) {
+    int a = static_cast<int>(rng.UniformInt(0, num_stations - 1));
+    int b = static_cast<int>(rng.UniformInt(0, num_stations - 1));
+    if (a == b) b = (b + 1) % num_stations;
+    pairs.emplace_back(a, b);
+  }
+  std::vector<int64_t> trip_id;
+  std::vector<std::string> start_time;
+  std::vector<int64_t> start_station;
+  std::vector<std::string> end_time;
+  std::vector<int64_t> end_station;
+  std::vector<int64_t> duration;
+  std::vector<int64_t> is_member;
+  trip_id.reserve(static_cast<size_t>(num_trips));
+  for (int64_t t = 0; t < num_trips; ++t) {
+    // Zipf-ish pair choice: rank ~ u^3 concentrates mass on low ranks.
+    const double u = rng.Uniform(0.0, 1.0);
+    const int rank = static_cast<int>(u * u * u * (num_pairs - 1));
+    const auto [a, b] = pairs[static_cast<size_t>(rank)];
+    const double dist = DistanceKm(lats[static_cast<size_t>(a)],
+                                   lons[static_cast<size_t>(a)],
+                                   lats[static_cast<size_t>(b)],
+                                   lons[static_cast<size_t>(b)]);
+    // duration ≈ 300s + 240 s/km · dist + noise.
+    const double dur =
+        300.0 + 240.0 * dist + rng.Normal(0.0, 120.0);
+    const int64_t start = rng.UniformInt(0, 4 * 365 * 24 * 60 - 1);
+    trip_id.push_back(t);
+    start_time.push_back(FormatTimestamp(start));
+    start_station.push_back(codes[static_cast<size_t>(a)]);
+    end_time.push_back(FormatTimestamp(start + static_cast<int64_t>(dur / 60)));
+    end_station.push_back(codes[static_cast<size_t>(b)]);
+    duration.push_back(std::max<int64_t>(60, static_cast<int64_t>(dur)));
+    is_member.push_back(rng.Bernoulli(0.8) ? 1 : 0);
+  }
+  BixiData out;
+  out.stations =
+      Relation::Make(
+          Schema::Make({{"code", DataType::kInt64},
+                        {"name", DataType::kString},
+                        {"lat", DataType::kDouble},
+                        {"lon", DataType::kDouble}})
+              .ValueOrDie(),
+          {MakeInt64Bat(std::move(codes)), MakeStringBat(std::move(names)),
+           MakeDoubleBat(std::move(lats)), MakeDoubleBat(std::move(lons))},
+          "stations")
+          .ValueOrDie();
+  out.trips =
+      Relation::Make(
+          Schema::Make({{"id", DataType::kInt64},
+                        {"start_time", DataType::kString},
+                        {"start_station", DataType::kInt64},
+                        {"end_time", DataType::kString},
+                        {"end_station", DataType::kInt64},
+                        {"duration", DataType::kInt64},
+                        {"is_member", DataType::kInt64}})
+              .ValueOrDie(),
+          {MakeInt64Bat(std::move(trip_id)), MakeStringBat(std::move(start_time)),
+           MakeInt64Bat(std::move(start_station)),
+           MakeStringBat(std::move(end_time)),
+           MakeInt64Bat(std::move(end_station)),
+           MakeInt64Bat(std::move(duration)), MakeInt64Bat(std::move(is_member))},
+          "trips")
+          .ValueOrDie();
+  return out;
+}
+
+Relation GenerateJourneys(int64_t num_journeys, int num_stations,
+                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> id(static_cast<size_t>(num_journeys));
+  std::iota(id.begin(), id.end(), 0);
+  std::vector<int64_t> rider(static_cast<size_t>(num_journeys));
+  std::vector<int64_t> seq(static_cast<size_t>(num_journeys));
+  std::vector<int64_t> s1;
+  std::vector<int64_t> s2;
+  std::vector<double> dur;
+  s1.reserve(static_cast<size_t>(num_journeys));
+  // Each rider performs kTripsPerRider consecutive trips that meet in a
+  // station: trip j ends where trip j+1 starts. k-trip journeys are
+  // recovered by joining the relation with itself k-1 times on consecutive
+  // (rider, seq) — every hop joins the full relation, which is what makes
+  // the Fig. 16 runtime grow with the journey length. The hop length is a
+  // deterministic function of the current station (1 + s mod 7), so
+  // journeys sharing a start station repeat (surviving the ">= 50
+  // occurrences" filter) while per-hop distances vary across start
+  // stations, keeping the regression design full-rank.
+  int64_t cur = rng.UniformInt(0, num_stations - 1);
+  for (int64_t i = 0; i < num_journeys; ++i) {
+    rider[static_cast<size_t>(i)] = i / kTripsPerRider;
+    seq[static_cast<size_t>(i)] = i % kTripsPerRider;
+    if (seq[static_cast<size_t>(i)] == 0) {
+      cur = rng.UniformInt(0, num_stations - 1);  // new rider, new start
+    }
+    const int64_t gap = 1 + cur % 7;
+    const int64_t next = cur + gap < num_stations ? cur + gap : cur - gap;
+    const double hop = std::fabs(static_cast<double>(cur - next));
+    s1.push_back(cur);
+    s2.push_back(next);
+    dur.push_back(200.0 + 50.0 * hop + rng.Normal(0.0, 10.0));
+    cur = next;
+  }
+  return Relation::Make(
+             Schema::Make({{"id", DataType::kInt64},
+                           {"rider", DataType::kInt64},
+                           {"seq", DataType::kInt64},
+                           {"s1", DataType::kInt64},
+                           {"s2", DataType::kInt64},
+                           {"duration", DataType::kDouble}})
+                 .ValueOrDie(),
+             {MakeInt64Bat(std::move(id)), MakeInt64Bat(std::move(rider)),
+              MakeInt64Bat(std::move(seq)), MakeInt64Bat(std::move(s1)),
+              MakeInt64Bat(std::move(s2)), MakeDoubleBat(std::move(dur))},
+             "journeys")
+      .ValueOrDie();
+}
+
+Relation GenerateTripCounts(int64_t num_riders, int destinations,
+                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> rider(static_cast<size_t>(num_riders));
+  std::iota(rider.begin(), rider.end(), 0);
+  std::vector<Attribute> attrs = {{"rider", DataType::kInt64}};
+  std::vector<BatPtr> cols = {MakeInt64Bat(std::move(rider))};
+  for (int d = 0; d < destinations; ++d) {
+    std::vector<double> v(static_cast<size_t>(num_riders));
+    for (auto& x : v) x = static_cast<double>(rng.UniformInt(0, 40));
+    attrs.push_back(Attribute{"d" + std::to_string(d), DataType::kDouble});
+    cols.push_back(MakeDoubleBat(std::move(v)));
+  }
+  return Relation::Make(Schema::Make(std::move(attrs)).ValueOrDie(),
+                        std::move(cols), "trip_counts")
+      .ValueOrDie();
+}
+
+}  // namespace rma::workload

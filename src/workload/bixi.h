@@ -1,0 +1,46 @@
+#ifndef RMA_WORKLOAD_BIXI_H_
+#define RMA_WORKLOAD_BIXI_H_
+
+#include <cstdint>
+
+#include "storage/relation.h"
+
+namespace rma::workload {
+
+/// Synthetic stand-in for the BIXI Montreal bike-sharing dataset (Sec. 8).
+/// The real Kaggle dump is not available offline; the generator reproduces
+/// its schema, the numeric/non-numeric attribute mix (timestamps as strings,
+/// which is what penalizes AIDA's data transfer in Fig. 15), the popularity
+/// skew over station pairs (so the "at least 50 trips" filter keeps a
+/// non-trivial subset), and a duration ≈ β·distance + noise relationship
+/// (so the OLS regression of Fig. 15 recovers a meaningful slope).
+struct BixiData {
+  /// stations(code INT, name STRING, lat DOUBLE, lon DOUBLE)
+  Relation stations;
+  /// trips(id INT, start_time STRING, start_station INT, end_time STRING,
+  ///       end_station INT, duration INT, is_member INT)
+  Relation trips;
+};
+
+BixiData GenerateBixi(int64_t num_trips, int num_stations, uint64_t seed);
+
+/// Trips each rider performs in GenerateJourneys; `seq` cycles 0..this-1.
+inline constexpr int64_t kTripsPerRider = 24;
+
+/// One-trip journeys for the multiple-linear-regression workload (Fig. 16):
+/// journeys(id INT, rider INT, seq INT, s1 INT, s2 INT, duration DOUBLE) —
+/// all numeric, which is why AIDA keeps up with RMA+ on this workload.
+/// Consecutive trips of one rider (same `rider`, `seq` and `seq`+1) meet in
+/// a station, so k-trip journeys are k-1 self-joins over the full relation.
+Relation GenerateJourneys(int64_t num_journeys, int num_stations,
+                          uint64_t seed);
+
+/// Rider trip counts for the add workload (Fig. 18):
+/// riders(rider INT, d0..d9 DOUBLE) — trips per rider to 10 destinations
+/// in one year.
+Relation GenerateTripCounts(int64_t num_riders, int destinations,
+                            uint64_t seed);
+
+}  // namespace rma::workload
+
+#endif  // RMA_WORKLOAD_BIXI_H_

@@ -1,0 +1,142 @@
+#include "workload/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace rma::workload {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Splits one CSV line honoring quotes.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+Status WriteCsv(const Relation& r, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  const auto names = r.schema().Names();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out << ',';
+    out << QuoteField(names[i]);
+  }
+  out << '\n';
+  const int64_t n = r.num_rows();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int c = 0; c < r.num_columns(); ++c) {
+      if (c > 0) out << ',';
+      out << QuoteField(r.column(c)->GetString(i));
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Relation> ReadCsv(const std::string& path, const Schema& schema,
+                         std::string name) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
+  const std::vector<std::string> header = SplitCsvLine(line);
+  if (static_cast<int>(header.size()) != schema.num_attributes()) {
+    return Status::Invalid("CSV header does not match the given schema");
+  }
+  for (int c = 0; c < schema.num_attributes(); ++c) {
+    if (header[static_cast<size_t>(c)] != schema.attribute(c).name) {
+      return Status::Invalid("CSV header mismatch at column " +
+                             std::to_string(c));
+    }
+  }
+  const int ncol = schema.num_attributes();
+  std::vector<std::vector<int64_t>> icols(static_cast<size_t>(ncol));
+  std::vector<std::vector<double>> dcols(static_cast<size_t>(ncol));
+  std::vector<std::vector<std::string>> scols(static_cast<size_t>(ncol));
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (static_cast<int>(fields.size()) != ncol) {
+      return Status::ParseError("CSV row arity mismatch");
+    }
+    for (int c = 0; c < ncol; ++c) {
+      const std::string& f = fields[static_cast<size_t>(c)];
+      switch (schema.attribute(c).type) {
+        case DataType::kInt64:
+          icols[static_cast<size_t>(c)].push_back(
+              std::strtoll(f.c_str(), nullptr, 10));
+          break;
+        case DataType::kDouble:
+          dcols[static_cast<size_t>(c)].push_back(
+              std::strtod(f.c_str(), nullptr));
+          break;
+        case DataType::kString:
+          scols[static_cast<size_t>(c)].push_back(f);
+          break;
+      }
+    }
+  }
+  std::vector<BatPtr> cols;
+  for (int c = 0; c < ncol; ++c) {
+    switch (schema.attribute(c).type) {
+      case DataType::kInt64:
+        cols.push_back(MakeInt64Bat(std::move(icols[static_cast<size_t>(c)])));
+        break;
+      case DataType::kDouble:
+        cols.push_back(MakeDoubleBat(std::move(dcols[static_cast<size_t>(c)])));
+        break;
+      case DataType::kString:
+        cols.push_back(MakeStringBat(std::move(scols[static_cast<size_t>(c)])));
+        break;
+    }
+  }
+  return Relation::Make(schema, std::move(cols), std::move(name));
+}
+
+}  // namespace rma::workload

@@ -1,0 +1,23 @@
+#ifndef RMA_WORKLOAD_CSV_H_
+#define RMA_WORKLOAD_CSV_H_
+
+#include <string>
+
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace rma::workload {
+
+/// Writes a relation as CSV with a header line. String values are quoted
+/// when they contain separators/quotes.
+Status WriteCsv(const Relation& r, const std::string& path);
+
+/// Reads a CSV produced by WriteCsv. Column types are given by `schema`
+/// (the header must match its attribute names). This backs the "load from
+/// CSV" share of the R bars in Fig. 15.
+Result<Relation> ReadCsv(const std::string& path, const Schema& schema,
+                         std::string name = "r");
+
+}  // namespace rma::workload
+
+#endif  // RMA_WORKLOAD_CSV_H_

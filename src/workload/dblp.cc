@@ -1,0 +1,96 @@
+#include "workload/dblp.h"
+
+#include <cstdio>
+
+#include "util/random.h"
+
+namespace rma::workload {
+
+namespace {
+
+std::string ConfName(int c) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "conf%03d", c);
+  return buf;
+}
+
+std::string AuthorName(int64_t a) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "author%07lld", static_cast<long long>(a));
+  return buf;
+}
+
+}  // namespace
+
+DblpData GenerateDblp(int64_t num_authors, int num_conferences,
+                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> authors;
+  authors.reserve(static_cast<size_t>(num_authors));
+  for (int64_t a = 0; a < num_authors; ++a) authors.push_back(AuthorName(a));
+  std::vector<Attribute> attrs = {{"Author", DataType::kString}};
+  std::vector<BatPtr> cols = {MakeStringBat(std::move(authors))};
+  // Publication counts: each author publishes at ~3 conferences on average;
+  // column-major generation keeps the pivot table sparse like real DBLP.
+  std::vector<std::vector<double>> counts(
+      static_cast<size_t>(num_conferences),
+      std::vector<double>(static_cast<size_t>(num_authors), 0.0));
+  for (int64_t a = 0; a < num_authors; ++a) {
+    const int venues = static_cast<int>(rng.UniformInt(1, 5));
+    for (int v = 0; v < venues; ++v) {
+      const int c = static_cast<int>(rng.UniformInt(0, num_conferences - 1));
+      counts[static_cast<size_t>(c)][static_cast<size_t>(a)] +=
+          static_cast<double>(rng.UniformInt(1, 8));
+    }
+  }
+  for (int c = 0; c < num_conferences; ++c) {
+    attrs.push_back(Attribute{ConfName(c), DataType::kDouble});
+    cols.push_back(MakeDoubleBat(std::move(counts[static_cast<size_t>(c)])));
+  }
+  DblpData out;
+  out.publications =
+      Relation::Make(Schema::Make(std::move(attrs)).ValueOrDie(),
+                     std::move(cols), "publication")
+          .ValueOrDie();
+  // Ranking: ~10% A++, then A+, A, B.
+  std::vector<std::string> conf_names;
+  std::vector<std::string> ratings;
+  for (int c = 0; c < num_conferences; ++c) {
+    conf_names.push_back(ConfName(c));
+    const double u = rng.Uniform(0.0, 1.0);
+    ratings.push_back(u < 0.1    ? "A++"
+                      : u < 0.3  ? "A+"
+                      : u < 0.6  ? "A"
+                                 : "B");
+  }
+  out.ranking = Relation::Make(Schema::Make({{"Conf", DataType::kString},
+                                             {"Rating", DataType::kString}})
+                                   .ValueOrDie(),
+                               {MakeStringBat(std::move(conf_names)),
+                                MakeStringBat(std::move(ratings))},
+                               "ranking")
+                    .ValueOrDie();
+  return out;
+}
+
+Relation GeneratePublicationList(int64_t num_rows, int num_authors,
+                                 int num_conferences, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> authors;
+  std::vector<std::string> confs;
+  authors.reserve(static_cast<size_t>(num_rows));
+  for (int64_t i = 0; i < num_rows; ++i) {
+    authors.push_back(AuthorName(rng.UniformInt(0, num_authors - 1)));
+    confs.push_back(ConfName(static_cast<int>(
+        rng.UniformInt(0, num_conferences - 1))));
+  }
+  return Relation::Make(Schema::Make({{"Author", DataType::kString},
+                                      {"Conf", DataType::kString}})
+                            .ValueOrDie(),
+                        {MakeStringBat(std::move(authors)),
+                         MakeStringBat(std::move(confs))},
+                        "publication_list")
+      .ValueOrDie();
+}
+
+}  // namespace rma::workload

@@ -1,0 +1,31 @@
+#ifndef RMA_WORKLOAD_DBLP_H_
+#define RMA_WORKLOAD_DBLP_H_
+
+#include <cstdint>
+
+#include "storage/relation.h"
+
+namespace rma::workload {
+
+/// Synthetic stand-in for the DBLP dataset of Sec. 8.6(3): authors with
+/// publication counts per conference (the result of SQL PIVOT over a
+/// count-aggregate) and a conference ranking table. The real dump is not
+/// available offline; cardinalities and sparsity are matched (most authors
+/// publish at few conferences).
+struct DblpData {
+  /// publications(Author STRING, <conf_0>..<conf_{k-1}> DOUBLE)
+  Relation publications;
+  /// ranking(Conf STRING, Rating STRING) — about 10% rated "A++"
+  Relation ranking;
+};
+
+DblpData GenerateDblp(int64_t num_authors, int num_conferences, uint64_t seed);
+
+/// The raw (unpivoted) publication list used to exercise rel::PivotCount in
+/// tests/examples: publication(Author STRING, Conf STRING).
+Relation GeneratePublicationList(int64_t num_rows, int num_authors,
+                                 int num_conferences, uint64_t seed);
+
+}  // namespace rma::workload
+
+#endif  // RMA_WORKLOAD_DBLP_H_

@@ -1,0 +1,41 @@
+#ifndef RMA_WORKLOAD_SYNTHETIC_H_
+#define RMA_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace rma::workload {
+
+/// Uniform numeric relation: INT key attribute "id" (a shuffled permutation
+/// of 0..n-1, or 0..n-1 in order if `sorted`), plus `app_cols` DOUBLE
+/// attributes "a0".. with uniform values in [lo, hi). This is the synthetic
+/// data of Sec. 8 ("uniformly distributed values between 0 and 10,000").
+Relation UniformRelation(int64_t n, int app_cols, uint64_t seed,
+                         double lo = 0.0, double hi = 10000.0,
+                         bool sorted = false, std::string name = "r");
+
+/// Relation for the Fig. 13 experiment: `order_cols` INT order attributes
+/// "o0".."o<k-1>" and a single DOUBLE application attribute "val". The
+/// leading order attributes are constant so that every row comparison walks
+/// the whole order schema; the last order attribute makes the key unique.
+/// Two relations generated with the same `n`/`order_cols`/`seed` share their
+/// key values (required for add's relative alignment).
+Relation ManyOrderColumnsRelation(int64_t n, int order_cols, uint64_t seed,
+                                  uint64_t value_seed, std::string name = "r");
+
+/// Sparse relation of Table 5: INT key "id" plus `app_cols` DOUBLE columns
+/// where a `zero_share` fraction of values is 0 (positions random) and the
+/// rest is uniform in [1, 5e6).
+Relation SparseRelation(int64_t n, int app_cols, double zero_share,
+                        uint64_t seed, std::string name = "r");
+
+/// Compresses all double columns of `r` whose zero share is at least
+/// `min_zero_share` (MonetDB's compression stand-in; see SparseDoubleBat).
+Relation CompressRelation(const Relation& r, double min_zero_share = 0.5);
+
+}  // namespace rma::workload
+
+#endif  // RMA_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,171 @@
+// Competitor-system simulations: each baseline must compute the same
+// results as the native engine (their difference is cost, not semantics).
+#include <gtest/gtest.h>
+
+#include "baselines/aidalike/aida.h"
+#include "baselines/madliblike/madlib.h"
+#include "baselines/rlike/rlike.h"
+#include "baselines/scidblike/scidb.h"
+#include "core/rma.h"
+#include "matrix/blas.h"
+#include "rel/operators.h"
+#include "test_util.h"
+#include "workload/synthetic.h"
+
+namespace rma {
+namespace {
+
+namespace rl = baselines::rlike;
+namespace ml = baselines::madliblike;
+namespace ai = baselines::aidalike;
+namespace sc = baselines::scidblike;
+
+using testing::MakeRelation;
+
+Relation SmallNumeric() {
+  return MakeRelation({{"id", DataType::kInt64},
+                       {"x", DataType::kDouble},
+                       {"y", DataType::kDouble}},
+                      {{int64_t{0}, 1.0, 2.0},
+                       {int64_t{1}, 3.0, 4.0},
+                       {int64_t{2}, 5.0, 6.0}},
+                      "n");
+}
+
+// --- R-like --------------------------------------------------------------------
+
+TEST(RLike, RoundTripPreservesContents) {
+  const Relation r = testing::UsersRelation();
+  const rl::DataFrame df = rl::FromRelation(r);
+  EXPECT_EQ(df.num_rows(), 3);
+  const Relation back = rl::ToRelation(df);
+  EXPECT_EQ(back.num_rows(), 3);
+  EXPECT_EQ(ValueToString(back.Get(0, 0)), "Ann");
+  // Numeric columns widen to double in R.
+  EXPECT_EQ(back.schema().attribute(2).type, DataType::kDouble);
+}
+
+TEST(RLike, JoinMatchesRelationalJoin) {
+  const Relation u = testing::UsersRelation();
+  const Relation rating = testing::RatingsRelation();
+  const rl::DataFrame joined =
+      rl::InnerJoin(rl::FromRelation(u), rl::FromRelation(rating), {"User"},
+                    {"User"})
+          .ValueOrDie();
+  const Relation expected =
+      rel::HashJoin(u, rating, {"User"}, {"User"}).ValueOrDie();
+  EXPECT_EQ(joined.num_rows(), expected.num_rows());
+}
+
+TEST(RLike, GroupOpsAndFilter) {
+  const rl::DataFrame df = rl::FromRelation(SmallNumeric());
+  const rl::DataFrame filtered =
+      rl::FilterNumeric(df, "x", ">=", 3.0).ValueOrDie();
+  EXPECT_EQ(filtered.num_rows(), 2);
+  const rl::DataFrame counts = rl::GroupCount(df, {"id"}).ValueOrDie();
+  EXPECT_EQ(counts.num_rows(), 3);
+  const rl::DataFrame means = rl::GroupMean(df, {"id"}, "x").ValueOrDie();
+  EXPECT_EQ(means.num_rows(), 3);
+  EXPECT_EQ(means.Doubles(*means.ColumnIndex("mean"))[0], 1.0);
+}
+
+TEST(RLike, AsMatrixRespectsMemoryBudget) {
+  const rl::DataFrame df = rl::FromRelation(SmallNumeric());
+  rl::Options tiny;
+  tiny.memory_budget_bytes = 8;
+  EXPECT_STATUS(kResourceExhausted, rl::AsMatrix(df, {"x", "y"}, tiny));
+  rl::Options ok;
+  const DenseMatrix m = rl::AsMatrix(df, {"x", "y"}, ok).ValueOrDie();
+  EXPECT_EQ(m(2, 1), 6.0);
+}
+
+// --- AIDA-like ---------------------------------------------------------------------
+
+TEST(AidaLike, NumericColumnsPassZeroCopy) {
+  const Relation r = SmallNumeric();
+  const ai::TabularData td = ai::TabularData::FromRelation(r);
+  const DenseMatrix m = td.ToMatrix({"x", "y"}).ValueOrDie();
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_STATUS(kKeyError, td.ToMatrix({"nope"}));
+}
+
+TEST(AidaLike, StringsAreBoxedAndUnboxed) {
+  const Relation r = testing::UsersRelation();
+  const ai::TabularData td = ai::TabularData::FromRelation(r);
+  const Relation back = td.ToRelation();
+  EXPECT_EQ(ValueToString(back.Get(1, 0)), "Tom");
+  EXPECT_STATUS(kTypeError, td.ToMatrix({"User"}));
+}
+
+// --- MADlib-like -------------------------------------------------------------------
+
+TEST(MadlibLike, RowTableOpsMatchRelational) {
+  const ml::RowTable t = ml::RowTable::FromRelation(SmallNumeric());
+  EXPECT_EQ(t.num_rows(), 3);
+  const ml::RowTable f = t.Filter([](const std::vector<Value>& row) {
+    return ValueToDouble(row[1]) > 2.0;
+  });
+  EXPECT_EQ(f.num_rows(), 2);
+  const Relation back = t.ToRelation("back");
+  EXPECT_TRUE(RelationsEqualOrdered(back, SmallNumeric()));
+}
+
+TEST(MadlibLike, LinRegrRecoversPlantedModel) {
+  // y = 10 + 2x exactly.
+  RelationBuilder b(Schema::Make({{"x", DataType::kDouble},
+                                  {"y", DataType::kDouble}})
+                        .ValueOrDie());
+  for (int i = 0; i < 50; ++i) {
+    b.AppendRow({static_cast<double>(i), 10.0 + 2.0 * i}).Abort();
+  }
+  const ml::RowTable t = ml::RowTable::FromRelation(b.Finish().ValueOrDie());
+  const std::vector<double> beta = ml::LinRegr(t, {"x"}, "y").ValueOrDie();
+  EXPECT_NEAR(beta[0], 10.0, 1e-8);
+  EXPECT_NEAR(beta[1], 2.0, 1e-8);
+}
+
+TEST(MadlibLike, SingleCoreKernelsMatchBlas) {
+  const Relation r = workload::UniformRelation(20, 5, 3, -2, 2, true);
+  std::vector<std::string> cols;
+  for (int c = 0; c < 5; ++c) cols.push_back("a" + std::to_string(c));
+  const ml::RowTable t = ml::RowTable::FromRelation(r);
+  const DenseMatrix m = ml::ToMatrix(t, cols).ValueOrDie();
+  EXPECT_TRUE(ml::CrossProdSingleCore(m, m).AllClose(
+      blas::CrossProd(m, m).ValueOrDie(), 1e-9));
+  EXPECT_TRUE(ml::MatMulSingleCore(m.Transposed(), m)
+                  .AllClose(blas::MatMul(m.Transposed(), m).ValueOrDie(),
+                            1e-9));
+  EXPECT_TRUE(ml::AddSingleCore(m, m).AllClose(
+      blas::Add(m, m).ValueOrDie(), 1e-9));
+}
+
+// --- SciDB-like --------------------------------------------------------------------
+
+TEST(SciDbLike, AddJoinMatchesRmaAdd) {
+  const Relation r = workload::UniformRelation(1000, 4, 11, 0, 100, true, "r");
+  Relation s = workload::UniformRelation(1000, 4, 12, 0, 100, true, "s");
+  s = rel::Rename(s, "id", "id2").ValueOrDie();
+  const sc::ChunkedArray a = sc::ChunkedArray::FromRelation(r, "id").ValueOrDie();
+  const sc::ChunkedArray b = sc::ChunkedArray::FromRelation(s, "id2").ValueOrDie();
+  const sc::ChunkedArray sum = a.AddJoin(b).ValueOrDie();
+  EXPECT_EQ(sum.num_cells(), 1000);
+  const Relation scidb_out =
+      sum.FilterToRelation("a0", ">", 50.0).ValueOrDie();
+  // Reference through RMA.
+  const Relation rma_sum = Add(r, {"id"}, s, {"id2"}).ValueOrDie();
+  const auto col = ToDoubleVector(**rma_sum.ColumnByName("a0"));
+  int64_t expected = 0;
+  for (double v : col) expected += (v > 50.0);
+  EXPECT_EQ(scidb_out.num_rows(), expected);
+}
+
+TEST(SciDbLike, ValidatesInputs) {
+  const Relation r = testing::UsersRelation();
+  EXPECT_STATUS(kTypeError, sc::ChunkedArray::FromRelation(r, "User"));
+  const Relation n = SmallNumeric();
+  const sc::ChunkedArray a = sc::ChunkedArray::FromRelation(n, "id").ValueOrDie();
+  EXPECT_STATUS(kKeyError, a.FilterToRelation("zz", ">", 0));
+}
+
+}  // namespace
+}  // namespace rma

@@ -1,0 +1,95 @@
+// Matrix/relation constructors and casts (Sec. 3-4).
+#include <gtest/gtest.h>
+
+#include "core/constructors.h"
+#include "storage/bat_ops.h"
+#include "test_util.h"
+
+namespace rma {
+namespace {
+
+using testing::MakeRelation;
+using testing::WeatherRelation;
+
+TEST(Constructors, SplitSchemaPartitionsAttributes) {
+  const Relation r = WeatherRelation();
+  const OrderSplit split = SplitSchema(r, {"T"}).ValueOrDie();
+  EXPECT_EQ(split.order_idx, (std::vector<int>{0}));
+  EXPECT_EQ(split.app_idx, (std::vector<int>{1, 2}));
+  // Multi-attribute order schema, given order preserved.
+  const OrderSplit split2 = SplitSchema(r, {"W", "T"}).ValueOrDie();
+  EXPECT_EQ(split2.order_idx, (std::vector<int>{2, 0}));
+  EXPECT_EQ(split2.app_idx, (std::vector<int>{1}));
+}
+
+TEST(Constructors, SplitSchemaRejectsNonNumericApplication) {
+  const Relation r = MakeRelation(
+      {{"k", DataType::kInt64}, {"s", DataType::kString}},
+      {{int64_t{1}, std::string("x")}});
+  EXPECT_STATUS(kTypeError, SplitSchema(r, {"k"}));
+  EXPECT_STATUS(kKeyError, SplitSchema(r, {"nope"}));
+}
+
+TEST(Constructors, MatrixConstructorSortsByOrderSchema) {
+  // Example 4.3 / Fig. 3: µ_T over the filtered weather relation.
+  const Relation r = MakeRelation(
+      {{"T", DataType::kString}, {"H", DataType::kDouble}, {"W", DataType::kDouble}},
+      {{std::string("8am"), 8.0, 5.0}, {std::string("7am"), 6.0, 7.0}});
+  const DenseMatrix m = MatrixConstructor(r, {"T"}).ValueOrDie();
+  ASSERT_EQ(m.rows(), 2);
+  ASSERT_EQ(m.cols(), 2);
+  EXPECT_EQ(m(0, 0), 6.0);  // 7am row first
+  EXPECT_EQ(m(0, 1), 7.0);
+  EXPECT_EQ(m(1, 0), 8.0);
+  EXPECT_EQ(m(1, 1), 5.0);
+}
+
+TEST(Constructors, MatrixConstructorChecksKey) {
+  const Relation dup = MakeRelation(
+      {{"k", DataType::kInt64}, {"x", DataType::kDouble}},
+      {{int64_t{1}, 1.0}, {int64_t{1}, 2.0}});
+  EXPECT_STATUS(kInvalidArgument, MatrixConstructor(dup, {"k"}));
+  EXPECT_STATUS(kInvalidArgument, MatrixConstructor(dup, {}));
+}
+
+TEST(Constructors, RelationConstructorRoundTrip) {
+  DenseMatrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  const Schema schema = Schema::Make({{"x", DataType::kDouble},
+                                      {"y", DataType::kDouble}})
+                            .ValueOrDie();
+  const Relation r = RelationConstructor(m, schema, "g").ValueOrDie();
+  EXPECT_EQ(r.name(), "g");
+  EXPECT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(ValueToDouble(r.Get(1, 0)), 3.0);
+  EXPECT_STATUS(kInvalidArgument,
+                RelationConstructor(m, Schema::Make({{"x", DataType::kDouble}})
+                                           .ValueOrDie()));
+}
+
+TEST(Constructors, SchemaCastReturnsNames) {
+  const Relation r = WeatherRelation();
+  EXPECT_EQ(SchemaCast(r.schema(), {1, 2}),
+            (std::vector<std::string>{"H", "W"}));
+  EXPECT_EQ(SchemaCast(r.schema(), {2, 0}),
+            (std::vector<std::string>{"W", "T"}));
+}
+
+TEST(Constructors, ColumnCastStringifiesSortedValues) {
+  const Relation r = WeatherRelation();
+  const std::vector<int64_t> perm = bat_ops::ArgSort({r.column(0)});
+  EXPECT_EQ(ColumnCast(r, 0, perm).ValueOrDie(),
+            (std::vector<std::string>{"5am", "6am", "7am", "8am"}));
+  // Numeric values render without a decimal point (FormatDouble).
+  const Relation n = MakeRelation({{"k", DataType::kDouble}},
+                                  {{2.0}, {1.0}, {1.5}});
+  const std::vector<int64_t> perm2 = bat_ops::ArgSort({n.column(0)});
+  EXPECT_EQ(ColumnCast(n, 0, perm2).ValueOrDie(),
+            (std::vector<std::string>{"1", "1.5", "2"}));
+}
+
+}  // namespace
+}  // namespace rma

@@ -1,0 +1,207 @@
+// End-to-end SQL tests, including the paper's SQL extension (Sec. 7.2).
+#include <gtest/gtest.h>
+
+#include "sql/database.h"
+#include "test_util.h"
+
+namespace rma {
+namespace {
+
+sql::Database ExampleDb() {
+  sql::Database db;
+  db.Register("u", testing::UsersRelation()).Abort();
+  db.Register("f", testing::FilmsRelation()).Abort();
+  db.Register("rating", testing::RatingsRelation()).Abort();
+  db.Register("r", testing::WeatherRelation()).Abort();
+  return db;
+}
+
+// The introduction's query: SELECT * FROM INV(rating BY User).
+TEST(SqlEndToEnd, IntroInversion) {
+  sql::Database db = ExampleDb();
+  ASSERT_OK_AND_ASSIGN(Relation v,
+                       db.Query("SELECT * FROM INV(rating BY User)"));
+  EXPECT_EQ(v.schema().Names(),
+            (std::vector<std::string>{"User", "Balto", "Heat", "Net"}));
+  ASSERT_EQ(v.num_rows(), 3);
+  // Users sorted: Ann, Jan, Tom.
+  EXPECT_EQ(ValueToString(v.Get(0, 0)), "Ann");
+  EXPECT_EQ(ValueToString(v.Get(1, 0)), "Jan");
+  EXPECT_EQ(ValueToString(v.Get(2, 0)), "Tom");
+}
+
+TEST(SqlEndToEnd, UnaryAndBinaryRmaCalls) {
+  sql::Database db = ExampleDb();
+  ASSERT_OK_AND_ASSIGN(
+      Relation id,
+      db.Query("SELECT * FROM MMU(INV(rating BY User) BY User, "
+               "rating BY User)"));
+  // inv(A) * A = I.
+  ASSERT_EQ(id.num_rows(), 3);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int c = 1; c <= 3; ++c) {
+      const double expect = (c - 1 == i) ? 1.0 : 0.0;
+      EXPECT_NEAR(ValueToDouble(id.Get(i, c)), expect, 1e-9);
+    }
+  }
+}
+
+TEST(SqlEndToEnd, WhereGroupByAggregates) {
+  sql::Database db = ExampleDb();
+  ASSERT_OK_AND_ASSIGN(
+      Relation agg,
+      db.Query("SELECT State, COUNT(*) AS n, AVG(YoB) AS avg_yob "
+               "FROM u GROUP BY State ORDER BY State"));
+  ASSERT_EQ(agg.num_rows(), 2);
+  EXPECT_EQ(ValueToString(agg.Get(0, 0)), "CA");
+  EXPECT_EQ(ValueToDouble(agg.Get(0, 1)), 2.0);
+  EXPECT_NEAR(ValueToDouble(agg.Get(0, 2)), 1975.0, 1e-9);
+  EXPECT_EQ(ValueToString(agg.Get(1, 0)), "FL");
+}
+
+TEST(SqlEndToEnd, JoinOnQualifiedColumns) {
+  sql::Database db = ExampleDb();
+  ASSERT_OK_AND_ASSIGN(
+      Relation joined,
+      db.Query("SELECT u.User, rating.Heat FROM u "
+               "JOIN rating ON u.User = rating.User WHERE u.State = 'CA' "
+               "ORDER BY u.User"));
+  ASSERT_EQ(joined.num_rows(), 2);
+  EXPECT_EQ(ValueToString(joined.Get(0, 0)), "Ann");
+  EXPECT_NEAR(ValueToDouble(joined.Get(0, 1)), 1.5, 1e-12);
+  EXPECT_EQ(ValueToString(joined.Get(1, 0)), "Jan");
+}
+
+// The paper's folded expression (Sec. 7.2): MMU + CROSS JOIN of a COUNT
+// subquery + arithmetic over the joined columns.
+TEST(SqlEndToEnd, PaperFoldedCovarianceQuery) {
+  sql::Database db = ExampleDb();
+  // Stage the intermediates with CREATE TABLE AS (w1 and w3 from Sec. 5).
+  ASSERT_OK_AND_ASSIGN(
+      Relation w1,
+      db.Execute("CREATE TABLE w1 AS SELECT u.User AS U, Balto AS B, "
+                 "Heat AS H, Net AS N FROM u JOIN rating "
+                 "ON u.User = rating.User WHERE State = 'CA'"));
+  ASSERT_EQ(w1.num_rows(), 2);
+  ASSERT_OK_AND_ASSIGN(
+      Relation w3,
+      db.Execute(
+          "CREATE TABLE w3 AS "
+          "SELECT w1.U, w1.B - t.B AS B, w1.H - t.H AS H, w1.N - t.N AS N "
+          "FROM w1 CROSS JOIN (SELECT AVG(B) AS B, AVG(H) AS H, "
+          "AVG(N) AS N FROM w1) AS t"));
+  ASSERT_OK_AND_ASSIGN(Relation w4,
+                       db.Execute("CREATE TABLE w4 AS "
+                                  "SELECT * FROM TRA(w3 BY U)"));
+  EXPECT_EQ(w4.schema().Names(), (std::vector<std::string>{"C", "Ann", "Jan"}));
+  ASSERT_OK_AND_ASSIGN(
+      Relation w7,
+      db.Query("SELECT C, B/(M-1) AS B, H/(M-1) AS H, N/(M-1) AS N "
+               "FROM MMU(w4 BY C, w3 BY U) AS w5 "
+               "CROSS JOIN ( SELECT COUNT(*) AS M FROM w1 ) AS t"));
+  ASSERT_EQ(w7.num_rows(), 3);
+  // var(B) over {2.0, 1.0} = 0.5 ; cov(B,H) over centered = -1.25.
+  EXPECT_EQ(ValueToString(w7.Get(0, 0)), "B");
+  EXPECT_NEAR(ValueToDouble(w7.Get(0, 1)), 0.5, 1e-9);
+  EXPECT_NEAR(ValueToDouble(w7.Get(0, 2)), -1.25, 1e-9);
+}
+
+TEST(SqlEndToEnd, OrderSchemaWithParenthesizedList) {
+  sql::Database db = ExampleDb();
+  ASSERT_OK_AND_ASSIGN(Relation q,
+                       db.Query("SELECT * FROM QQR(r BY (W, T))"));
+  EXPECT_EQ(q.schema().Names(), (std::vector<std::string>{"W", "T", "H"}));
+}
+
+TEST(SqlEndToEnd, ErrorsArePropagated) {
+  sql::Database db = ExampleDb();
+  EXPECT_STATUS(kKeyError, db.Query("SELECT * FROM nosuch"));
+  EXPECT_STATUS(kParseError, db.Query("SELEC * FROM u"));
+  EXPECT_STATUS(kKeyError, db.Query("SELECT nosuch FROM u"));
+  // Non-numeric application attribute.
+  EXPECT_STATUS(kTypeError, db.Query("SELECT * FROM INV(u BY State)"));
+  // Order schema that is not a key (H has a duplicate in the weather data).
+  EXPECT_STATUS(
+      kInvalidArgument,
+      db.Query("SELECT * FROM INV((SELECT H, W FROM r) AS x BY H)"));
+}
+
+TEST(SqlEndToEnd, DetCarriesRelationNameOrigin) {
+  sql::Database db = ExampleDb();
+  ASSERT_OK_AND_ASSIGN(Relation d,
+                       db.Query("SELECT * FROM DET(rating BY User)"));
+  EXPECT_EQ(d.schema().Names(), (std::vector<std::string>{"C", "det"}));
+  EXPECT_EQ(ValueToString(d.Get(0, 0)), "rating");
+}
+
+TEST(SqlEndToEnd, ScalarFunctionsInProjection) {
+  sql::Database db = ExampleDb();
+  ASSERT_OK_AND_ASSIGN(
+      Relation out,
+      db.Query("SELECT User, SQRT(ABS(Balto - 4)) AS s, POW(Heat, 2) AS p "
+               "FROM rating ORDER BY User"));
+  ASSERT_EQ(out.num_rows(), 3);
+  // Ann: Balto 2.0 -> sqrt(2); Heat 1.5 -> 2.25.
+  EXPECT_NEAR(ValueToDouble(out.Get(0, 1)), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(ValueToDouble(out.Get(0, 2)), 2.25, 1e-12);
+}
+
+TEST(SqlEndToEnd, OrderByDescWithLimit) {
+  sql::Database db = ExampleDb();
+  ASSERT_OK_AND_ASSIGN(
+      Relation top,
+      db.Query("SELECT User, Heat FROM rating ORDER BY Heat DESC LIMIT 2"));
+  ASSERT_EQ(top.num_rows(), 2);
+  EXPECT_EQ(ValueToString(top.Get(0, 0)), "Jan");   // 4.0
+  EXPECT_EQ(ValueToString(top.Get(1, 0)), "Ann");   // 1.5
+}
+
+TEST(SqlEndToEnd, BooleanConnectivesInWhere) {
+  sql::Database db = ExampleDb();
+  ASSERT_OK_AND_ASSIGN(
+      Relation out,
+      db.Query("SELECT User FROM rating "
+               "WHERE Balto >= 1 AND (Heat > 3 OR Net < 1) ORDER BY User"));
+  ASSERT_EQ(out.num_rows(), 2);
+  EXPECT_EQ(ValueToString(out.Get(0, 0)), "Ann");  // Net 0.5
+  EXPECT_EQ(ValueToString(out.Get(1, 0)), "Jan");  // Heat 4.0
+}
+
+TEST(SqlEndToEnd, CreateDropLifecycle) {
+  sql::Database db = ExampleDb();
+  ASSERT_OK_AND_ASSIGN(
+      Relation t, db.Execute("CREATE TABLE ca AS "
+                             "SELECT * FROM u WHERE State = 'CA'"));
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_TRUE(db.Has("ca"));
+  ASSERT_OK_AND_ASSIGN(Relation again, db.Query("SELECT COUNT(*) AS n FROM ca"));
+  EXPECT_EQ(ValueToDouble(again.Get(0, 0)), 2.0);
+  ASSERT_OK_AND_ASSIGN(Relation dropped, db.Execute("DROP TABLE ca"));
+  (void)dropped;
+  EXPECT_FALSE(db.Has("ca"));
+  EXPECT_STATUS(kKeyError, db.Query("SELECT * FROM ca"));
+}
+
+TEST(SqlEndToEnd, NestedRmaOverSubqueryAndJoin) {
+  // Closure in SQL: an RMA op over a subquery that itself joins two tables.
+  sql::Database db = ExampleDb();
+  ASSERT_OK_AND_ASSIGN(
+      Relation q,
+      db.Query("SELECT * FROM QQR((SELECT u.User AS U, Balto, Heat "
+               "FROM u JOIN rating ON u.User = rating.User) x BY U)"));
+  EXPECT_EQ(q.schema().Names(),
+            (std::vector<std::string>{"U", "Balto", "Heat"}));
+  ASSERT_EQ(q.num_rows(), 3);
+  // Q has orthonormal columns: sum of squares of each app column is 1.
+  for (int c = 1; c <= 2; ++c) {
+    double ss = 0;
+    for (int64_t i = 0; i < q.num_rows(); ++i) {
+      const double v = ValueToDouble(q.Get(i, c));
+      ss += v * v;
+    }
+    EXPECT_NEAR(ss, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rma
