@@ -8,7 +8,12 @@
 //   SELECT * FROM TRA(weather BY T);
 //   CREATE TABLE q AS SELECT * FROM QQR(weather BY T);
 //   SELECT State, COUNT(*) AS n FROM u GROUP BY State;
+//   EXPLAIN SELECT * FROM MMU(TRA(rating BY User) BY C, rating BY User);
 //   \tables   \quit
+//
+// EXPLAIN prints the physical plan: chosen kernels (bat / dense /
+// dense-syrk), execution stages, cost estimates, prepared-argument cache
+// reuse, and the cross-algebra rewrites that fired.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -73,7 +78,8 @@ int main() {
   sql::Database db;
   Load(db);
   std::printf("RMA SQL shell. Tables: u, f, rating, weather. "
-              "\\tables lists, \\quit exits.\n");
+              "\\tables lists, \\quit exits; EXPLAIN SELECT ... prints "
+              "the physical plan.\n");
   std::string line;
   std::string stmt;
   while (true) {

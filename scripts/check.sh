@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local tier-1 verify: configure + build + ctest in Debug and Release with
+# warnings-as-errors on src/ (the same matrix CI runs).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+for config in Debug Release; do
+  build_dir="build-check-${config,,}"
+  echo "=== ${config} ==="
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE="${config}" \
+    -DRMA_WERROR=ON
+  cmake --build "${build_dir}" -j "${JOBS}"
+  (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}")
+done
+
+echo "All checks passed."

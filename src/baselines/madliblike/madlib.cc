@@ -178,7 +178,10 @@ RowTable RowTable::WithColumn(
   RowTable out = *this;
   out.names_.push_back(name);
   out.types_.push_back(DataType::kDouble);
-  for (auto& row : out.rows_) row.push_back(Value(fn(row)));
+  for (auto& row : out.rows_) {
+    const double v = fn(row);
+    row.emplace_back(v);
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/constructors.h"
+#include "core/exec_context.h"
 #include "storage/bat_ops.h"
 
 namespace rma {
@@ -222,8 +223,7 @@ RmaExprPtr RewriteExpression(const RmaExprPtr& expr, const RewriteRules& rules,
   return cur;
 }
 
-Result<Relation> EvaluateExpression(const RmaExprPtr& expr,
-                                    const RmaOptions& opts) {
+Result<Relation> EvaluateExpression(const RmaExprPtr& expr, ExecContext* ctx) {
   if (expr == nullptr) return Status::Invalid("null RMA expression");
   Result<Relation> out = [&]() -> Result<Relation> {
     switch (expr->kind) {
@@ -234,7 +234,7 @@ Result<Relation> EvaluateExpression(const RmaExprPtr& expr,
           return Status::Invalid("relabel node expects exactly one child");
         }
         RMA_ASSIGN_OR_RETURN(Relation in,
-                             EvaluateExpression(expr->children[0], opts));
+                             EvaluateExpression(expr->children[0], ctx));
         return EvaluateRelabel(in, expr->relabel_attr);
       }
       case RmaExpr::Kind::kOp: {
@@ -243,14 +243,14 @@ Result<Relation> EvaluateExpression(const RmaExprPtr& expr,
           return Status::Invalid("malformed RMA expression node");
         }
         RMA_ASSIGN_OR_RETURN(Relation left,
-                             EvaluateExpression(expr->children[0], opts));
+                             EvaluateExpression(expr->children[0], ctx));
         if (expr->children.size() == 1) {
-          return RmaUnary(expr->op, left, expr->orders[0], opts);
+          return RmaUnary(ctx, expr->op, left, expr->orders[0]);
         }
         RMA_ASSIGN_OR_RETURN(Relation right,
-                             EvaluateExpression(expr->children[1], opts));
-        return RmaBinary(expr->op, left, expr->orders[0], right,
-                         expr->orders[1], opts);
+                             EvaluateExpression(expr->children[1], ctx));
+        return RmaBinary(ctx, expr->op, left, expr->orders[0], right,
+                         expr->orders[1]);
       }
     }
     return Status::Invalid("unreachable RMA expression kind");
@@ -259,11 +259,23 @@ Result<Relation> EvaluateExpression(const RmaExprPtr& expr,
   return out;
 }
 
+Result<Relation> EvaluateExpression(const RmaExprPtr& expr,
+                                    const RmaOptions& opts) {
+  ExecContext ctx(opts);
+  return EvaluateExpression(expr, &ctx);
+}
+
+Result<Relation> EvaluateOptimized(const RmaExprPtr& expr, ExecContext* ctx,
+                                   RewriteReport* report) {
+  return EvaluateExpression(
+      RewriteExpression(expr, ctx->options().rewrites, report), ctx);
+}
+
 Result<Relation> EvaluateOptimized(const RmaExprPtr& expr,
                                    const RmaOptions& opts,
                                    RewriteReport* report) {
-  return EvaluateExpression(RewriteExpression(expr, opts.rewrites, report),
-                            opts);
+  ExecContext ctx(opts);
+  return EvaluateOptimized(expr, &ctx, report);
 }
 
 }  // namespace rma

@@ -105,16 +105,26 @@ RmaExprPtr RewriteExpression(const RmaExprPtr& expr, const RewriteRules& rules,
                              RewriteReport* report = nullptr);
 
 /// Evaluates the tree: leaves pass through, kOp nodes run RmaUnary/
-/// RmaBinary with `opts`, kRelabel nodes build the double-transpose result
-/// directly from the child relation.
+/// RmaBinary, kRelabel nodes build the double-transpose result directly
+/// from the child relation. The whole tree shares one execution context,
+/// so repeated operations over the same relation (the covariance pipeline
+/// tra+mmu, the OLS workloads) reuse prepared arguments.
 Result<Relation> EvaluateExpression(const RmaExprPtr& expr,
                                     const RmaOptions& opts = {});
+
+/// Context-sharing variant used by pipeline evaluators (the SQL executor
+/// threads one context through a whole statement).
+Result<Relation> EvaluateExpression(const RmaExprPtr& expr, ExecContext* ctx);
 
 /// RewriteExpression (honouring opts.rewrites) followed by
 /// EvaluateExpression — the entry point the SQL executor uses.
 Result<Relation> EvaluateOptimized(const RmaExprPtr& expr,
                                    const RmaOptions& opts = {},
                                    RewriteReport* report = nullptr);
+
+/// Context-sharing variant of EvaluateOptimized.
+Result<Relation> EvaluateOptimized(const RmaExprPtr& expr, ExecContext* ctx,
+                                   RewriteReport* report);
 
 }  // namespace rma
 

@@ -1,0 +1,101 @@
+#include "core/exec_context.h"
+
+#include <sstream>
+#include <utility>
+
+namespace rma {
+
+namespace {
+
+/// Bound on cached prepared arguments; a context usually serves one query
+/// or expression tree, so a small cache covers the reuse patterns and the
+/// eviction policy stays trivial.
+constexpr size_t kMaxCachedPreparedArgs = 64;
+
+}  // namespace
+
+BatPtr PreparedArg::OrderColumn(size_t i) const {
+  const BatPtr& col = rel.column(split.order_idx[i]);
+  return identity() ? col : col->Take(perm);
+}
+
+BatPtr PreparedArg::AppColumnBat(size_t j) const {
+  const BatPtr& col = rel.column(split.app_idx[j]);
+  return identity() ? col : col->Take(perm);
+}
+
+std::vector<double> PreparedArg::AppColumnDense(size_t j) const {
+  const BatPtr& col = rel.column(split.app_idx[j]);
+  if (identity()) return ToDoubleVector(*col);
+  return GatherDoubleVector(*col, perm);
+}
+
+ArgShape PreparedArg::Shape() const {
+  return MakeArgShape(rel, split.app_idx, rows);
+}
+
+void ExecContext::RecordStage(Stage stage, double seconds) {
+  auto add = [&](RmaStats* stats) {
+    switch (stage) {
+      case Stage::kPrepare:
+        stats->sort_seconds += seconds;
+        break;
+      case Stage::kGather:
+        stats->transform_in_seconds += seconds;
+        break;
+      case Stage::kKernel:
+        stats->compute_seconds += seconds;
+        break;
+      case Stage::kScatter:
+        stats->transform_out_seconds += seconds;
+        break;
+      case Stage::kMorph:
+        stats->morph_seconds += seconds;
+        break;
+    }
+  };
+  add(&totals_);
+  if (opts_.stats != nullptr) add(opts_.stats);
+}
+
+std::string ExecContext::CacheKey(const Relation& r,
+                                  const std::vector<std::string>& order,
+                                  bool avoid_sort) {
+  // Column identity (shared immutable BATs) plus attribute names covers
+  // renamed views over the same data; the relation name matters because the
+  // cached PreparedArg's relation feeds result assembly (relation name,
+  // det/rnk context value); the order schema and the sort-avoidance variant
+  // complete the key.
+  std::ostringstream os;
+  os << r.name() << '|';
+  for (int i = 0; i < r.num_columns(); ++i) {
+    os << r.column(i).get() << ':' << r.schema().attribute(i).name << ';';
+  }
+  os << '|';
+  for (const auto& o : order) os << o << ';';
+  os << '|' << (avoid_sort ? 1 : 0);
+  return os.str();
+}
+
+PreparedArgPtr ExecContext::LookupPrepared(const Relation& r,
+                                           const std::vector<std::string>& order,
+                                           bool avoid_sort) const {
+  if (!opts_.enable_prepared_cache) return nullptr;
+  auto it = cache_.find(CacheKey(r, order, avoid_sort));
+  if (it == cache_.end()) {
+    ++cache_misses_;
+    return nullptr;
+  }
+  ++cache_hits_;
+  return it->second;
+}
+
+void ExecContext::StorePrepared(const Relation& r,
+                                const std::vector<std::string>& order,
+                                bool avoid_sort, PreparedArgPtr prepared) {
+  if (!opts_.enable_prepared_cache) return;
+  if (cache_.size() >= kMaxCachedPreparedArgs) cache_.clear();
+  cache_[CacheKey(r, order, avoid_sort)] = std::move(prepared);
+}
+
+}  // namespace rma

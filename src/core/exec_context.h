@@ -1,0 +1,116 @@
+#ifndef RMA_CORE_EXEC_CONTEXT_H_
+#define RMA_CORE_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/constructors.h"
+#include "core/options.h"
+#include "core/ops.h"
+#include "core/planner.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace rma {
+
+/// One prepared argument of a relational matrix operation: the schema split,
+/// the row order (sort permutation), and the owning relation handle. Owns a
+/// Relation by value (shared column pointers — cheap), so cached instances
+/// stay valid after the caller's relation goes out of scope.
+struct PreparedArg {
+  OrderSplit split;
+  std::vector<int64_t> perm;  ///< empty => identity (rows already in order)
+  int64_t rows = 0;
+  Relation rel;
+
+  bool identity() const { return perm.empty(); }
+  int64_t app_cols() const { return static_cast<int64_t>(split.app_idx.size()); }
+
+  /// Order-part column `i` of the result (gathered by perm when needed).
+  BatPtr OrderColumn(size_t i) const;
+
+  /// Application column `j` reordered, kept as a BAT (sparse preserved on
+  /// the identity path).
+  BatPtr AppColumnBat(size_t j) const;
+
+  /// Application column `j` as a dense double vector.
+  std::vector<double> AppColumnDense(size_t j) const;
+
+  int64_t AppBytes() const {
+    return rows * app_cols() * static_cast<int64_t>(sizeof(double));
+  }
+
+  /// Shape summary for the planner (rows, app width, sparse density).
+  ArgShape Shape() const;
+};
+
+using PreparedArgPtr = std::shared_ptr<const PreparedArg>;
+
+/// Per-pipeline execution state threaded through the staged executor:
+///
+///  - the options (kernel/sort policies, budgets),
+///  - the worker-thread budget installed around kernel stages,
+///  - per-stage wall-clock aggregation (RmaStats), both per-op (the
+///    options' stats sink) and cumulative across the context,
+///  - a prepared-argument cache keyed on (relation columns, order schema)
+///    so repeated operations over the same relation — the covariance
+///    pipeline tra+mmu, the OLS workloads — reuse sort permutations
+///    instead of re-sorting,
+///  - the physical plans of every executed operation (introspection and
+///    tests).
+///
+/// A context is single-threaded state: share one per query/expression, not
+/// across concurrent queries.
+class ExecContext {
+ public:
+  ExecContext() = default;
+  explicit ExecContext(const RmaOptions& opts) : opts_(opts) {}
+
+  const RmaOptions& options() const { return opts_; }
+  RmaOptions& mutable_options() { return opts_; }
+
+  /// Worker threads kernel stages may use (0 = hardware concurrency).
+  int thread_budget() const { return opts_.max_threads; }
+
+  /// Records `seconds` against a stage: both the per-op sink
+  /// (options().stats, when set) and the context-wide totals.
+  void RecordStage(Stage stage, double seconds);
+
+  /// Cumulative per-stage totals across all operations run on this context.
+  const RmaStats& totals() const { return totals_; }
+
+  /// Records the physical plan of an executed operation.
+  void RecordPlan(const OpPlan& plan) { plans_.push_back(plan); }
+  const std::vector<OpPlan>& plans() const { return plans_; }
+
+  /// Prepared-argument cache. Returns the cached prepared argument for
+  /// (r's columns, order, avoid_sort) or null. `avoid_sort` distinguishes
+  /// the identity-permutation variant produced under SortPolicy::kOptimized.
+  PreparedArgPtr LookupPrepared(const Relation& r,
+                                const std::vector<std::string>& order,
+                                bool avoid_sort) const;
+  void StorePrepared(const Relation& r, const std::vector<std::string>& order,
+                     bool avoid_sort, PreparedArgPtr prepared);
+
+  int64_t cache_hits() const { return cache_hits_; }
+  int64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  static std::string CacheKey(const Relation& r,
+                              const std::vector<std::string>& order,
+                              bool avoid_sort);
+
+  RmaOptions opts_;
+  RmaStats totals_;
+  std::vector<OpPlan> plans_;
+  std::unordered_map<std::string, PreparedArgPtr> cache_;
+  mutable int64_t cache_hits_ = 0;
+  mutable int64_t cache_misses_ = 0;
+};
+
+}  // namespace rma
+
+#endif  // RMA_CORE_EXEC_CONTEXT_H_

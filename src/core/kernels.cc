@@ -22,8 +22,8 @@ DenseMatrix ColumnsToMatrix(const Columns& c) {
   const int64_t k = static_cast<int64_t>(c.size());
   DenseMatrix m(n, k);
   for (int64_t j = 0; j < k; ++j) {
-    const auto& col = c[static_cast<size_t>(j)];
-    for (int64_t i = 0; i < n; ++i) m(i, j) = col[static_cast<size_t>(i)];
+    bat_ops::CopyDenseToStrided(c[static_cast<size_t>(j)].data(), n,
+                                m.data() + j, k);
   }
   return m;
 }

@@ -8,11 +8,13 @@ namespace rma {
 /// Where the base result of a relational matrix operation is computed
 /// (Sec. 7.3).
 enum class KernelPolicy : int {
-  /// The paper's optimizer policy: element-wise operations run directly on
-  /// BATs; complex operations are delegated to the contiguous kernels unless
-  /// the data exceeds `contiguous_budget_bytes` (then BAT algorithms, which
-  /// work column-at-a-time, take over — they never need a second copy of
-  /// the data).
+  /// Cost-based selection (core/planner.h): the planner weighs the
+  /// column-at-a-time cost (operation-class penalty, sparse-column density)
+  /// against gather + dense kernel + scatter for the operation's shape.
+  /// Element-wise operations stay on BATs; cpd and decompositions are
+  /// delegated to the contiguous kernels; `contiguous_budget_bytes` stays a
+  /// hard ceiling — past it the no-copy BAT algorithms take over whenever
+  /// one exists.
   kAuto = 0,
   /// Force the no-copy column-at-a-time algorithms (RMA+BAT).
   kBat = 1,
@@ -74,8 +76,22 @@ struct RmaOptions {
   /// hash pass and can be disabled for trusted inputs.
   bool validate_keys = true;
 
-  /// kAuto switches complex operations to BAT algorithms beyond this size.
+  /// Memory ceiling for the contiguous path: kAuto never gathers more than
+  /// this many bytes when a column-at-a-time algorithm exists. Within the
+  /// ceiling, the planner's cost model (core/planner.h) picks the kernel
+  /// from the operation shape.
   int64_t contiguous_budget_bytes = int64_t{4} * 1024 * 1024 * 1024;
+
+  /// Worker-thread budget for kernel stages (0 = hardware concurrency).
+  /// Installed around kernel execution via ScopedThreadBudget so the whole
+  /// matrix layer honours it.
+  int max_threads = 0;
+
+  /// Reuse sort permutations across operations sharing an ExecContext:
+  /// preparing the same (relation, order schema) twice hits a cache instead
+  /// of re-sorting. Covers e.g. the covariance pipeline tra+mmu and the OLS
+  /// workloads.
+  bool enable_prepared_cache = true;
 
   /// Optional timing sink (not owned).
   RmaStats* stats = nullptr;

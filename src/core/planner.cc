@@ -1,0 +1,382 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "core/algebra.h"
+#include "core/constructors.h"
+#include "core/kernels.h"
+#include "storage/sparse_bat.h"
+
+namespace rma {
+
+namespace {
+
+// --- cost model -------------------------------------------------------------
+//
+// Costs are in element-operation units: one unit is one streamed read-modify-
+// write over a contiguous double. The absolute scale cancels out — only the
+// ratio between the column-at-a-time (BAT) path and the gather/kernel/scatter
+// (contiguous) path matters. The penalties encode what Sec. 7.3 and Fig. 17
+// measure: element-wise BAT operations run at streaming speed (and skip
+// zeros on compressed columns), axpy-based kernels are close to dense speed,
+// column-at-a-time decompositions lose locality, and cpd degrades to
+// element-at-a-time BUNfetch calls — the 24-70x delegation win.
+
+constexpr double kBatElementwise = 1.0;   ///< add/sub/emu: streaming columns
+constexpr double kBatAxpy = 1.5;          ///< mmu: vectorized axpy combines
+constexpr double kBatDecomposition = 3.0; ///< inv/qqr/rqr/det/sol: MGS/Gauss
+constexpr double kBatTranspose = 4.0;     ///< tra: element-at-a-time scatter
+constexpr double kBatBunFetch = 12.0;     ///< cpd: per-element virtual fetch
+
+double Flops(MatrixOp op, const ArgShape& a, const ArgShape* b) {
+  const double n = static_cast<double>(a.rows);
+  const double k = static_cast<double>(a.cols);
+  switch (op) {
+    case MatrixOp::kAdd:
+    case MatrixOp::kSub:
+    case MatrixOp::kEmu:
+    case MatrixOp::kTra:
+      return n * k;
+    case MatrixOp::kMmu:
+      return n * k * static_cast<double>(b == nullptr ? 1 : b->cols);
+    case MatrixOp::kCpd:
+      return n * k * static_cast<double>(b == nullptr ? 1 : b->cols);
+    case MatrixOp::kOpd:
+      return n * k * static_cast<double>(b == nullptr ? 1 : b->rows);
+    case MatrixOp::kSol:
+      return 2.0 * n * k * k;
+    case MatrixOp::kInv:
+      return n * n * n;
+    case MatrixOp::kDet:
+      return n * n * n / 3.0;
+    case MatrixOp::kQqr:
+    case MatrixOp::kRqr:
+      return 2.0 * n * k * k;
+    default:
+      // svd/eigen/chf/rnk: contiguous-only; the estimate is informational.
+      return 2.0 * n * k * k + k * k * k;
+  }
+}
+
+double BatPenalty(MatrixOp op) {
+  switch (op) {
+    case MatrixOp::kAdd:
+    case MatrixOp::kSub:
+    case MatrixOp::kEmu:
+      return kBatElementwise;
+    case MatrixOp::kMmu:
+      return kBatAxpy;
+    case MatrixOp::kTra:
+      return kBatTranspose;
+    case MatrixOp::kCpd:
+      return kBatBunFetch;
+    default:
+      return kBatDecomposition;
+  }
+}
+
+/// Result shape of the base result, from Table 1.
+ArgShape ResultShape(const OpInfo& info, const ArgShape& a, const ArgShape* b) {
+  const int64_t r2 = b == nullptr ? 0 : b->rows;
+  const int64_t c2 = b == nullptr ? 0 : b->cols;
+  ArgShape out;
+  out.rows = ResultExtent(info.shape.rows, a.rows, a.cols, r2, c2);
+  out.cols = ResultExtent(info.shape.cols, a.rows, a.cols, r2, c2);
+  return out;
+}
+
+std::vector<Stage> StagesFor(KernelChoice kernel) {
+  if (kernel == KernelChoice::kBat) {
+    return {Stage::kPrepare, Stage::kKernel, Stage::kMorph};
+  }
+  return {Stage::kPrepare, Stage::kGather, Stage::kKernel, Stage::kScatter,
+          Stage::kMorph};
+}
+
+}  // namespace
+
+const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kPrepare:
+      return "prepare";
+    case Stage::kGather:
+      return "gather";
+    case Stage::kKernel:
+      return "kernel";
+    case Stage::kScatter:
+      return "scatter";
+    case Stage::kMorph:
+      return "morph";
+  }
+  return "?";
+}
+
+const char* KernelChoiceName(KernelChoice k) {
+  switch (k) {
+    case KernelChoice::kBat:
+      return "bat";
+    case KernelChoice::kDense:
+      return "dense";
+    case KernelChoice::kDenseSyrk:
+      return "dense-syrk";
+  }
+  return "?";
+}
+
+std::string OpPlan::DebugString() const {
+  std::ostringstream os;
+  os << GetOpInfo(op).name << " kernel=" << KernelChoiceName(kernel)
+     << " stages=[";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << StageName(stages[i]);
+  }
+  os << "] cost(bat)=" << cost_bat << " cost(dense)=" << cost_dense;
+  if (over_budget) os << " over-budget";
+  return os.str();
+}
+
+OpPlan PlanOp(MatrixOp op, const RmaOptions& opts, const ArgShape& left,
+              const ArgShape* right, bool self_cross) {
+  const OpInfo& info = GetOpInfo(op);
+  OpPlan plan;
+  plan.op = op;
+  plan.left = left;
+  if (right != nullptr) plan.right = *right;
+
+  const double flops = Flops(op, left, right);
+  const ArgShape out = ResultShape(info, left, right);
+
+  // Contiguous path: gather each argument, run the dense kernel, scatter the
+  // base result. A self cross product gathers only once and halves the
+  // kernel work (SYRK). Sparse columns decompress on gather, so density
+  // does not discount the copy.
+  double gather = static_cast<double>(left.rows) * static_cast<double>(left.cols);
+  if (right != nullptr && !self_cross) {
+    gather += static_cast<double>(right->rows) * static_cast<double>(right->cols);
+  }
+  const double scatter =
+      static_cast<double>(out.rows) * static_cast<double>(out.cols);
+  plan.cost_dense = gather + (self_cross ? flops / 2.0 : flops) + scatter;
+
+  // Column-at-a-time path: no transformation, but the kernel pays the
+  // BAT penalty. Element-wise operations stream only the stored entries of
+  // compressed columns (Table 5), which the density factor captures.
+  double bat_flops = flops * BatPenalty(op);
+  if (info.union_compatible) {
+    const double d_right = right == nullptr ? 1.0 : right->density;
+    bat_flops *= std::min(1.0, (left.density + d_right) / 2.0);
+  }
+  plan.cost_bat = bat_flops;
+
+  const int64_t contiguous_bytes =
+      left.ContiguousBytes() +
+      (right != nullptr && !self_cross ? right->ContiguousBytes() : 0);
+  plan.over_budget = contiguous_bytes > opts.contiguous_budget_bytes;
+
+  const bool has_bat = kernel::HasBatKernel(op);
+  const KernelChoice dense =
+      self_cross ? KernelChoice::kDenseSyrk : KernelChoice::kDense;
+  switch (opts.kernel) {
+    case KernelPolicy::kBat:
+      plan.kernel = has_bat ? KernelChoice::kBat : dense;
+      break;
+    case KernelPolicy::kContiguous:
+      plan.kernel = dense;
+      break;
+    case KernelPolicy::kAuto:
+      if (!has_bat) {
+        plan.kernel = dense;
+      } else if (plan.over_budget) {
+        // Memory ceiling: never materialize a contiguous copy beyond the
+        // budget when a no-copy algorithm exists.
+        plan.kernel = KernelChoice::kBat;
+      } else {
+        plan.kernel = plan.cost_bat <= plan.cost_dense ? KernelChoice::kBat
+                                                       : dense;
+      }
+      break;
+  }
+  plan.stages = StagesFor(plan.kernel);
+  return plan;
+}
+
+ArgShape MakeArgShape(const Relation& r, const std::vector<int>& app_idx,
+                      int64_t rows) {
+  ArgShape shape;
+  shape.rows = rows;
+  shape.cols = static_cast<int64_t>(app_idx.size());
+  if (shape.cols > 0 && shape.rows > 0) {
+    double density = 0;
+    for (int idx : app_idx) {
+      const auto* sparse =
+          dynamic_cast<const SparseDoubleBat*>(r.column(idx).get());
+      density += sparse == nullptr
+                     ? 1.0
+                     : static_cast<double>(sparse->NumNonZero()) /
+                           static_cast<double>(shape.rows);
+    }
+    shape.density = density / static_cast<double>(shape.cols);
+  }
+  return shape;
+}
+
+Result<ArgShape> ShapeOf(const Relation& r,
+                         const std::vector<std::string>& order) {
+  RMA_ASSIGN_OR_RETURN(OrderSplit split, SplitSchema(r, order));
+  return MakeArgShape(r, split.app_idx, r.num_rows());
+}
+
+// --- expression-level planning ----------------------------------------------
+
+namespace {
+
+/// Identity of a leaf's prepare work: the column data plus the order schema.
+std::string PrepareKey(const Relation& r,
+                       const std::vector<std::string>& order) {
+  std::ostringstream os;
+  for (const auto& col : r.columns()) os << col.get() << ',';
+  os << '|';
+  for (const auto& o : order) os << o << ',';
+  return os.str();
+}
+
+Result<PlanNodePtr> PlanNodeFor(const RmaExprPtr& expr, const RmaOptions& opts,
+                                std::unordered_set<std::string>* prepared) {
+  if (expr == nullptr) return Status::Invalid("null RMA expression");
+  auto node = std::make_shared<PlanNode>();
+  switch (expr->kind) {
+    case RmaExpr::Kind::kLeaf: {
+      node->kind = PlanNode::Kind::kScan;
+      node->relation_name = expr->relation.name();
+      node->out_shape.rows = expr->relation.num_rows();
+      node->out_shape.cols = expr->relation.num_columns();
+      return node;
+    }
+    case RmaExpr::Kind::kRelabel: {
+      if (expr->children.size() != 1) {
+        return Status::Invalid("relabel node expects exactly one child");
+      }
+      RMA_ASSIGN_OR_RETURN(PlanNodePtr child,
+                           PlanNodeFor(expr->children[0], opts, prepared));
+      node->kind = PlanNode::Kind::kRelabel;
+      node->relabel_attr = expr->relabel_attr;
+      node->out_shape = child->out_shape;
+      node->children = {std::move(child)};
+      return node;
+    }
+    case RmaExpr::Kind::kOp:
+      break;
+  }
+  if (expr->children.empty() || expr->children.size() > 2 ||
+      expr->children.size() != expr->orders.size()) {
+    return Status::Invalid("malformed RMA expression node");
+  }
+  node->kind = PlanNode::Kind::kOp;
+  node->orders = expr->orders;
+  std::vector<ArgShape> shapes;
+  for (size_t i = 0; i < expr->children.size(); ++i) {
+    const RmaExprPtr& child = expr->children[i];
+    RMA_ASSIGN_OR_RETURN(PlanNodePtr child_plan,
+                         PlanNodeFor(child, opts, prepared));
+    ArgShape shape;
+    if (child->kind == RmaExpr::Kind::kLeaf) {
+      RMA_ASSIGN_OR_RETURN(shape,
+                           ShapeOf(child->relation, expr->orders[i]));
+      const std::string key = PrepareKey(child->relation, expr->orders[i]);
+      node->cached_prepare.push_back(prepared->count(key) > 0);
+      prepared->insert(key);
+    } else {
+      // An operation result: the parent's order schema consumes the lead
+      // (origin) columns, leaving the base-result width as application part.
+      shape = child_plan->out_shape;
+      node->cached_prepare.push_back(false);
+    }
+    shapes.push_back(shape);
+    node->children.push_back(std::move(child_plan));
+  }
+  // Self cross product: both arguments view the same columns under the same
+  // order schema (covers distinct leaf nodes wrapping one relation, the
+  // shape SQL produces for CPD(x BY U, x BY U)).
+  bool self_cross = false;
+  if (expr->op == MatrixOp::kCpd && expr->children.size() == 2 &&
+      expr->orders[0] == expr->orders[1]) {
+    const RmaExprPtr& a = expr->children[0];
+    const RmaExprPtr& b = expr->children[1];
+    if (a == b) {
+      self_cross = true;
+    } else if (a->kind == RmaExpr::Kind::kLeaf &&
+               b->kind == RmaExpr::Kind::kLeaf &&
+               a->relation.num_columns() == b->relation.num_columns()) {
+      self_cross = true;
+      for (int c = 0; c < a->relation.num_columns(); ++c) {
+        if (a->relation.column(c).get() != b->relation.column(c).get()) {
+          self_cross = false;
+        }
+      }
+    }
+  }
+  node->op_plan =
+      PlanOp(expr->op, opts, shapes[0],
+             shapes.size() > 1 ? &shapes[1] : nullptr, self_cross);
+  node->out_shape = ResultShape(GetOpInfo(expr->op), shapes[0],
+                                shapes.size() > 1 ? &shapes[1] : nullptr);
+  return node;
+}
+
+void RenderNode(const PlanNodePtr& node, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  switch (node->kind) {
+    case PlanNode::Kind::kScan:
+      *os << "scan " << node->relation_name << " [" << node->out_shape.rows
+          << " rows x " << node->out_shape.cols << " cols]\n";
+      break;
+    case PlanNode::Kind::kRelabel:
+      *os << "relabel BY " << node->relabel_attr
+          << " [no matrix computation]\n";
+      break;
+    case PlanNode::Kind::kOp: {
+      *os << node->op_plan.DebugString() << " BY ";
+      for (size_t i = 0; i < node->orders.size(); ++i) {
+        if (i > 0) *os << " / ";
+        *os << '[';
+        for (size_t j = 0; j < node->orders[i].size(); ++j) {
+          if (j > 0) *os << ' ';
+          *os << node->orders[i][j];
+        }
+        *os << ']';
+      }
+      *os << " out=" << node->out_shape.rows << 'x' << node->out_shape.cols;
+      for (size_t i = 0; i < node->cached_prepare.size(); ++i) {
+        if (node->cached_prepare[i]) {
+          *os << " (arg" << i + 1 << " prepare cached)";
+        }
+      }
+      *os << '\n';
+      break;
+    }
+  }
+  for (const auto& child : node->children) RenderNode(child, depth + 1, os);
+}
+
+}  // namespace
+
+Result<PlanNodePtr> PlanExpression(const RmaExprPtr& expr,
+                                   const RmaOptions& opts,
+                                   RewriteReport* report) {
+  const RmaExprPtr rewritten = RewriteExpression(expr, opts.rewrites, report);
+  std::unordered_set<std::string> prepared;
+  return PlanNodeFor(rewritten, opts, &prepared);
+}
+
+std::string RenderPlan(const PlanNodePtr& plan) {
+  std::ostringstream os;
+  if (plan != nullptr) RenderNode(plan, 0, &os);
+  return os.str();
+}
+
+}  // namespace rma

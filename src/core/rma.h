@@ -20,6 +20,16 @@ namespace rma {
 ///
 /// The order schema must form a key; its complement (the application
 /// schema) must be numeric and supplies the matrix values.
+///
+/// Execution is staged (prepare -> plan -> gather/kernel/scatter -> morph;
+/// see docs/ARCHITECTURE.md): the planner picks the kernel per operation
+/// shape, and an ExecContext carries stats, the thread budget, and the
+/// prepared-argument cache. The RmaOptions entry points below wrap a fresh
+/// context per call; pipeline evaluators (EvaluateExpression, the SQL
+/// executor) share one context across operations so sort permutations are
+/// reused.
+
+class ExecContext;
 
 /// Generic unary entry point, op ∈ {tra, inv, evc, evl, qqr, rqr, dsv, usv,
 /// vsv, det, rnk, chf}.
@@ -33,6 +43,16 @@ Result<Relation> RmaBinary(MatrixOp op, const Relation& r,
                            const Relation& s,
                            const std::vector<std::string>& order_s,
                            const RmaOptions& opts = {});
+
+/// Context-sharing variants: repeated operations over the same relation on
+/// one context reuse prepared arguments (sort permutations), and per-stage
+/// timings aggregate into the context totals.
+Result<Relation> RmaUnary(ExecContext* ctx, MatrixOp op, const Relation& r,
+                          const std::vector<std::string>& order);
+Result<Relation> RmaBinary(ExecContext* ctx, MatrixOp op, const Relation& r,
+                           const std::vector<std::string>& order_r,
+                           const Relation& s,
+                           const std::vector<std::string>& order_s);
 
 // --- named wrappers --------------------------------------------------------
 

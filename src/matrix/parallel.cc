@@ -11,11 +11,25 @@ int DefaultThreadCount() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+namespace {
+thread_local int g_thread_budget = 0;  // 0 = no budget installed
+}  // namespace
+
+int CurrentThreadBudget() { return g_thread_budget; }
+
+ScopedThreadBudget::ScopedThreadBudget(int max_threads)
+    : previous_(g_thread_budget) {
+  if (max_threads > 0) g_thread_budget = max_threads;
+}
+
+ScopedThreadBudget::~ScopedThreadBudget() { g_thread_budget = previous_; }
+
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_chunk, int max_threads) {
   const int64_t n = end - begin;
   if (n <= 0) return;
+  if (max_threads <= 0) max_threads = g_thread_budget;
   if (max_threads <= 0) max_threads = DefaultThreadCount();
   const int64_t wanted = (n + min_chunk - 1) / min_chunk;
   const int threads = static_cast<int>(

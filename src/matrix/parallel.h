@@ -9,11 +9,35 @@ namespace rma {
 /// Number of worker threads the kernels use (hardware concurrency, >= 1).
 int DefaultThreadCount();
 
+/// The ambient per-thread worker budget applied when ParallelFor is called
+/// with `max_threads == 0`. 0 means "no budget set" (DefaultThreadCount()).
+/// The execution context installs the budget of RmaOptions::max_threads for
+/// the duration of a kernel stage via ScopedThreadBudget, so the whole
+/// matrix layer honours the context without every kernel signature carrying
+/// a thread count.
+int CurrentThreadBudget();
+
+/// RAII guard installing a thread budget for the current thread; restores
+/// the previous budget on destruction. `max_threads <= 0` leaves the budget
+/// unchanged.
+class ScopedThreadBudget {
+ public:
+  explicit ScopedThreadBudget(int max_threads);
+  ~ScopedThreadBudget();
+
+  ScopedThreadBudget(const ScopedThreadBudget&) = delete;
+  ScopedThreadBudget& operator=(const ScopedThreadBudget&) = delete;
+
+ private:
+  int previous_;
+};
+
 /// Runs fn(begin..end) split across threads in contiguous chunks. Falls back
 /// to inline execution for small ranges. `fn` receives (chunk_begin,
 /// chunk_end) and must be thread-safe across disjoint chunks. `max_threads`
-/// caps the worker count (0 = DefaultThreadCount(); 1 = run inline — used to
-/// model single-threaded competitors).
+/// caps the worker count (0 = the ambient ScopedThreadBudget, falling back
+/// to DefaultThreadCount(); 1 = run inline — used to model single-threaded
+/// competitors).
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_chunk = 1024, int max_threads = 0);

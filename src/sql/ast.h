@@ -116,11 +116,12 @@ struct SelectStmt {
   int64_t limit = -1;               ///< -1: no limit
 };
 
-/// Top-level statement: a query or CREATE TABLE name AS query / DROP TABLE.
+/// Top-level statement: a query, CREATE TABLE name AS query, DROP TABLE,
+/// or EXPLAIN query (physical-plan rendering instead of execution).
 struct Statement {
-  enum class Kind { kSelect, kCreateTableAs, kDropTable };
+  enum class Kind { kSelect, kCreateTableAs, kDropTable, kExplain };
   Kind kind = Kind::kSelect;
-  SelectStmtPtr select;     ///< kSelect / kCreateTableAs
+  SelectStmtPtr select;     ///< kSelect / kCreateTableAs / kExplain
   std::string table_name;   ///< kCreateTableAs / kDropTable
 };
 

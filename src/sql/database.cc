@@ -54,6 +54,8 @@ Result<Relation> Database::Execute(const std::string& sql) {
       RMA_RETURN_NOT_OK(Drop(stmt.table_name));
       return Relation();
     }
+    case Statement::Kind::kExplain:
+      return ExplainSelect(*this, *stmt.select, rma_options);
   }
   return Status::Invalid("unreachable statement kind");
 }

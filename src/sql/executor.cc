@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "core/algebra.h"
+#include "core/exec_context.h"
+#include "core/planner.h"
 #include "core/rma.h"
 #include "rel/operators.h"
 #include "sql/database.h"
@@ -127,16 +129,16 @@ std::vector<std::string> UniquifyNames(std::vector<std::string> names) {
 // --- FROM evaluation --------------------------------------------------------
 
 Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
-                               const RmaOptions& opts);
+                               ExecContext* ctx);
 
 /// Turns a (possibly nested) FROM-clause operation reference into an
 /// algebra expression: kRmaOp children stay symbolic so the rewriter can
 /// match across nesting levels; any other reference is evaluated here and
 /// becomes a leaf.
 Result<RmaExprPtr> BuildRmaExpr(const Database& db, const TableRefPtr& ref,
-                                const RmaOptions& opts) {
+                                ExecContext* ctx) {
   if (ref->kind != TableRef::Kind::kRmaOp) {
-    RMA_ASSIGN_OR_RETURN(Bound b, EvaluateTableRef(db, ref, opts));
+    RMA_ASSIGN_OR_RETURN(Bound b, EvaluateTableRef(db, ref, ctx));
     return RmaExpr::Leaf(std::move(b.rel));
   }
   auto expr = std::make_shared<RmaExpr>();
@@ -144,7 +146,7 @@ Result<RmaExprPtr> BuildRmaExpr(const Database& db, const TableRefPtr& ref,
   expr->op = ref->op;
   expr->alias = ref->alias;
   for (const auto& a : ref->rma_args) {
-    RMA_ASSIGN_OR_RETURN(RmaExprPtr child, BuildRmaExpr(db, a.table, opts));
+    RMA_ASSIGN_OR_RETURN(RmaExprPtr child, BuildRmaExpr(db, a.table, ctx));
     expr->children.push_back(std::move(child));
     expr->orders.push_back(a.order);
   }
@@ -163,9 +165,9 @@ void CollectJoinConditions(const SqlExprPtr& e, std::vector<SqlExprPtr>* out) {
 }
 
 Result<Bound> EvaluateJoin(const Database& db, const TableRef& ref,
-                           const RmaOptions& opts) {
-  RMA_ASSIGN_OR_RETURN(Bound left, EvaluateTableRef(db, ref.left, opts));
-  RMA_ASSIGN_OR_RETURN(Bound right, EvaluateTableRef(db, ref.right, opts));
+                           ExecContext* ctx) {
+  RMA_ASSIGN_OR_RETURN(Bound left, EvaluateTableRef(db, ref.left, ctx));
+  RMA_ASSIGN_OR_RETURN(Bound right, EvaluateTableRef(db, ref.right, ctx));
   Bound combined;
   combined.names = left.names;
   combined.names.insert(combined.names.end(), right.names.begin(),
@@ -224,7 +226,7 @@ Result<Bound> EvaluateJoin(const Database& db, const TableRef& ref,
 }
 
 Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
-                               const RmaOptions& opts) {
+                               ExecContext* ctx) {
   switch (ref->kind) {
     case TableRef::Kind::kTable: {
       RMA_ASSIGN_OR_RETURN(Relation rel, db.Get(ref->table_name));
@@ -235,20 +237,22 @@ Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
     }
     case TableRef::Kind::kSubquery: {
       RMA_ASSIGN_OR_RETURN(Relation rel,
-                           ExecuteSelect(db, *ref->subquery, opts));
+                           ExecuteSelect(db, *ref->subquery, ctx));
       if (!ref->alias.empty()) rel.set_name(ref->alias);
       return BindRelation(std::move(rel), ref->alias);
     }
     case TableRef::Kind::kRmaOp: {
       // Build the whole nested-operation tree as an algebra expression so
       // the cross-algebra rewriter sees patterns that span FROM-clause
-      // nesting levels (e.g. MMU(TRA(w3 BY U) BY C, w3 BY U) → CPD).
-      RMA_ASSIGN_OR_RETURN(RmaExprPtr expr, BuildRmaExpr(db, ref, opts));
-      RMA_ASSIGN_OR_RETURN(Relation rel, EvaluateOptimized(expr, opts));
+      // nesting levels (e.g. MMU(TRA(w3 BY U) BY C, w3 BY U) → CPD) and
+      // the staged pipeline plans, caches, and executes it as one unit.
+      RMA_ASSIGN_OR_RETURN(RmaExprPtr expr, BuildRmaExpr(db, ref, ctx));
+      RMA_ASSIGN_OR_RETURN(Relation rel,
+                           EvaluateOptimized(expr, ctx, nullptr));
       return BindRelation(std::move(rel), ref->alias);
     }
     case TableRef::Kind::kJoin:
-      return EvaluateJoin(db, *ref, opts);
+      return EvaluateJoin(db, *ref, ctx);
   }
   return Status::Invalid("unreachable table-ref kind");
 }
@@ -402,11 +406,11 @@ Result<Relation> ApplyOrderBy(Relation rel,
 }  // namespace
 
 Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
-                               const RmaOptions& opts) {
+                               ExecContext* ctx) {
   if (stmt.from == nullptr) {
     return Status::Invalid("query requires a FROM clause");
   }
-  RMA_ASSIGN_OR_RETURN(Bound from, EvaluateTableRef(db, stmt.from, opts));
+  RMA_ASSIGN_OR_RETURN(Bound from, EvaluateTableRef(db, stmt.from, ctx));
   if (stmt.where != nullptr) {
     RMA_ASSIGN_OR_RETURN(rel::ExprPtr pred, ResolveScalar(stmt.where, from));
     RMA_ASSIGN_OR_RETURN(from.rel, rel::Select(from.rel, pred));
@@ -448,6 +452,117 @@ Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
     RMA_ASSIGN_OR_RETURN(result, rel::Limit(result, 0, stmt.limit));
   }
   return result;
+}
+
+Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
+                               const RmaOptions& opts) {
+  ExecContext ctx(opts);
+  return ExecuteSelect(db, stmt, &ctx);
+}
+
+// --- EXPLAIN -----------------------------------------------------------------
+
+namespace {
+
+void AppendIndented(const std::string& block, int depth,
+                    std::vector<std::string>* lines) {
+  std::string line;
+  for (char c : block) {
+    if (c == '\n') {
+      lines->push_back(std::string(static_cast<size_t>(depth) * 2, ' ') + line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  if (!line.empty()) {
+    lines->push_back(std::string(static_cast<size_t>(depth) * 2, ' ') + line);
+  }
+}
+
+Status ExplainSelectLines(const Database& db, const SelectStmt& stmt,
+                          ExecContext* ctx, int depth,
+                          std::vector<std::string>* lines);
+
+Status ExplainTableRef(const Database& db, const TableRefPtr& ref,
+                       ExecContext* ctx, int depth,
+                       std::vector<std::string>* lines) {
+  switch (ref->kind) {
+    case TableRef::Kind::kTable: {
+      RMA_ASSIGN_OR_RETURN(Relation rel, db.Get(ref->table_name));
+      AppendIndented("scan " + ref->table_name + " [" +
+                         std::to_string(rel.num_rows()) + " rows x " +
+                         std::to_string(rel.num_columns()) + " cols]",
+                     depth, lines);
+      return Status::OK();
+    }
+    case TableRef::Kind::kSubquery: {
+      AppendIndented("subquery" +
+                         (ref->alias.empty() ? "" : " AS " + ref->alias) + ":",
+                     depth, lines);
+      return ExplainSelectLines(db, *ref->subquery, ctx, depth + 1, lines);
+    }
+    case TableRef::Kind::kJoin: {
+      AppendIndented(ref->join_kind == TableRef::JoinKind::kCross
+                         ? "cross join"
+                         : "inner join",
+                     depth, lines);
+      RMA_RETURN_NOT_OK(ExplainTableRef(db, ref->left, ctx, depth + 1, lines));
+      return ExplainTableRef(db, ref->right, ctx, depth + 1, lines);
+    }
+    case TableRef::Kind::kRmaOp: {
+      RMA_ASSIGN_OR_RETURN(RmaExprPtr expr, BuildRmaExpr(db, ref, ctx));
+      RewriteReport report;
+      RMA_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                           PlanExpression(expr, ctx->options(), &report));
+      AppendIndented("relational matrix operation" +
+                         (ref->alias.empty() ? "" : " AS " + ref->alias) + ":",
+                     depth, lines);
+      AppendIndented(RenderPlan(plan), depth + 1, lines);
+      std::string fired = "rewrites fired:";
+      if (report.applied.empty()) {
+        fired += " (none)";
+      } else {
+        for (const auto& rule : report.applied) fired += " " + rule;
+      }
+      AppendIndented(fired, depth + 1, lines);
+      return Status::OK();
+    }
+  }
+  return Status::Invalid("unreachable table-ref kind");
+}
+
+Status ExplainSelectLines(const Database& db, const SelectStmt& stmt,
+                          ExecContext* ctx, int depth,
+                          std::vector<std::string>* lines) {
+  if (stmt.from == nullptr) {
+    return Status::Invalid("query requires a FROM clause");
+  }
+  bool has_agg = !stmt.group_by.empty();
+  for (const auto& item : stmt.items) {
+    if (ContainsAggregate(item.expr)) has_agg = true;
+  }
+  AppendIndented(has_agg ? "aggregate + project" : "project", depth, lines);
+  if (!stmt.order_by.empty()) AppendIndented("order by", depth, lines);
+  if (stmt.limit >= 0) {
+    AppendIndented("limit " + std::to_string(stmt.limit), depth, lines);
+  }
+  if (stmt.where != nullptr) AppendIndented("filter (WHERE)", depth, lines);
+  AppendIndented("from:", depth, lines);
+  return ExplainTableRef(db, stmt.from, ctx, depth + 1, lines);
+}
+
+}  // namespace
+
+Result<Relation> ExplainSelect(const Database& db, const SelectStmt& stmt,
+                               const RmaOptions& opts) {
+  ExecContext ctx(opts);
+  std::vector<std::string> lines;
+  RMA_RETURN_NOT_OK(ExplainSelectLines(db, stmt, &ctx, 0, &lines));
+  auto schema = Schema::Make({{"plan", DataType::kString}});
+  RMA_RETURN_NOT_OK(schema.status());
+  return Relation::Make(std::move(*schema), {MakeStringBat(std::move(lines))},
+                        "explain");
 }
 
 }  // namespace rma::sql

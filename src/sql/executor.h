@@ -6,6 +6,10 @@
 #include "storage/relation.h"
 #include "util/result.h"
 
+namespace rma {
+class ExecContext;
+}
+
 namespace rma::sql {
 
 class Database;
@@ -13,8 +17,23 @@ class Database;
 /// Evaluates an analyzed SELECT statement against the catalog. The executor
 /// interprets the algebra directly: FROM (joins and relational matrix
 /// operations), WHERE, GROUP BY + aggregates, SELECT projection, ORDER BY,
-/// LIMIT.
+/// LIMIT. All relational matrix operations of one statement share an
+/// execution context (planner + prepared-argument cache).
 Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
+                               const RmaOptions& opts);
+
+/// Context-sharing variant (one context across nested statements).
+Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
+                               ExecContext* ctx);
+
+/// EXPLAIN: renders the physical plan of the statement — the planned
+/// relational matrix operations (chosen kernels, stages, cost estimates,
+/// prepared-argument reuse), the cross-algebra rewrites that fired, and the
+/// relational pipeline around them — as a single-column relation of plan
+/// lines, recursing into FROM-clause subqueries. Top-level matrix
+/// operations do not run; leaf relations are bound for their shapes, which
+/// executes subqueries nested *inside* a matrix-operation argument.
+Result<Relation> ExplainSelect(const Database& db, const SelectStmt& stmt,
                                const RmaOptions& opts);
 
 }  // namespace rma::sql

@@ -13,7 +13,7 @@ const std::unordered_set<std::string>& ReservedWords() {
   static const std::unordered_set<std::string> kWords = {
       "SELECT", "FROM",  "WHERE", "GROUP", "BY",    "ORDER", "ASC",
       "DESC",   "LIMIT", "AS",    "ON",    "JOIN",  "INNER", "CROSS",
-      "AND",    "OR",    "NOT",   "CREATE", "TABLE", "DROP"};
+      "AND",    "OR",    "NOT",   "CREATE", "TABLE", "DROP", "EXPLAIN"};
   return kWords;
 }
 
@@ -35,6 +35,10 @@ class Parser {
       RMA_RETURN_NOT_OK(ExpectKeyword("TABLE"));
       RMA_ASSIGN_OR_RETURN(stmt.table_name, ExpectIdent());
       stmt.kind = Statement::Kind::kDropTable;
+    } else if (IsKeyword("EXPLAIN")) {
+      Advance();
+      RMA_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
+      stmt.kind = Statement::Kind::kExplain;
     } else {
       RMA_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
       stmt.kind = Statement::Kind::kSelect;

@@ -232,6 +232,39 @@ std::vector<double> AddDense(const std::vector<double>& a,
   return out;
 }
 
+void CopyDenseToStrided(const double* src, int64_t n, double* dst,
+                        int64_t stride) {
+  if (stride == 1) {
+    std::copy(src, src + n, dst);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) dst[i * stride] = src[i];
+}
+
+void GatherColumnToStrided(const Bat& col, const std::vector<int64_t>& perm,
+                           double* dst, int64_t stride) {
+  const int64_t n = perm.empty() ? col.size()
+                                 : static_cast<int64_t>(perm.size());
+  if (perm.empty()) {
+    if (const auto* d = dynamic_cast<const DoubleBat*>(&col)) {
+      CopyDenseToStrided(d->data().data(), n, dst, stride);
+      return;
+    }
+    for (int64_t i = 0; i < n; ++i) dst[i * stride] = col.GetDouble(i);
+    return;
+  }
+  if (const auto* d = dynamic_cast<const DoubleBat*>(&col)) {
+    const double* v = d->data().data();
+    for (int64_t i = 0; i < n; ++i) {
+      dst[i * stride] = v[perm[static_cast<size_t>(i)]];
+    }
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i * stride] = col.GetDouble(perm[static_cast<size_t>(i)]);
+  }
+}
+
 void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
   RMA_DCHECK(x.size() == y->size());
   double* yd = y->data();

@@ -67,6 +67,19 @@ BatPtr MulColumns(const BatPtr& a, const BatPtr& b);
 std::vector<double> AddDense(const std::vector<double>& a,
                              const std::vector<double>& b);
 
+/// Copies `n` doubles from `src` into `dst[0], dst[stride], ...` (stride in
+/// elements). The strided-write building block of the BATs -> contiguous
+/// matrix gather.
+void CopyDenseToStrided(const double* src, int64_t n, double* dst,
+                        int64_t stride);
+
+/// Copies `col[perm[i]]` (or `col[i]` when `perm` is empty) into
+/// `dst[i*stride]` for i in [0, n). Dense double columns take a direct
+/// array walk instead of per-element virtual fetches — the shared fast path
+/// of the matrix gather and the column-to-matrix kernel conversion.
+void GatherColumnToStrided(const Bat& col, const std::vector<int64_t>& perm,
+                           double* dst, int64_t stride);
+
 /// y[i] += alpha * x[i]
 void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
 /// x[i] *= alpha

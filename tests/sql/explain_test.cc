@@ -1,0 +1,80 @@
+// EXPLAIN: the SQL surface of the physical planner.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sql/database.h"
+#include "test_util.h"
+
+namespace rma::sql {
+namespace {
+
+std::string PlanText(const Relation& plan) {
+  std::string text;
+  for (int64_t i = 0; i < plan.num_rows(); ++i) {
+    text += plan.column(0)->GetString(i);
+    text += '\n';
+  }
+  return text;
+}
+
+Database MakeDb() {
+  Database db;
+  db.Register("rating", rma::testing::RatingsRelation()).Abort();
+  db.Register("weather", rma::testing::WeatherRelation()).Abort();
+  return db;
+}
+
+TEST(ExplainTest, PrintsPhysicalPlanWithoutExecuting) {
+  Database db = MakeDb();
+  auto result = db.Execute("EXPLAIN SELECT * FROM QQR(weather BY T)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_columns(), 1);
+  EXPECT_EQ(result->schema().attribute(0).name, "plan");
+  const std::string text = PlanText(*result);
+  EXPECT_NE(text.find("qqr kernel=dense"), std::string::npos) << text;
+  EXPECT_NE(text.find("stages=[prepare gather kernel scatter morph]"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("scan weather"), std::string::npos) << text;
+}
+
+TEST(ExplainTest, ReportsFiredRewritesAndSyrk) {
+  Database db = MakeDb();
+  auto result = db.Execute(
+      "EXPLAIN SELECT * FROM MMU(TRA(rating BY User) BY C, rating BY User)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string text = PlanText(*result);
+  EXPECT_NE(text.find("rewrites fired: mmu_tra_to_cpd"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cpd kernel=dense"), std::string::npos) << text;
+  EXPECT_NE(text.find("prepare cached"), std::string::npos) << text;
+}
+
+TEST(ExplainTest, DescribesRelationalPipeline) {
+  Database db = MakeDb();
+  auto result = db.Execute(
+      "EXPLAIN SELECT T FROM TRA(weather BY T) WHERE H > 1 LIMIT 2");
+  // TRA's result has no T column; EXPLAIN only binds shapes, so the
+  // projection is not resolved — the statement still explains.
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string text = PlanText(*result);
+  EXPECT_NE(text.find("project"), std::string::npos);
+  EXPECT_NE(text.find("filter (WHERE)"), std::string::npos);
+  EXPECT_NE(text.find("limit 2"), std::string::npos);
+  EXPECT_NE(text.find("tra kernel="), std::string::npos) << text;
+}
+
+TEST(ExplainTest, BatKernelPolicyShowsInPlan) {
+  Database db = MakeDb();
+  db.rma_options.kernel = KernelPolicy::kBat;
+  auto result = db.Execute("EXPLAIN SELECT * FROM QQR(weather BY T)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string text = PlanText(*result);
+  EXPECT_NE(text.find("qqr kernel=bat"), std::string::npos) << text;
+  EXPECT_NE(text.find("stages=[prepare kernel morph]"), std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace rma::sql
