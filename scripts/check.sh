@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Local tier-1 verify: configure + build + ctest in Debug and Release with
-# warnings-as-errors on src/ (the same matrix CI runs).
+# warnings-as-errors on src/, plus an AddressSanitizer pass over the test
+# suite (the query cache's shared-ownership paths are leak/UAF-checked) —
+# the same matrix CI runs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,5 +18,13 @@ for config in Debug Release; do
   cmake --build "${build_dir}" -j "${JOBS}"
   (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}")
 done
+
+echo "=== AddressSanitizer ==="
+cmake -B build-check-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DRMA_WERROR=ON \
+  -DRMA_SANITIZE=address
+cmake --build build-check-asan -j "${JOBS}"
+(cd build-check-asan && ctest --output-on-failure -j "${JOBS}")
 
 echo "All checks passed."

@@ -213,6 +213,7 @@ Result<Relation> RmaUnary(ExecContext* ctx, MatrixOp op, const Relation& r,
   if (info.arity != 1) {
     return Status::Invalid(std::string(info.name) + " is a binary operation");
   }
+  ScopedOpStats op_stats(ctx);
   // --- prepare ---------------------------------------------------------------
   RMA_ASSIGN_OR_RETURN(PreparedArgPtr p,
                        internal::PrepareArgument(*ctx, r, order, info,
@@ -249,6 +250,7 @@ Result<Relation> RmaBinary(ExecContext* ctx, MatrixOp op, const Relation& r,
   if (info.arity != 2) {
     return Status::Invalid(std::string(info.name) + " is a unary operation");
   }
+  ScopedOpStats op_stats(ctx);
   // --- prepare ---------------------------------------------------------------
   RMA_ASSIGN_OR_RETURN(
       internal::BinaryArgs args,

@@ -3,16 +3,9 @@
 #include <sstream>
 #include <utility>
 
+#include "core/query_cache.h"
+
 namespace rma {
-
-namespace {
-
-/// Bound on cached prepared arguments; a context usually serves one query
-/// or expression tree, so a small cache covers the reuse patterns and the
-/// eviction policy stays trivial.
-constexpr size_t kMaxCachedPreparedArgs = 64;
-
-}  // namespace
 
 BatPtr PreparedArg::OrderColumn(size_t i) const {
   const BatPtr& col = rel.column(split.order_idx[i]);
@@ -33,6 +26,17 @@ std::vector<double> PreparedArg::AppColumnDense(size_t j) const {
 ArgShape PreparedArg::Shape() const {
   return MakeArgShape(rel, split.app_idx, rows);
 }
+
+ExecContext::ExecContext() : ExecContext(RmaOptions{}) {}
+
+ExecContext::ExecContext(const RmaOptions& opts)
+    : ExecContext(opts, nullptr) {}
+
+ExecContext::ExecContext(const RmaOptions& opts,
+                         std::shared_ptr<QueryCache> cache)
+    : opts_(opts),
+      cache_(cache != nullptr ? std::move(cache)
+                              : std::make_shared<QueryCache>()) {}
 
 void ExecContext::RecordStage(Stage stage, double seconds) {
   auto add = [&](RmaStats* stats) {
@@ -55,47 +59,136 @@ void ExecContext::RecordStage(Stage stage, double seconds) {
     }
   };
   add(&totals_);
+  if (in_op_ && !op_stats_.empty()) add(&op_stats_.back());
   if (opts_.stats != nullptr) add(opts_.stats);
 }
 
-std::string ExecContext::CacheKey(const Relation& r,
-                                  const std::vector<std::string>& order,
-                                  bool avoid_sort) {
-  // Column identity (shared immutable BATs) plus attribute names covers
-  // renamed views over the same data; the relation name matters because the
+void ExecContext::BeginOp() {
+  op_stats_.emplace_back();
+  in_op_ = true;
+}
+
+void ExecContext::EndOp() {
+  in_op_ = false;
+  // An op that failed before reaching RecordPlan (prepare error, dimension
+  // check) leaves an orphan stats entry; drop it so op_stats() stays
+  // aligned with plans() for every recorded plan.
+  if (op_stats_.size() > plans_.size()) op_stats_.pop_back();
+}
+
+void ExecContext::RecordPlanCache(bool hit) {
+  plan_outcome_ = hit ? PlanCacheOutcome::kHit : PlanCacheOutcome::kMiss;
+  auto add = [&](RmaStats* stats) {
+    if (hit) {
+      ++stats->plan_cache_hits;
+    } else {
+      ++stats->plan_cache_misses;
+    }
+  };
+  add(&totals_);
+  if (opts_.stats != nullptr) add(opts_.stats);
+}
+
+void ExecContext::CountPrepared(bool hit) {
+  if (hit) {
+    ++cache_hits_;
+  } else {
+    ++cache_misses_;
+  }
+  auto add = [&](RmaStats* stats) {
+    if (hit) {
+      ++stats->prepared_cache_hits;
+    } else {
+      ++stats->prepared_cache_misses;
+    }
+  };
+  add(&totals_);
+  if (in_op_ && !op_stats_.empty()) add(&op_stats_.back());
+  if (opts_.stats != nullptr) add(opts_.stats);
+}
+
+void ExecContext::CountEvictions(int64_t n) {
+  if (n == 0) return;
+  totals_.prepared_cache_evictions += n;
+  if (in_op_ && !op_stats_.empty()) {
+    op_stats_.back().prepared_cache_evictions += n;
+  }
+  if (opts_.stats != nullptr) opts_.stats->prepared_cache_evictions += n;
+}
+
+std::string ExecContext::PreparedKey(const Relation& r,
+                                     const std::vector<std::string>& order,
+                                     bool avoid_sort) {
+  // The identity token covers the column data and the attribute names
+  // (renames construct new relations); the relation name matters because the
   // cached PreparedArg's relation feeds result assembly (relation name,
   // det/rnk context value); the order schema and the sort-avoidance variant
-  // complete the key.
+  // complete the key. validate_keys is part of the key because an entry
+  // prepared without validation must not satisfy a later lookup that
+  // expects the key check to have run (the cache outlives option changes).
   std::ostringstream os;
-  os << r.name() << '|';
-  for (int i = 0; i < r.num_columns(); ++i) {
-    os << r.column(i).get() << ':' << r.schema().attribute(i).name << ';';
-  }
-  os << '|';
+  os << "sort:" << r.identity() << '|' << r.name() << '|';
   for (const auto& o : order) os << o << ';';
   os << '|' << (avoid_sort ? 1 : 0);
   return os.str();
 }
 
-PreparedArgPtr ExecContext::LookupPrepared(const Relation& r,
-                                           const std::vector<std::string>& order,
-                                           bool avoid_sort) const {
+std::string ExecContext::AlignedKey(const Relation& s,
+                                    const std::vector<std::string>& order_s,
+                                    const Relation& r,
+                                    const std::vector<std::string>& order_r) {
+  // The alignment permutation maps s's rows onto r's *physical* key order,
+  // so it depends on both relations' data (identities) and both order
+  // schemas.
+  std::ostringstream os;
+  os << "align:" << s.identity() << '|' << s.name() << '|';
+  for (const auto& o : order_s) os << o << ';';
+  os << "|to:" << r.identity() << '|';
+  for (const auto& o : order_r) os << o << ';';
+  return os.str();
+}
+
+std::string ExecContext::KeySuffix() const {
+  return opts_.validate_keys ? "|v1" : "|v0";
+}
+
+PreparedArgPtr ExecContext::LookupPrepared(
+    const Relation& r, const std::vector<std::string>& order, bool avoid_sort) {
   if (!opts_.enable_prepared_cache) return nullptr;
-  auto it = cache_.find(CacheKey(r, order, avoid_sort));
-  if (it == cache_.end()) {
-    ++cache_misses_;
-    return nullptr;
-  }
-  ++cache_hits_;
-  return it->second;
+  PreparedArgPtr found =
+      cache_->LookupPrepared(PreparedKey(r, order, avoid_sort) + KeySuffix());
+  CountPrepared(found != nullptr);
+  return found;
 }
 
 void ExecContext::StorePrepared(const Relation& r,
                                 const std::vector<std::string>& order,
                                 bool avoid_sort, PreparedArgPtr prepared) {
   if (!opts_.enable_prepared_cache) return;
-  if (cache_.size() >= kMaxCachedPreparedArgs) cache_.clear();
-  cache_[CacheKey(r, order, avoid_sort)] = std::move(prepared);
+  CountEvictions(
+      cache_->StorePrepared(PreparedKey(r, order, avoid_sort) + KeySuffix(),
+                            {r.identity()}, std::move(prepared)));
+}
+
+PreparedArgPtr ExecContext::LookupAligned(
+    const Relation& s, const std::vector<std::string>& order_s,
+    const Relation& r, const std::vector<std::string>& order_r) {
+  if (!opts_.enable_prepared_cache) return nullptr;
+  PreparedArgPtr found = cache_->LookupPrepared(
+      AlignedKey(s, order_s, r, order_r) + KeySuffix());
+  CountPrepared(found != nullptr);
+  return found;
+}
+
+void ExecContext::StoreAligned(const Relation& s,
+                               const std::vector<std::string>& order_s,
+                               const Relation& r,
+                               const std::vector<std::string>& order_r,
+                               PreparedArgPtr prepared) {
+  if (!opts_.enable_prepared_cache) return;
+  CountEvictions(cache_->StorePrepared(
+      AlignedKey(s, order_s, r, order_r) + KeySuffix(),
+      {s.identity(), r.identity()}, std::move(prepared)));
 }
 
 }  // namespace rma

@@ -16,6 +16,8 @@
 
 namespace rma {
 
+class QueryCache;
+
 /// One prepared argument of a relational matrix operation: the schema split,
 /// the row order (sort permutation), and the owning relation handle. Owns a
 /// Relation by value (shared column pointers — cheap), so cached instances
@@ -53,30 +55,37 @@ using PreparedArgPtr = std::shared_ptr<const PreparedArg>;
 ///
 ///  - the options (kernel/sort policies, budgets),
 ///  - the worker-thread budget installed around kernel stages,
-///  - per-stage wall-clock aggregation (RmaStats), both per-op (the
-///    options' stats sink) and cumulative across the context,
-///  - a prepared-argument cache keyed on (relation columns, order schema)
-///    so repeated operations over the same relation — the covariance
-///    pipeline tra+mmu, the OLS workloads — reuse sort permutations
-///    instead of re-sorting,
-///  - the physical plans of every executed operation (introspection and
-///    tests).
+///  - per-stage wall-clock aggregation (RmaStats): per-op (the options'
+///    stats sink and the op_stats() log), and cumulative across the context,
+///  - a **borrowed** prepared-argument cache: the context delegates to a
+///    QueryCache — the database-level cache when one was attached (so sort
+///    permutations are shared across statements and contexts), or a private
+///    per-context cache otherwise (the pre-promotion behavior),
+///  - the physical plans of every executed operation (introspection, tests,
+///    EXPLAIN ANALYZE).
 ///
 /// A context is single-threaded state: share one per query/expression, not
-/// across concurrent queries.
+/// across concurrent queries. The QueryCache it borrows from is itself
+/// thread-safe, so contexts of concurrent queries may share one cache.
 class ExecContext {
  public:
-  ExecContext() = default;
-  explicit ExecContext(const RmaOptions& opts) : opts_(opts) {}
+  ExecContext();
+  explicit ExecContext(const RmaOptions& opts);
+  /// Borrows `cache` (shared, database-level) instead of creating a private
+  /// one. Passing null falls back to a private cache.
+  ExecContext(const RmaOptions& opts, std::shared_ptr<QueryCache> cache);
 
   const RmaOptions& options() const { return opts_; }
   RmaOptions& mutable_options() { return opts_; }
 
+  /// The cache this context borrows from (never null).
+  const std::shared_ptr<QueryCache>& cache() const { return cache_; }
+
   /// Worker threads kernel stages may use (0 = hardware concurrency).
   int thread_budget() const { return opts_.max_threads; }
 
-  /// Records `seconds` against a stage: both the per-op sink
-  /// (options().stats, when set) and the context-wide totals.
+  /// Records `seconds` against a stage: the per-op sink (options().stats,
+  /// when set), the open per-op log entry, and the context-wide totals.
   void RecordStage(Stage stage, double seconds);
 
   /// Cumulative per-stage totals across all operations run on this context.
@@ -86,29 +95,80 @@ class ExecContext {
   void RecordPlan(const OpPlan& plan) { plans_.push_back(plan); }
   const std::vector<OpPlan>& plans() const { return plans_; }
 
-  /// Prepared-argument cache. Returns the cached prepared argument for
-  /// (r's columns, order, avoid_sort) or null. `avoid_sort` distinguishes
-  /// the identity-permutation variant produced under SortPolicy::kOptimized.
+  /// Brackets one relational matrix operation for the per-op stats log
+  /// (EXPLAIN ANALYZE): stages recorded between BeginOp and EndOp accrue to
+  /// op_stats().back(), aligned with plans() for completed operations.
+  void BeginOp();
+  void EndOp();
+  const std::vector<RmaStats>& op_stats() const { return op_stats_; }
+
+  /// Statement-level plan-cache provenance, recorded by the SQL layer.
+  enum class PlanCacheOutcome { kNotConsulted, kHit, kMiss };
+  void RecordPlanCache(bool hit);
+  PlanCacheOutcome plan_cache_outcome() const { return plan_outcome_; }
+
+  /// Prepared-argument cache, borrowed from cache(). Returns the cached
+  /// prepared argument for (r's identity, order, avoid_sort) or null.
+  /// `avoid_sort` distinguishes the identity-permutation variant produced
+  /// under SortPolicy::kOptimized.
   PreparedArgPtr LookupPrepared(const Relation& r,
                                 const std::vector<std::string>& order,
-                                bool avoid_sort) const;
+                                bool avoid_sort);
   void StorePrepared(const Relation& r, const std::vector<std::string>& order,
                      bool avoid_sort, PreparedArgPtr prepared);
 
+  /// Relative-alignment variant (Sec. 8.1): s's rows aligned to r's physical
+  /// key order. The cached permutation depends on both relations.
+  PreparedArgPtr LookupAligned(const Relation& s,
+                               const std::vector<std::string>& order_s,
+                               const Relation& r,
+                               const std::vector<std::string>& order_r);
+  void StoreAligned(const Relation& s, const std::vector<std::string>& order_s,
+                    const Relation& r, const std::vector<std::string>& order_r,
+                    PreparedArgPtr prepared);
+
+  /// Per-context prepared-cache counters (cache-sharing contexts also
+  /// aggregate into the QueryCache's own counters).
   int64_t cache_hits() const { return cache_hits_; }
   int64_t cache_misses() const { return cache_misses_; }
 
  private:
-  static std::string CacheKey(const Relation& r,
-                              const std::vector<std::string>& order,
-                              bool avoid_sort);
+  static std::string PreparedKey(const Relation& r,
+                                 const std::vector<std::string>& order,
+                                 bool avoid_sort);
+  static std::string AlignedKey(const Relation& s,
+                                const std::vector<std::string>& order_s,
+                                const Relation& r,
+                                const std::vector<std::string>& order_r);
+
+  /// Options-dependent key suffix: a prepared argument computed without key
+  /// validation must not be served to a context that requires it.
+  std::string KeySuffix() const;
+
+  void CountPrepared(bool hit);
+  void CountEvictions(int64_t n);
 
   RmaOptions opts_;
+  std::shared_ptr<QueryCache> cache_;
   RmaStats totals_;
   std::vector<OpPlan> plans_;
-  std::unordered_map<std::string, PreparedArgPtr> cache_;
-  mutable int64_t cache_hits_ = 0;
-  mutable int64_t cache_misses_ = 0;
+  std::vector<RmaStats> op_stats_;
+  bool in_op_ = false;
+  PlanCacheOutcome plan_outcome_ = PlanCacheOutcome::kNotConsulted;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+};
+
+/// RAII bracket for ExecContext::BeginOp/EndOp.
+class ScopedOpStats {
+ public:
+  explicit ScopedOpStats(ExecContext* ctx) : ctx_(ctx) { ctx_->BeginOp(); }
+  ~ScopedOpStats() { ctx_->EndOp(); }
+  ScopedOpStats(const ScopedOpStats&) = delete;
+  ScopedOpStats& operator=(const ScopedOpStats&) = delete;
+
+ private:
+  ExecContext* ctx_;
 };
 
 }  // namespace rma

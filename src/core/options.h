@@ -37,6 +37,16 @@ struct RmaStats {
   double transform_out_seconds = 0;  ///< base result -> BATs (scatter)
   double morph_seconds = 0;          ///< contextual-information handling
 
+  // Query-cache effectiveness (core/query_cache.h). Plan counters track
+  // whole-statement physical-plan reuse; prepared counters track sort-
+  // permutation / alignment reuse; evictions count cache entries dropped to
+  // stay within the capacity bound.
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t prepared_cache_hits = 0;
+  int64_t prepared_cache_misses = 0;
+  int64_t prepared_cache_evictions = 0;
+
   double TransformSeconds() const {
     return transform_in_seconds + transform_out_seconds;
   }

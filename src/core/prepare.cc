@@ -97,6 +97,19 @@ Result<BinaryArgs> PrepareBinaryArgs(ExecContext& ctx, const OpInfo& info,
   // relative row order matters — keep r in physical order and align s's
   // rows to r's keys by hashing instead of sorting both.
   if (opts.sort == SortPolicy::kOptimized && info.relative_align_ok) {
+    // A previously computed alignment of s onto r (this statement or, with a
+    // shared database-level cache, an earlier one) is reused outright: the
+    // whole pipeline over (r, s) pays for one hash alignment, not one per
+    // operation.
+    if (PreparedArgPtr cached = ctx.LookupAligned(s, order_s, r, order_r)) {
+      if (!out.left->identity()) {
+        auto relaxed = std::make_shared<PreparedArg>(*out.left);
+        relaxed->perm.clear();
+        out.left = std::move(relaxed);
+      }
+      out.right = cached;
+      return out;
+    }
     Timer timer;
     auto cand = std::make_shared<PreparedArg>();
     cand->rel = s;
@@ -146,6 +159,7 @@ Result<BinaryArgs> PrepareBinaryArgs(ExecContext& ctx, const OpInfo& info,
           out.left = std::move(relaxed);
         }
         ctx.RecordStage(Stage::kPrepare, timer.Seconds());
+        ctx.StoreAligned(s, order_s, r, order_r, out.right);
         return out;
       }
     }

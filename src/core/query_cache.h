@@ -1,0 +1,141 @@
+#ifndef RMA_CORE_QUERY_CACHE_H_
+#define RMA_CORE_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/exec_context.h"
+#include "core/options.h"
+#include "core/planner.h"
+
+namespace rma {
+
+/// Database-level query cache shared by every statement (and every
+/// ExecContext) of one catalog. It amortizes the two expensive per-statement
+/// derivations across repeated queries:
+///
+///  - **statement plans**: the rewritten relational-matrix expression trees
+///    and their lowered physical PlanNode trees, keyed on the normalized
+///    statement text. A repeated identical statement skips parsing-side
+///    binding, the cross-algebra rewriter, and the planner entirely.
+///  - **prepared arguments**: order-schema sort permutations and relative-
+///    alignment permutations, keyed on the stable relation identity token
+///    (storage/relation.h) plus the order schema. A repeated operation over
+///    the same relation skips the sort — the paper's single biggest cost for
+///    wide order schemas (Fig. 13).
+///
+/// Invalidation is catalog-versioned: the owning catalog (sql::Database)
+/// bumps a monotone version on Register/Drop/CREATE TABLE AS. Plan entries
+/// remember the version they were built at and can only hit at that exact
+/// version; bumping eagerly drops stale entries. Prepared entries are keyed
+/// on identity tokens that new relations can never collide with, so they are
+/// invalidated precisely via EvictRelation when the catalog replaces or
+/// drops a relation.
+///
+/// All methods are thread-safe (one mutex); contexts of concurrent queries
+/// may share one cache.
+class QueryCache {
+ public:
+  /// One cached FROM-clause relational-matrix operation of a statement: the
+  /// rewritten expression with leaf relations bound (re-evaluation runs it
+  /// directly) plus the lowered physical plan and the fired rewrite rules
+  /// (EXPLAIN / provenance).
+  struct CachedOp {
+    RmaExprPtr rewritten;
+    PlanNodePtr plan;
+    std::vector<std::string> rewrites;
+  };
+
+  /// The cached plan of one whole statement, in FROM-clause traversal order.
+  struct StatementPlan {
+    std::vector<CachedOp> ops;
+    uint64_t catalog_version = 0;
+    uint64_t options_fingerprint = 0;
+  };
+  using StatementPlanPtr = std::shared_ptr<const StatementPlan>;
+
+  /// Cumulative effectiveness counters (also mirrored into RmaStats sinks by
+  /// the contexts that use the cache).
+  struct Counters {
+    int64_t plan_hits = 0;
+    int64_t plan_misses = 0;
+    int64_t plan_invalidations = 0;  ///< stale entries dropped on version bump
+    int64_t prepared_hits = 0;
+    int64_t prepared_misses = 0;
+    int64_t evictions = 0;           ///< entries dropped for capacity/eviction
+  };
+
+  /// Canonical form of a statement for plan-cache keying: lower-cased
+  /// outside string literals, whitespace collapsed, a leading
+  /// EXPLAIN [ANALYZE] prefix and a trailing semicolon stripped (so
+  /// `SELECT …`, `select …;` and `EXPLAIN ANALYZE SELECT …` share one plan).
+  static std::string NormalizeStatement(const std::string& sql);
+
+  /// Fingerprint of every RmaOptions field that affects plan content.
+  /// A changed kernel/sort policy or rewrite toggle must miss.
+  static uint64_t OptionsFingerprint(const RmaOptions& opts);
+
+  // --- statement plans -------------------------------------------------------
+
+  /// Returns the cached plan for `normalized` iff it was built at exactly
+  /// `catalog_version` with `options_fingerprint`; null (a miss) otherwise.
+  StatementPlanPtr LookupPlan(const std::string& normalized,
+                              uint64_t catalog_version,
+                              uint64_t options_fingerprint);
+
+  void StorePlan(const std::string& normalized, StatementPlanPtr plan);
+
+  /// Catalog changed: eagerly drops every plan entry built at an older
+  /// version (they can never hit again).
+  void InvalidateStalePlans(uint64_t current_version);
+
+  // --- prepared arguments ----------------------------------------------------
+
+  /// `relations` lists the identity tokens of every relation the prepared
+  /// argument was derived from (one for a sort, two for an alignment), so
+  /// EvictRelation can invalidate precisely. Returns the number of entries
+  /// evicted to make room.
+  int64_t StorePrepared(const std::string& key,
+                        std::vector<uint64_t> relations, PreparedArgPtr arg);
+
+  PreparedArgPtr LookupPrepared(const std::string& key);
+
+  /// Drops every prepared argument derived from the relation with this
+  /// identity token (the catalog is replacing or dropping it).
+  void EvictRelation(uint64_t relation_identity);
+
+  // --- introspection ---------------------------------------------------------
+
+  Counters counters() const;
+  size_t plan_entries() const;
+  size_t prepared_entries() const;
+
+ private:
+  struct PreparedEntry {
+    PreparedArgPtr arg;
+    std::vector<uint64_t> relations;
+    uint64_t last_used = 0;
+  };
+  struct PlanEntry {
+    StatementPlanPtr plan;
+    uint64_t last_used = 0;
+  };
+
+  int64_t EvictPreparedLruLocked();
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, PlanEntry> plans_;
+  std::unordered_map<std::string, PreparedEntry> prepared_;
+  uint64_t tick_ = 0;
+  Counters counters_;
+};
+
+using QueryCachePtr = std::shared_ptr<QueryCache>;
+
+}  // namespace rma
+
+#endif  // RMA_CORE_QUERY_CACHE_H_

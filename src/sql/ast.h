@@ -116,13 +116,19 @@ struct SelectStmt {
   int64_t limit = -1;               ///< -1: no limit
 };
 
-/// Top-level statement: a query, CREATE TABLE name AS query, DROP TABLE,
-/// or EXPLAIN query (physical-plan rendering instead of execution).
+/// Top-level statement: a query, CREATE TABLE name AS query, DROP TABLE, or
+/// EXPLAIN [ANALYZE] over a query or a CREATE TABLE AS. Plain EXPLAIN
+/// renders the physical plan without executing; EXPLAIN ANALYZE executes the
+/// statement (including the CREATE TABLE AS registration) and annotates the
+/// plan with measured stage times and cache provenance.
 struct Statement {
   enum class Kind { kSelect, kCreateTableAs, kDropTable, kExplain };
   Kind kind = Kind::kSelect;
   SelectStmtPtr select;     ///< kSelect / kCreateTableAs / kExplain
-  std::string table_name;   ///< kCreateTableAs / kDropTable
+  std::string table_name;   ///< kCreateTableAs / kDropTable / explained CTAS
+  bool analyze = false;     ///< kExplain: EXPLAIN ANALYZE
+  bool explain_create = false;  ///< kExplain: the explained statement is a
+                                ///< CREATE TABLE table_name AS select
 };
 
 }  // namespace rma::sql

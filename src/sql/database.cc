@@ -1,14 +1,35 @@
 #include "sql/database.h"
 
+#include <atomic>
+
+#include "core/exec_context.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 #include "util/string_util.h"
 
 namespace rma::sql {
 
+void Database::BumpCatalogVersion() {
+  // Versions come from a process-wide counter, not a per-database one:
+  // copied Database objects share the QueryCache, and independent bumps of
+  // per-database counters could coincide and let one copy serve the other's
+  // cached plans (whose leaves embed the wrong catalog's relations). A
+  // global counter makes every post-copy mutation land on a version no
+  // other database ever reaches.
+  static std::atomic<uint64_t> global_version{0};
+  catalog_version_ = global_version.fetch_add(1, std::memory_order_relaxed) + 1;
+  query_cache_->InvalidateStalePlans(catalog_version_);
+}
+
 Status Database::Register(const std::string& name, Relation rel) {
   rel.set_name(name);
-  tables_[ToLower(name)] = std::move(rel);
+  const std::string key = ToLower(name);
+  auto it = tables_.find(key);
+  if (it != tables_.end()) {
+    query_cache_->EvictRelation(it->second.identity());
+  }
+  tables_[key] = std::move(rel);
+  BumpCatalogVersion();
   return Status::OK();
 }
 
@@ -21,9 +42,13 @@ Result<Relation> Database::Get(const std::string& name) const {
 }
 
 Status Database::Drop(const std::string& name) {
-  if (tables_.erase(ToLower(name)) == 0) {
-    return Status::KeyError("unknown table: " + name);
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
   }
+  query_cache_->EvictRelation(it->second.identity());
+  tables_.erase(it);
+  BumpCatalogVersion();
   return Status::OK();
 }
 
@@ -36,17 +61,27 @@ std::vector<std::string> Database::TableNames() const {
 
 Result<Relation> Database::Query(const std::string& sql) const {
   RMA_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(sql));
-  return ExecuteSelect(*this, *stmt, rma_options);
+  ExecContext ctx(rma_options, query_cache_);
+  return ExecuteSelectCached(*this, *stmt,
+                             QueryCache::NormalizeStatement(sql), &ctx);
 }
 
 Result<Relation> Database::Execute(const std::string& sql) {
   RMA_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
   switch (stmt.kind) {
-    case Statement::Kind::kSelect:
-      return ExecuteSelect(*this, *stmt.select, rma_options);
+    case Statement::Kind::kSelect: {
+      ExecContext ctx(rma_options, query_cache_);
+      return ExecuteSelectCached(*this, *stmt.select,
+                                 QueryCache::NormalizeStatement(sql), &ctx);
+    }
     case Statement::Kind::kCreateTableAs: {
+      // No plan-cache consult: the Register below bumps the catalog version,
+      // which would invalidate a just-stored plan before it could ever hit.
+      // The context still borrows the shared cache, so prepared arguments
+      // (sort/alignment permutations) are reused and kept warm.
+      ExecContext ctx(rma_options, query_cache_);
       RMA_ASSIGN_OR_RETURN(Relation rel,
-                           ExecuteSelect(*this, *stmt.select, rma_options));
+                           ExecuteSelect(*this, *stmt.select, &ctx));
       RMA_RETURN_NOT_OK(Register(stmt.table_name, rel));
       return rel;
     }
@@ -55,7 +90,7 @@ Result<Relation> Database::Execute(const std::string& sql) {
       return Relation();
     }
     case Statement::Kind::kExplain:
-      return ExplainSelect(*this, *stmt.select, rma_options);
+      return ExplainStatement(*this, stmt, sql);
   }
   return Status::Invalid("unreachable statement kind");
 }

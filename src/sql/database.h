@@ -1,11 +1,14 @@
 #ifndef RMA_SQL_DATABASE_H_
 #define RMA_SQL_DATABASE_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/options.h"
+#include "core/query_cache.h"
 #include "storage/relation.h"
 #include "util/result.h"
 
@@ -17,14 +20,26 @@ namespace rma::sql {
 ///   Database db;
 ///   db.Register("rating", rating);
 ///   auto v = db.Query("SELECT * FROM INV(rating BY User)");
+///
+/// The database owns a QueryCache shared by every statement it executes:
+/// physical plans are cached per normalized statement text and prepared
+/// arguments (sort/alignment permutations) per relation identity, so a
+/// repeated query skips planning and sorting entirely. Catalog mutations
+/// (Register, Drop, CREATE TABLE AS) bump a monotone catalog version that
+/// invalidates stale plans and evicts the touched relation's prepared
+/// arguments.
 class Database {
  public:
   /// Adds (or replaces) a table. The relation's name is set to `name`.
+  /// Bumps the catalog version; a replaced relation's cached state is
+  /// evicted.
   Status Register(const std::string& name, Relation rel);
 
   /// Looks a table up (case-insensitive).
   Result<Relation> Get(const std::string& name) const;
 
+  /// Removes a table, its cached prepared arguments, and every plan built
+  /// against the old catalog. NotFound (with the table name) if absent.
   Status Drop(const std::string& name);
 
   bool Has(const std::string& name) const { return Get(name).ok(); }
@@ -35,14 +50,28 @@ class Database {
   Result<Relation> Query(const std::string& sql) const;
 
   /// Runs any statement. CREATE TABLE ... AS stores and returns the result;
-  /// DROP TABLE returns an empty relation.
+  /// DROP TABLE returns an empty relation; EXPLAIN [ANALYZE] returns the
+  /// plan rendering.
   Result<Relation> Execute(const std::string& sql);
+
+  /// The shared query cache (never null). Exposed for introspection
+  /// (benchmarks, tests); statements use it automatically.
+  const QueryCachePtr& query_cache() const { return query_cache_; }
+
+  /// Monotone version of the catalog contents; bumped by Register/Drop
+  /// (and thus CREATE TABLE AS). Plan-cache entries only hit at the exact
+  /// version they were built at.
+  uint64_t catalog_version() const { return catalog_version_; }
 
   /// Options applied to relational matrix operations inside queries.
   RmaOptions rma_options;
 
  private:
+  void BumpCatalogVersion();
+
   std::map<std::string, Relation> tables_;  // keyed by lower-cased name
+  QueryCachePtr query_cache_ = std::make_shared<QueryCache>();
+  uint64_t catalog_version_ = 0;
 };
 
 }  // namespace rma::sql

@@ -1,21 +1,36 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
+#include <sstream>
 #include <unordered_set>
 
 #include "core/algebra.h"
 #include "core/exec_context.h"
 #include "core/planner.h"
+#include "core/query_cache.h"
 #include "core/rma.h"
 #include "rel/operators.h"
 #include "sql/database.h"
 #include "storage/bat_ops.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace rma::sql {
 
 namespace {
+
+/// Per-statement plan-cache cursor threaded through FROM evaluation. On a
+/// hit, `hit` serves the statement's relational matrix operations in
+/// traversal order; on a miss, built ops are appended to `record` and stored
+/// at statement end. Null means the statement runs uncached (nested
+/// evaluation inside a matrix-operation argument, or legacy entry points).
+struct PlanCacheState {
+  const QueryCache::StatementPlan* hit = nullptr;
+  size_t cursor = 0;
+  std::vector<QueryCache::CachedOp>* record = nullptr;
+};
 
 /// A relation flowing through the executor, with per-column resolution
 /// metadata: the original (pre-uniquification) attribute name and the table
@@ -129,16 +144,20 @@ std::vector<std::string> UniquifyNames(std::vector<std::string> names) {
 // --- FROM evaluation --------------------------------------------------------
 
 Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
-                               ExecContext* ctx);
+                               ExecContext* ctx, PlanCacheState* pcs);
 
 /// Turns a (possibly nested) FROM-clause operation reference into an
 /// algebra expression: kRmaOp children stay symbolic so the rewriter can
 /// match across nesting levels; any other reference is evaluated here and
-/// becomes a leaf.
+/// becomes a leaf. Leaf evaluation runs outside the plan-cache cursor (pcs
+/// null): its results are embedded in the built expression, which the cache
+/// stores whole — recording nested operations separately would double-count
+/// them and desynchronize the hit-path cursor.
 Result<RmaExprPtr> BuildRmaExpr(const Database& db, const TableRefPtr& ref,
                                 ExecContext* ctx) {
   if (ref->kind != TableRef::Kind::kRmaOp) {
-    RMA_ASSIGN_OR_RETURN(Bound b, EvaluateTableRef(db, ref, ctx));
+    RMA_ASSIGN_OR_RETURN(Bound b,
+                         EvaluateTableRef(db, ref, ctx, /*pcs=*/nullptr));
     return RmaExpr::Leaf(std::move(b.rel));
   }
   auto expr = std::make_shared<RmaExpr>();
@@ -165,9 +184,9 @@ void CollectJoinConditions(const SqlExprPtr& e, std::vector<SqlExprPtr>* out) {
 }
 
 Result<Bound> EvaluateJoin(const Database& db, const TableRef& ref,
-                           ExecContext* ctx) {
-  RMA_ASSIGN_OR_RETURN(Bound left, EvaluateTableRef(db, ref.left, ctx));
-  RMA_ASSIGN_OR_RETURN(Bound right, EvaluateTableRef(db, ref.right, ctx));
+                           ExecContext* ctx, PlanCacheState* pcs) {
+  RMA_ASSIGN_OR_RETURN(Bound left, EvaluateTableRef(db, ref.left, ctx, pcs));
+  RMA_ASSIGN_OR_RETURN(Bound right, EvaluateTableRef(db, ref.right, ctx, pcs));
   Bound combined;
   combined.names = left.names;
   combined.names.insert(combined.names.end(), right.names.begin(),
@@ -225,8 +244,11 @@ Result<Bound> EvaluateJoin(const Database& db, const TableRef& ref,
   return combined;
 }
 
+Result<Relation> ExecuteSelectImpl(const Database& db, const SelectStmt& stmt,
+                                   ExecContext* ctx, PlanCacheState* pcs);
+
 Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
-                               ExecContext* ctx) {
+                               ExecContext* ctx, PlanCacheState* pcs) {
   switch (ref->kind) {
     case TableRef::Kind::kTable: {
       RMA_ASSIGN_OR_RETURN(Relation rel, db.Get(ref->table_name));
@@ -237,22 +259,48 @@ Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
     }
     case TableRef::Kind::kSubquery: {
       RMA_ASSIGN_OR_RETURN(Relation rel,
-                           ExecuteSelect(db, *ref->subquery, ctx));
+                           ExecuteSelectImpl(db, *ref->subquery, ctx, pcs));
       if (!ref->alias.empty()) rel.set_name(ref->alias);
       return BindRelation(std::move(rel), ref->alias);
     }
     case TableRef::Kind::kRmaOp: {
+      // A plan-cache hit serves the whole operation tree: the rewritten
+      // expression (leaf relations bound at record time — sound because the
+      // catalog version is part of the cache key) evaluates directly, with
+      // no rebinding, rewriting, or planning.
+      if (pcs != nullptr && pcs->hit != nullptr &&
+          pcs->cursor < pcs->hit->ops.size()) {
+        const QueryCache::CachedOp& cop = pcs->hit->ops[pcs->cursor++];
+        RMA_ASSIGN_OR_RETURN(Relation rel,
+                             EvaluateExpression(cop.rewritten, ctx));
+        return BindRelation(std::move(rel), ref->alias);
+      }
       // Build the whole nested-operation tree as an algebra expression so
       // the cross-algebra rewriter sees patterns that span FROM-clause
       // nesting levels (e.g. MMU(TRA(w3 BY U) BY C, w3 BY U) → CPD) and
       // the staged pipeline plans, caches, and executes it as one unit.
       RMA_ASSIGN_OR_RETURN(RmaExprPtr expr, BuildRmaExpr(db, ref, ctx));
-      RMA_ASSIGN_OR_RETURN(Relation rel,
-                           EvaluateOptimized(expr, ctx, nullptr));
+      RewriteReport report;
+      const RmaExprPtr rewritten =
+          RewriteExpression(expr, ctx->options().rewrites, &report);
+      if (pcs != nullptr && pcs->record != nullptr) {
+        QueryCache::CachedOp cop;
+        cop.rewritten = rewritten;
+        cop.rewrites = report.applied;
+        // Lower the physical plan of what actually executes (the rewritten
+        // tree) for EXPLAIN ANALYZE; planning failures surface through
+        // evaluation below, not here.
+        if (auto plan = PlanExpression(rewritten, ctx->options(), nullptr);
+            plan.ok()) {
+          cop.plan = *plan;
+        }
+        pcs->record->push_back(std::move(cop));
+      }
+      RMA_ASSIGN_OR_RETURN(Relation rel, EvaluateExpression(rewritten, ctx));
       return BindRelation(std::move(rel), ref->alias);
     }
     case TableRef::Kind::kJoin:
-      return EvaluateJoin(db, *ref, ctx);
+      return EvaluateJoin(db, *ref, ctx, pcs);
   }
   return Status::Invalid("unreachable table-ref kind");
 }
@@ -403,14 +451,12 @@ Result<Relation> ApplyOrderBy(Relation rel,
   return rel.TakeRows(perm);
 }
 
-}  // namespace
-
-Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
-                               ExecContext* ctx) {
+Result<Relation> ExecuteSelectImpl(const Database& db, const SelectStmt& stmt,
+                                   ExecContext* ctx, PlanCacheState* pcs) {
   if (stmt.from == nullptr) {
     return Status::Invalid("query requires a FROM clause");
   }
-  RMA_ASSIGN_OR_RETURN(Bound from, EvaluateTableRef(db, stmt.from, ctx));
+  RMA_ASSIGN_OR_RETURN(Bound from, EvaluateTableRef(db, stmt.from, ctx, pcs));
   if (stmt.where != nullptr) {
     RMA_ASSIGN_OR_RETURN(rel::ExprPtr pred, ResolveScalar(stmt.where, from));
     RMA_ASSIGN_OR_RETURN(from.rel, rel::Select(from.rel, pred));
@@ -454,10 +500,60 @@ Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
   return result;
 }
 
+/// Shared statement runner. With `normalized` set, consults and populates
+/// the database's plan cache; with it null, records the statement plan
+/// without touching the cache (EXPLAIN ANALYZE of a CTAS — whose own
+/// Register would invalidate a stored entry before it could ever hit).
+/// `plan_out` (optional) receives the plan that served or was recorded.
+Result<Relation> RunStatement(const Database& db, const SelectStmt& stmt,
+                              const std::string* normalized, ExecContext* ctx,
+                              QueryCache::StatementPlanPtr* plan_out) {
+  const QueryCachePtr& cache = db.query_cache();
+  const uint64_t fingerprint =
+      QueryCache::OptionsFingerprint(ctx->options());
+  PlanCacheState pcs;
+  QueryCache::StatementPlanPtr used;
+  if (normalized != nullptr) {
+    used = cache->LookupPlan(*normalized, db.catalog_version(), fingerprint);
+    ctx->RecordPlanCache(used != nullptr);
+  }
+  std::vector<QueryCache::CachedOp> recorded;
+  if (used != nullptr) {
+    pcs.hit = used.get();
+  } else {
+    pcs.record = &recorded;
+  }
+  Result<Relation> result = ExecuteSelectImpl(db, stmt, ctx, &pcs);
+  if (!result.ok()) return result;
+  if (used == nullptr) {
+    auto plan = std::make_shared<QueryCache::StatementPlan>();
+    plan->ops = std::move(recorded);
+    plan->catalog_version = db.catalog_version();
+    plan->options_fingerprint = fingerprint;
+    used = plan;
+    if (normalized != nullptr) cache->StorePlan(*normalized, std::move(plan));
+  }
+  if (plan_out != nullptr) *plan_out = std::move(used);
+  return result;
+}
+
+}  // namespace
+
+Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
+                               ExecContext* ctx) {
+  return ExecuteSelectImpl(db, stmt, ctx, /*pcs=*/nullptr);
+}
+
 Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
                                const RmaOptions& opts) {
   ExecContext ctx(opts);
   return ExecuteSelect(db, stmt, &ctx);
+}
+
+Result<Relation> ExecuteSelectCached(const Database& db, const SelectStmt& stmt,
+                                     const std::string& normalized,
+                                     ExecContext* ctx) {
+  return RunStatement(db, stmt, &normalized, ctx, /*plan_out=*/nullptr);
 }
 
 // --- EXPLAIN -----------------------------------------------------------------
@@ -552,6 +648,69 @@ Status ExplainSelectLines(const Database& db, const SelectStmt& stmt,
   return ExplainTableRef(db, stmt.from, ctx, depth + 1, lines);
 }
 
+std::string FormatSecs(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", seconds);
+  return buf;
+}
+
+Result<Relation> PlanRelation(std::vector<std::string> lines) {
+  auto schema = Schema::Make({{"plan", DataType::kString}});
+  RMA_RETURN_NOT_OK(schema.status());
+  return Relation::Make(std::move(*schema), {MakeStringBat(std::move(lines))},
+                        "explain");
+}
+
+/// The EXPLAIN ANALYZE execution section: per-operation measured stage
+/// times (plans() zipped with op_stats()), statement-level cache
+/// provenance, result cardinality, and total wall time.
+void AppendExecutionSection(const Database& db, const ExecContext& ctx,
+                            const Relation& result, double total_seconds,
+                            std::vector<std::string>* lines) {
+  lines->push_back("execution:");
+  const std::vector<OpPlan>& plans = ctx.plans();
+  const std::vector<RmaStats>& stats = ctx.op_stats();
+  const size_t n = std::min(plans.size(), stats.size());
+  for (size_t i = 0; i < n; ++i) {
+    std::ostringstream os;
+    os << "op " << i + 1 << ": " << GetOpInfo(plans[i].op).name
+       << " kernel=" << KernelChoiceName(plans[i].kernel)
+       << " sort=" << FormatSecs(stats[i].sort_seconds)
+       << " gather=" << FormatSecs(stats[i].transform_in_seconds)
+       << " kernel=" << FormatSecs(stats[i].compute_seconds)
+       << " scatter=" << FormatSecs(stats[i].transform_out_seconds)
+       << " morph=" << FormatSecs(stats[i].morph_seconds) << " prepared: "
+       << stats[i].prepared_cache_hits << " hit, "
+       << stats[i].prepared_cache_misses << " miss";
+    AppendIndented(os.str(), 1, lines);
+  }
+  std::string plan_line = "plan cache: ";
+  switch (ctx.plan_cache_outcome()) {
+    case ExecContext::PlanCacheOutcome::kHit:
+      plan_line += "hit";
+      break;
+    case ExecContext::PlanCacheOutcome::kMiss:
+      plan_line += "miss";
+      break;
+    case ExecContext::PlanCacheOutcome::kNotConsulted:
+      plan_line += "not consulted";
+      break;
+  }
+  plan_line += " (catalog version " + std::to_string(db.catalog_version()) +
+               ")";
+  AppendIndented(plan_line, 1, lines);
+  const RmaStats& totals = ctx.totals();
+  AppendIndented("prepared cache: " +
+                     std::to_string(totals.prepared_cache_hits) + " hits, " +
+                     std::to_string(totals.prepared_cache_misses) +
+                     " misses, " +
+                     std::to_string(totals.prepared_cache_evictions) +
+                     " evictions",
+                 1, lines);
+  AppendIndented("rows: " + std::to_string(result.num_rows()), 1, lines);
+  AppendIndented("total: " + FormatSecs(total_seconds), 1, lines);
+}
+
 }  // namespace
 
 Result<Relation> ExplainSelect(const Database& db, const SelectStmt& stmt,
@@ -559,10 +718,69 @@ Result<Relation> ExplainSelect(const Database& db, const SelectStmt& stmt,
   ExecContext ctx(opts);
   std::vector<std::string> lines;
   RMA_RETURN_NOT_OK(ExplainSelectLines(db, stmt, &ctx, 0, &lines));
-  auto schema = Schema::Make({{"plan", DataType::kString}});
-  RMA_RETURN_NOT_OK(schema.status());
-  return Relation::Make(std::move(*schema), {MakeStringBat(std::move(lines))},
-                        "explain");
+  return PlanRelation(std::move(lines));
+}
+
+Result<Relation> ExplainStatement(Database& db, const Statement& stmt,
+                                  const std::string& sql) {
+  if (stmt.select == nullptr) {
+    return Status::Invalid("EXPLAIN requires a SELECT or CREATE TABLE AS");
+  }
+  std::vector<std::string> lines;
+  if (!stmt.analyze) {
+    // Plain EXPLAIN: render the full relational pipeline without executing
+    // (a CREATE TABLE AS is not registered). The scratch context carries a
+    // private cache so shape-binding work (which may evaluate subqueries
+    // nested inside matrix-operation arguments) does not pre-warm the
+    // shared cache.
+    const int depth = stmt.explain_create ? 1 : 0;
+    if (stmt.explain_create) {
+      lines.push_back("create table " + stmt.table_name +
+                      " as [not executed]");
+    }
+    ExecContext plan_ctx(db.rma_options);
+    RMA_RETURN_NOT_OK(
+        ExplainSelectLines(db, *stmt.select, &plan_ctx, depth, &lines));
+    return PlanRelation(std::move(lines));
+  }
+
+  // EXPLAIN ANALYZE: execute through the database's plan cache and render
+  // the statement plan that actually served (or was recorded by) the run —
+  // the cached lowered PlanNode trees — followed by the measured execution
+  // section. CREATE TABLE AS registers its result (side effects are part of
+  // execution) and skips the cache consult: its own Register would
+  // invalidate a stored plan before it could ever hit.
+  if (stmt.explain_create) {
+    lines.push_back("create table " + stmt.table_name + " as");
+  }
+  ExecContext ctx(db.rma_options, db.query_cache());
+  const std::string normalized = QueryCache::NormalizeStatement(sql);
+  QueryCache::StatementPlanPtr plan_used;
+  Timer timer;
+  RMA_ASSIGN_OR_RETURN(
+      Relation result,
+      RunStatement(db, *stmt.select, stmt.explain_create ? nullptr
+                                                         : &normalized,
+                   &ctx, &plan_used));
+  const double total_seconds = timer.Seconds();
+  if (stmt.explain_create) {
+    RMA_RETURN_NOT_OK(db.Register(stmt.table_name, result));
+  }
+  if (plan_used != nullptr) {
+    for (const QueryCache::CachedOp& cop : plan_used->ops) {
+      lines.push_back("relational matrix operation:");
+      if (cop.plan != nullptr) AppendIndented(RenderPlan(cop.plan), 1, &lines);
+      std::string fired = "rewrites fired:";
+      if (cop.rewrites.empty()) {
+        fired += " (none)";
+      } else {
+        for (const auto& rule : cop.rewrites) fired += " " + rule;
+      }
+      AppendIndented(fired, 1, &lines);
+    }
+  }
+  AppendExecutionSection(db, ctx, result, total_seconds, &lines);
+  return PlanRelation(std::move(lines));
 }
 
 }  // namespace rma::sql

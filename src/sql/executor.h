@@ -1,6 +1,8 @@
 #ifndef RMA_SQL_EXECUTOR_H_
 #define RMA_SQL_EXECUTOR_H_
 
+#include <string>
+
 #include "core/options.h"
 #include "sql/ast.h"
 #include "storage/relation.h"
@@ -26,6 +28,18 @@ Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
 Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
                                ExecContext* ctx);
 
+/// Plan-cache-aware execution: consults the database's QueryCache under
+/// `normalized` (QueryCache::NormalizeStatement of the statement text) at
+/// the current catalog version. On a hit, every FROM-clause relational
+/// matrix operation is served from its cached rewritten expression — no
+/// rebinding, rewriting, or planning; with warm prepared arguments the
+/// statement also skips every sort. On a miss the statement executes
+/// normally and its ops are recorded for the next run. The context should
+/// borrow the database's cache (Database wires this up).
+Result<Relation> ExecuteSelectCached(const Database& db, const SelectStmt& stmt,
+                                     const std::string& normalized,
+                                     ExecContext* ctx);
+
 /// EXPLAIN: renders the physical plan of the statement — the planned
 /// relational matrix operations (chosen kernels, stages, cost estimates,
 /// prepared-argument reuse), the cross-algebra rewrites that fired, and the
@@ -35,6 +49,20 @@ Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
 /// executes subqueries nested *inside* a matrix-operation argument.
 Result<Relation> ExplainSelect(const Database& db, const SelectStmt& stmt,
                                const RmaOptions& opts);
+
+/// EXPLAIN [ANALYZE] over a SELECT or CREATE TABLE AS statement
+/// (stmt.kind == kExplain). Plain EXPLAIN renders the relational pipeline
+/// and physical plans without executing (a CREATE TABLE AS is *not*
+/// registered). EXPLAIN ANALYZE executes through the plan cache, renders
+/// the statement plan that served (or was recorded by) the run, and appends
+/// an execution section: each operation's measured per-stage RmaStats, the
+/// statement's plan-cache and prepared-cache provenance, row count, and
+/// total wall time. A CTAS *is* registered (side effects are part of
+/// execution) but skips the plan-cache consult — its own registration
+/// would invalidate the entry immediately. `sql` is the original statement
+/// text (plan-cache key material).
+Result<Relation> ExplainStatement(Database& db, const Statement& stmt,
+                                  const std::string& sql);
 
 }  // namespace rma::sql
 

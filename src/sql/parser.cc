@@ -37,6 +37,17 @@ class Parser {
       stmt.kind = Statement::Kind::kDropTable;
     } else if (IsKeyword("EXPLAIN")) {
       Advance();
+      if (IsKeyword("ANALYZE")) {
+        Advance();
+        stmt.analyze = true;
+      }
+      if (IsKeyword("CREATE")) {
+        Advance();
+        RMA_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+        RMA_ASSIGN_OR_RETURN(stmt.table_name, ExpectIdent());
+        RMA_RETURN_NOT_OK(ExpectKeyword("AS"));
+        stmt.explain_create = true;
+      }
       RMA_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
       stmt.kind = Statement::Kind::kExplain;
     } else {

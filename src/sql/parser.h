@@ -14,6 +14,7 @@ namespace rma::sql {
 ///   SELECT items FROM from [WHERE e] [GROUP BY cols] [ORDER BY cols [DESC]]
 ///     [LIMIT n]
 ///   CREATE TABLE name AS select ; DROP TABLE name
+///   EXPLAIN [ANALYZE] (select | CREATE TABLE name AS select)
 ///   from:  ref ([CROSS] JOIN ref [ON e] | ',' ref)*
 ///   ref:   table [AS? alias] | '(' select ')' alias
 ///        | RMAOP '(' arg [',' arg] ')' [alias]      -- INV, MMU, TRA, ...

@@ -1,10 +1,16 @@
 #include "storage/relation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 
 namespace rma {
+
+uint64_t Relation::NextIdentity() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 Result<Relation> Relation::Make(Schema schema, std::vector<BatPtr> columns,
                                 std::string name) {

@@ -1,6 +1,7 @@
 #ifndef RMA_STORAGE_RELATION_H_
 #define RMA_STORAGE_RELATION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,15 @@ class Relation {
   const Schema& schema() const { return schema_; }
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Stable identity token: assigned once per constructed relation from a
+  /// process-wide monotone counter and shared by copies (copies share the
+  /// immutable column data, so they denote the same contents). Derived
+  /// relations (TakeRows, SelectColumns, RenameColumn, operation results)
+  /// get fresh tokens. Because tokens are never reused, they are safe cache
+  /// keys: a token can never silently come to denote different data, unlike
+  /// raw column pointers whose addresses can recur after deallocation.
+  uint64_t identity() const { return identity_; }
 
   int num_columns() const { return schema_.num_attributes(); }
   int64_t num_rows() const { return columns_.empty() ? 0 : columns_[0]->size(); }
@@ -68,9 +78,12 @@ class Relation {
         columns_(std::move(columns)),
         name_(std::move(name)) {}
 
+  static uint64_t NextIdentity();
+
   Schema schema_;
   std::vector<BatPtr> columns_;
   std::string name_ = "r";
+  uint64_t identity_ = NextIdentity();
 };
 
 /// Row-at-a-time construction helper used by tests and generators.

@@ -27,6 +27,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kNotFound:
+      return "NotFound";
     case StatusCode::kUnknownError:
       return "Unknown";
   }

@@ -19,7 +19,8 @@ enum class StatusCode : int {
   kResourceExhausted = 7, ///< Memory/size budget exceeded.
   kIoError = 8,           ///< File read/write failure.
   kParseError = 9,        ///< SQL/CSV syntax error.
-  kUnknownError = 10,
+  kNotFound = 10,         ///< Named entity absent (DROP of a missing table).
+  kUnknownError = 11,
 };
 
 /// Outcome of a fallible operation. Cheap to copy in the OK case (no
@@ -66,6 +67,9 @@ class Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -85,6 +89,7 @@ class Status {
   }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
 
   /// Human-readable rendering, e.g. "Invalid: order schema is not a key".
   std::string ToString() const;

@@ -1,0 +1,207 @@
+// The database-level QueryCache: statement normalization, catalog-versioned
+// plan invalidation, cross-context prepared-argument sharing, precise
+// relation eviction, and capacity-bounded LRU eviction.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/exec_context.h"
+#include "core/query_cache.h"
+#include "core/rma.h"
+#include "test_util.h"
+
+namespace rma {
+namespace {
+
+using testing::RandomKeyedRelation;
+
+TEST(NormalizeStatementTest, CaseWhitespaceAndSemicolon) {
+  EXPECT_EQ(QueryCache::NormalizeStatement("SELECT  *\n FROM   t ;"),
+            "select * from t");
+  EXPECT_EQ(QueryCache::NormalizeStatement("select * from t"),
+            "select * from t");
+}
+
+TEST(NormalizeStatementTest, PreservesStringLiterals) {
+  EXPECT_EQ(QueryCache::NormalizeStatement("SELECT * FROM t WHERE s = 'A  B'"),
+            "select * from t where s = 'A  B'");
+}
+
+TEST(NormalizeStatementTest, StripsExplainAnalyzePrefix) {
+  const std::string base = QueryCache::NormalizeStatement("SELECT * FROM t");
+  EXPECT_EQ(QueryCache::NormalizeStatement("EXPLAIN SELECT * FROM t"), base);
+  EXPECT_EQ(QueryCache::NormalizeStatement("EXPLAIN ANALYZE  SELECT * FROM t"),
+            base);
+}
+
+TEST(OptionsFingerprintTest, PlanAffectingFieldsChangeTheFingerprint) {
+  RmaOptions a;
+  RmaOptions b;
+  EXPECT_EQ(QueryCache::OptionsFingerprint(a),
+            QueryCache::OptionsFingerprint(b));
+  b.kernel = KernelPolicy::kBat;
+  EXPECT_NE(QueryCache::OptionsFingerprint(a),
+            QueryCache::OptionsFingerprint(b));
+  b = a;
+  b.rewrites.mmu_tra_to_cpd = false;
+  EXPECT_NE(QueryCache::OptionsFingerprint(a),
+            QueryCache::OptionsFingerprint(b));
+  // The stats sink is an output channel, not plan content.
+  b = a;
+  RmaStats sink;
+  b.stats = &sink;
+  EXPECT_EQ(QueryCache::OptionsFingerprint(a),
+            QueryCache::OptionsFingerprint(b));
+}
+
+TEST(QueryCacheTest, PlanHitsOnlyAtItsCatalogVersion) {
+  QueryCache cache;
+  auto plan = std::make_shared<QueryCache::StatementPlan>();
+  plan->catalog_version = 3;
+  plan->options_fingerprint = 42;
+  cache.StorePlan("select * from t", plan);
+
+  EXPECT_NE(cache.LookupPlan("select * from t", 3, 42), nullptr);
+  // Register/Drop between runs bumps the version: the entry must miss.
+  EXPECT_EQ(cache.LookupPlan("select * from t", 4, 42), nullptr);
+  // Changed options must miss too.
+  EXPECT_EQ(cache.LookupPlan("select * from t", 3, 43), nullptr);
+  EXPECT_EQ(cache.counters().plan_hits, 1);
+  EXPECT_EQ(cache.counters().plan_misses, 2);
+}
+
+TEST(QueryCacheTest, InvalidateStalePlansDropsOldVersions) {
+  QueryCache cache;
+  auto plan = std::make_shared<QueryCache::StatementPlan>();
+  plan->catalog_version = 1;
+  cache.StorePlan("q1", plan);
+  ASSERT_EQ(cache.plan_entries(), 1u);
+  cache.InvalidateStalePlans(2);
+  EXPECT_EQ(cache.plan_entries(), 0u);
+  EXPECT_EQ(cache.counters().plan_invalidations, 1);
+}
+
+TEST(QueryCacheTest, PreparedArgumentsSharedAcrossContexts) {
+  Rng rng(21);
+  const Relation r = RandomKeyedRelation(4000, 6, &rng);
+  auto shared = std::make_shared<QueryCache>();
+
+  RmaOptions opts;  // SortPolicy::kAlways: every prepare sorts
+  ExecContext first(opts, shared);
+  RmaStats cold;
+  first.mutable_options().stats = &cold;
+  ASSERT_OK(RmaUnary(&first, MatrixOp::kQqr, r, {"id"}).status());
+  EXPECT_GT(cold.sort_seconds, 0.0);
+  EXPECT_EQ(cold.prepared_cache_misses, 1);
+
+  // A *different* context borrowing the same cache — the database-level
+  // promotion: the sort permutation survives the statement boundary.
+  ExecContext second(opts, shared);
+  RmaStats warm;
+  second.mutable_options().stats = &warm;
+  ASSERT_OK(RmaUnary(&second, MatrixOp::kRqr, r, {"id"}).status());
+  EXPECT_EQ(warm.sort_seconds, 0.0);
+  EXPECT_EQ(warm.prepared_cache_hits, 1);
+  EXPECT_EQ(shared->counters().prepared_hits, 1);
+}
+
+TEST(QueryCacheTest, EvictRelationForcesResort) {
+  Rng rng(22);
+  const Relation r = RandomKeyedRelation(1000, 4, &rng);
+  auto shared = std::make_shared<QueryCache>();
+  ExecContext ctx(RmaOptions{}, shared);
+  ASSERT_OK(RmaUnary(&ctx, MatrixOp::kQqr, r, {"id"}).status());
+  ASSERT_EQ(shared->prepared_entries(), 1u);
+
+  shared->EvictRelation(r.identity());
+  EXPECT_EQ(shared->prepared_entries(), 0u);
+  EXPECT_GE(shared->counters().evictions, 1);
+
+  RmaStats again;
+  ctx.mutable_options().stats = &again;
+  ASSERT_OK(RmaUnary(&ctx, MatrixOp::kQqr, r, {"id"}).status());
+  EXPECT_GT(again.sort_seconds, 0.0);  // re-sorted, not served stale
+}
+
+TEST(QueryCacheTest, ReRegisteredRelationCannotServeStaleArguments) {
+  // The invalidation contract behind DROP + re-Register with different
+  // data: fresh relations carry fresh identity tokens, so the stale entry
+  // can never be keyed to again.
+  Rng rng1(23);
+  Rng rng2(24);
+  const Relation old_rel = RandomKeyedRelation(500, 3, &rng1);
+  const Relation new_rel = RandomKeyedRelation(500, 3, &rng2);
+  EXPECT_NE(old_rel.identity(), new_rel.identity());
+  const Relation copy = old_rel;
+  EXPECT_EQ(copy.identity(), old_rel.identity());  // copies share contents
+
+  auto shared = std::make_shared<QueryCache>();
+  ExecContext ctx(RmaOptions{}, shared);
+  ASSERT_OK(RmaUnary(&ctx, MatrixOp::kQqr, old_rel, {"id"}).status());
+  RmaStats warm;
+  ctx.mutable_options().stats = &warm;
+  ASSERT_OK(RmaUnary(&ctx, MatrixOp::kQqr, new_rel, {"id"}).status());
+  EXPECT_EQ(warm.prepared_cache_hits, 0);
+  EXPECT_EQ(warm.prepared_cache_misses, 1);
+}
+
+TEST(QueryCacheTest, PreparedCapacityIsBoundedWithLruEviction) {
+  QueryCache cache;
+  for (int i = 0; i < 300; ++i) {
+    cache.StorePrepared("key" + std::to_string(i),
+                        {static_cast<uint64_t>(i) + 1000000},
+                        std::make_shared<const PreparedArg>());
+  }
+  EXPECT_LE(cache.prepared_entries(), 256u);
+  EXPECT_GE(cache.counters().evictions, 300 - 256);
+  // The most recently stored keys survive.
+  EXPECT_NE(cache.LookupPrepared("key299"), nullptr);
+  EXPECT_EQ(cache.LookupPrepared("key0"), nullptr);
+}
+
+TEST(QueryCacheTest, ValidationVariantIsPartOfThePreparedKey) {
+  // A prepared argument computed with validate_keys=false must not satisfy
+  // a later context that requires validation: the lax entry skipped the
+  // key-uniqueness check, and serving it would mask the Invalid error.
+  const Relation dup =
+      Relation::Make(Schema::Make({{"id", DataType::kInt64},
+                                   {"a", DataType::kDouble}})
+                         .ValueOrDie(),
+                     {MakeInt64Bat({1, 1}), MakeDoubleBat({2.0, 3.0})}, "dup")
+          .ValueOrDie();
+  auto shared = std::make_shared<QueryCache>();
+  RmaOptions lax;
+  lax.validate_keys = false;
+  ExecContext trusting(lax, shared);
+  ASSERT_OK(RmaUnary(&trusting, MatrixOp::kQqr, dup, {"id"}).status());
+
+  ExecContext strict(RmaOptions{}, shared);  // validate_keys = true
+  const auto checked = RmaUnary(&strict, MatrixOp::kQqr, dup, {"id"});
+  EXPECT_TRUE(checked.status().IsInvalid())
+      << "duplicate keys must be rejected, not served from the lax entry: "
+      << checked.status().ToString();
+}
+
+TEST(QueryCacheTest, AlignedPermutationReusedAcrossElementwiseOps) {
+  // The shared-sort extension of PrepareBinaryArgs: add then sub over the
+  // same (r, s) pair under SortPolicy::kOptimized hash-aligns once and
+  // serves the second op from the cache.
+  Rng rng(25);
+  const Relation r = RandomKeyedRelation(2000, 4, &rng);
+  Relation s = RandomKeyedRelation(2000, 4, &rng, -10, 10, "s");
+  ASSERT_OK_AND_ASSIGN(s, s.RenameColumn(0, "id2"));
+
+  RmaOptions opts;
+  opts.sort = SortPolicy::kOptimized;
+  ExecContext ctx(opts);
+  ASSERT_OK(RmaBinary(&ctx, MatrixOp::kAdd, r, {"id"}, s, {"id2"}).status());
+  RmaStats second;
+  ctx.mutable_options().stats = &second;
+  ASSERT_OK(RmaBinary(&ctx, MatrixOp::kSub, r, {"id"}, s, {"id2"}).status());
+  EXPECT_GE(second.prepared_cache_hits, 1);
+  EXPECT_EQ(second.sort_seconds, 0.0);  // alignment reused, no hash pass
+}
+
+}  // namespace
+}  // namespace rma

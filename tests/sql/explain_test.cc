@@ -76,5 +76,108 @@ TEST(ExplainTest, BatKernelPolicyShowsInPlan) {
       << text;
 }
 
+// --- EXPLAIN for CREATE TABLE AS ---------------------------------------------
+
+TEST(ExplainTest, CreateTableAsIsExplainedWithoutExecuting) {
+  Database db = MakeDb();
+  auto result = db.Execute(
+      "EXPLAIN CREATE TABLE q AS SELECT * FROM QQR(weather BY T)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string text = PlanText(*result);
+  EXPECT_NE(text.find("create table q as [not executed]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("qqr kernel=dense"), std::string::npos) << text;
+  EXPECT_FALSE(db.Has("q"));  // plain EXPLAIN must not register the table
+}
+
+TEST(ExplainTest, AnalyzeCreateTableAsExecutesAndRegisters) {
+  Database db = MakeDb();
+  auto result = db.Execute(
+      "EXPLAIN ANALYZE CREATE TABLE q AS SELECT * FROM QQR(weather BY T)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string text = PlanText(*result);
+  EXPECT_NE(text.find("create table q as"), std::string::npos) << text;
+  EXPECT_NE(text.find("execution:"), std::string::npos) << text;
+  EXPECT_NE(text.find("rows: 4"), std::string::npos) << text;
+  EXPECT_TRUE(db.Has("q"));  // ANALYZE executes, side effects included
+}
+
+// --- EXPLAIN ANALYZE + the database-level query cache -----------------------
+
+/// Big enough that a cold order-schema sort takes measurable time, so the
+/// cached run's sort=0.000000s is meaningful.
+Database MakeBigDb() {
+  Database db = MakeDb();
+  Rng rng(31);
+  db.Register("big", rma::testing::RandomKeyedRelation(20000, 6, &rng))
+      .Abort();
+  return db;
+}
+
+TEST(ExplainAnalyzeTest, RepeatedQueryHitsPlanCacheWithZeroSort) {
+  Database db = MakeBigDb();
+  const std::string q = "EXPLAIN ANALYZE SELECT * FROM QQR(big BY id)";
+
+  auto first = db.Execute(q);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const std::string cold = PlanText(*first);
+  EXPECT_NE(cold.find("plan cache: miss"), std::string::npos) << cold;
+  EXPECT_NE(cold.find("prepared: 0 hit, 1 miss"), std::string::npos) << cold;
+  EXPECT_EQ(cold.find("sort=0.000000s"), std::string::npos)
+      << "cold run should pay a measurable sort:\n"
+      << cold;
+
+  auto second = db.Execute(q);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  const std::string warm = PlanText(*second);
+  EXPECT_NE(warm.find("plan cache: hit"), std::string::npos) << warm;
+  EXPECT_NE(warm.find("sort=0.000000s"), std::string::npos)
+      << "cached run must skip the sort entirely:\n"
+      << warm;
+  EXPECT_NE(warm.find("prepared: 1 hit, 0 miss"), std::string::npos) << warm;
+}
+
+TEST(ExplainAnalyzeTest, PlainQueryWarmsTheCacheForAnalyze) {
+  // Query() and EXPLAIN ANALYZE share one plan entry: the EXPLAIN prefix is
+  // stripped from the normalized statement.
+  Database db = MakeBigDb();
+  ASSERT_TRUE(db.Query("SELECT * FROM QQR(big BY id)").ok());
+  auto analyzed =
+      db.Execute("EXPLAIN ANALYZE SELECT * FROM QQR(big BY id)");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  const std::string text = PlanText(*analyzed);
+  EXPECT_NE(text.find("plan cache: hit"), std::string::npos) << text;
+  EXPECT_NE(text.find("sort=0.000000s"), std::string::npos) << text;
+}
+
+TEST(ExplainAnalyzeTest, RegisterBetweenRunsForcesMiss) {
+  Database db = MakeBigDb();
+  const std::string q = "EXPLAIN ANALYZE SELECT * FROM QQR(big BY id)";
+  ASSERT_TRUE(db.Execute(q).ok());
+
+  // Any catalog mutation bumps the version: the cached plan must not hit.
+  Rng rng(32);
+  db.Register("big", rma::testing::RandomKeyedRelation(20000, 6, &rng))
+      .Abort();
+  auto after_register = db.Execute(q);
+  ASSERT_TRUE(after_register.ok()) << after_register.status().ToString();
+  const std::string text = PlanText(*after_register);
+  EXPECT_NE(text.find("plan cache: miss"), std::string::npos) << text;
+  EXPECT_NE(text.find("prepared: 0 hit, 1 miss"), std::string::npos)
+      << "re-registered data must re-sort, not serve stale arguments:\n"
+      << text;
+}
+
+TEST(ExplainAnalyzeTest, DropBetweenRunsForcesMiss) {
+  Database db = MakeBigDb();
+  const std::string q = "EXPLAIN ANALYZE SELECT * FROM QQR(big BY id)";
+  ASSERT_TRUE(db.Execute(q).ok());
+  ASSERT_TRUE(db.Execute("DROP TABLE weather").ok());  // unrelated table
+  auto after_drop = db.Execute(q);
+  ASSERT_TRUE(after_drop.ok()) << after_drop.status().ToString();
+  const std::string text = PlanText(*after_drop);
+  EXPECT_NE(text.find("plan cache: miss"), std::string::npos) << text;
+}
+
 }  // namespace
 }  // namespace rma::sql

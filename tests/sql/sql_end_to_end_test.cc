@@ -203,5 +203,76 @@ TEST(SqlEndToEnd, NestedRmaOverSubqueryAndJoin) {
   }
 }
 
+TEST(SqlEndToEnd, DropMissingTableIsNotFoundWithName) {
+  sql::Database db = ExampleDb();
+  const Status direct = db.Drop("nosuch");
+  EXPECT_TRUE(direct.IsNotFound()) << direct.ToString();
+  EXPECT_NE(direct.message().find("nosuch"), std::string::npos)
+      << direct.ToString();
+  EXPECT_STATUS(kNotFound, db.Execute("DROP TABLE also_missing"));
+}
+
+TEST(SqlEndToEnd, CachedQueryDoesNotServeStaleDataAfterReRegister) {
+  // The invalidation contract: a cached query re-run after DROP +
+  // re-Register with different data must reflect the new data — neither a
+  // stale plan (whose leaves embed old relations) nor a stale sort may
+  // survive the catalog change.
+  sql::Database db;
+  db.Register("m", testing::MakeRelation({{"id", DataType::kInt64},
+                                          {"a", DataType::kDouble}},
+                                         {{int64_t{1}, 2.0}}, "m"))
+      .Abort();
+  const std::string q = "SELECT * FROM INV(m BY id)";
+  ASSERT_OK_AND_ASSIGN(Relation cold, db.Query(q));
+  EXPECT_NEAR(ValueToDouble(cold.Get(0, 1)), 0.5, 1e-12);
+  ASSERT_OK_AND_ASSIGN(Relation cached, db.Query(q));  // plan-cache hit
+  EXPECT_NEAR(ValueToDouble(cached.Get(0, 1)), 0.5, 1e-12);
+  EXPECT_GE(db.query_cache()->counters().plan_hits, 1);
+
+  ASSERT_OK(db.Drop("m"));
+  db.Register("m", testing::MakeRelation({{"id", DataType::kInt64},
+                                          {"a", DataType::kDouble}},
+                                         {{int64_t{1}, 4.0}}, "m"))
+      .Abort();
+  ASSERT_OK_AND_ASSIGN(Relation fresh, db.Query(q));
+  EXPECT_NEAR(ValueToDouble(fresh.Get(0, 1)), 0.25, 1e-12);
+}
+
+TEST(SqlEndToEnd, CopiedDatabasesDoNotServeEachOthersPlans) {
+  // Copies share the QueryCache (shared_ptr) but have independent catalogs;
+  // versions come from a process-wide counter, so post-copy mutations can
+  // never coincide and leak one copy's cached plans into the other.
+  auto table = [](double v) {
+    return testing::MakeRelation(
+        {{"id", DataType::kInt64}, {"a", DataType::kDouble}},
+        {{int64_t{1}, v}}, "m");
+  };
+  sql::Database db1;
+  db1.Register("m", table(2.0)).Abort();
+  sql::Database db2 = db1;
+  db1.Register("m", table(4.0)).Abort();
+  db2.Register("m", table(8.0)).Abort();
+  const std::string q = "SELECT * FROM INV(m BY id)";
+  ASSERT_OK_AND_ASSIGN(Relation r1, db1.Query(q));
+  EXPECT_NEAR(ValueToDouble(r1.Get(0, 1)), 0.25, 1e-12);
+  ASSERT_OK_AND_ASSIGN(Relation r2, db2.Query(q));
+  EXPECT_NEAR(ValueToDouble(r2.Get(0, 1)), 0.125, 1e-12);
+  ASSERT_OK_AND_ASSIGN(Relation r1_again, db1.Query(q));
+  EXPECT_NEAR(ValueToDouble(r1_again.Get(0, 1)), 0.25, 1e-12);
+}
+
+TEST(SqlEndToEnd, CatalogVersionAdvancesOnMutations) {
+  sql::Database db;
+  const uint64_t v0 = db.catalog_version();
+  db.Register("t", testing::WeatherRelation()).Abort();
+  EXPECT_GT(db.catalog_version(), v0);
+  const uint64_t v1 = db.catalog_version();
+  ASSERT_TRUE(db.Execute("CREATE TABLE t2 AS SELECT * FROM t").ok());
+  EXPECT_GT(db.catalog_version(), v1);
+  const uint64_t v2 = db.catalog_version();
+  ASSERT_OK(db.Drop("t2"));
+  EXPECT_GT(db.catalog_version(), v2);
+}
+
 }  // namespace
 }  // namespace rma
