@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Local tier-1 verify: configure + build + ctest in Debug and Release with
 # warnings-as-errors on src/, plus an AddressSanitizer pass over the test
-# suite (the query cache's shared-ownership paths are leak/UAF-checked) —
-# the same matrix CI runs.
+# suite (the query cache's shared-ownership paths are leak/UAF-checked) and
+# a ThreadSanitizer pass (the concurrent stage scheduler, batched statement
+# execution, and the shared query cache are race-checked, including the
+# concurrency stress test) — the same matrix CI runs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,5 +28,14 @@ cmake -B build-check-asan -S . \
   -DRMA_SANITIZE=address
 cmake --build build-check-asan -j "${JOBS}"
 (cd build-check-asan && ctest --output-on-failure -j "${JOBS}")
+
+echo "=== ThreadSanitizer ==="
+cmake -B build-check-tsan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DRMA_WERROR=ON \
+  -DRMA_SANITIZE=thread
+cmake --build build-check-tsan -j "${JOBS}"
+(cd build-check-tsan && \
+  TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure -j "${JOBS}")
 
 echo "All checks passed."

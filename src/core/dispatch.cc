@@ -33,7 +33,7 @@ Result<std::vector<BatPtr>> DispatchUnary(ExecContext& ctx, const OpPlan& plan,
   const MatrixOp op = plan.op;
   const int64_t n = p.rows;
   const int64_t k = p.app_cols();
-  ScopedThreadBudget budget(ctx.thread_budget());
+  ScopedThreadBudget budget(ctx.effective_thread_budget());
   Timer timer;
   if (plan.kernel == KernelChoice::kBat) {
     // The ordered column extraction is part of the sort stage on the no-copy
@@ -109,7 +109,7 @@ Result<std::vector<BatPtr>> DispatchBinary(ExecContext& ctx,
                                            const PreparedArg& ps) {
   const MatrixOp op = plan.op;
   const OpInfo& info = GetOpInfo(op);
-  ScopedThreadBudget budget(ctx.thread_budget());
+  ScopedThreadBudget budget(ctx.effective_thread_budget());
   Timer timer;
   if (plan.kernel == KernelChoice::kBat && info.union_compatible) {
     // Operate BAT-at-a-time; preserves the sparse fast path (Table 5).
@@ -238,6 +238,7 @@ Result<Relation> RmaUnary(ExecContext* ctx, MatrixOp op, const Relation& r,
   Timer timer;
   Result<Relation> result = internal::AssembleUnary(info, *p, std::move(base));
   ctx->RecordStage(Stage::kMorph, timer.Seconds());
+  if (result.ok()) op_stats.Commit();
   return result;
 }
 
@@ -273,6 +274,7 @@ Result<Relation> RmaBinary(ExecContext* ctx, MatrixOp op, const Relation& r,
   Result<Relation> result =
       internal::AssembleBinary(info, pr, ps, std::move(base));
   ctx->RecordStage(Stage::kMorph, timer.Seconds());
+  if (result.ok()) op_stats.Commit();
   return result;
 }
 

@@ -1,11 +1,78 @@
 #include "core/exec_context.h"
 
+#include <algorithm>
+#include <deque>
 #include <sstream>
 #include <utility>
 
 #include "core/query_cache.h"
+#include "matrix/parallel.h"
 
 namespace rma {
+
+namespace {
+
+/// One open operation bracket. Ops begin and end on the same thread, so the
+/// bracket lives in thread-local state: RecordStage/RecordPlan/CountPrepared
+/// reach the open entry without taking the context mutex, and concurrent ops
+/// of different threads (batched statements, concurrent subtrees) never see
+/// each other's partial stats.
+struct OpenOp {
+  ExecContext* ctx = nullptr;
+  RmaStats stats;
+  bool has_plan = false;
+  OpPlan plan;
+  /// Keys this op stored into the shared prepared cache — the evict-on-error
+  /// journal: an op that fails after storing (e.g. a dimension check after a
+  /// successful sort) must not leave entries behind in the database-level
+  /// cache.
+  std::vector<std::string> stored_keys;
+};
+
+/// Deque: stable references across push_back/pop_back (nested brackets).
+thread_local std::deque<OpenOp> t_open_ops;
+
+OpenOp* TopOpenOp(const ExecContext* ctx) {
+  for (auto it = t_open_ops.rbegin(); it != t_open_ops.rend(); ++it) {
+    if (it->ctx == ctx) return &*it;
+  }
+  return nullptr;
+}
+
+void AddStage(RmaStats* stats, Stage stage, double seconds) {
+  switch (stage) {
+    case Stage::kPrepare:
+      stats->sort_seconds += seconds;
+      break;
+    case Stage::kGather:
+      stats->transform_in_seconds += seconds;
+      break;
+    case Stage::kKernel:
+      stats->compute_seconds += seconds;
+      break;
+    case Stage::kScatter:
+      stats->transform_out_seconds += seconds;
+      break;
+    case Stage::kMorph:
+      stats->morph_seconds += seconds;
+      break;
+  }
+}
+
+void AddStats(RmaStats* into, const RmaStats& from) {
+  into->sort_seconds += from.sort_seconds;
+  into->transform_in_seconds += from.transform_in_seconds;
+  into->compute_seconds += from.compute_seconds;
+  into->transform_out_seconds += from.transform_out_seconds;
+  into->morph_seconds += from.morph_seconds;
+  into->plan_cache_hits += from.plan_cache_hits;
+  into->plan_cache_misses += from.plan_cache_misses;
+  into->prepared_cache_hits += from.prepared_cache_hits;
+  into->prepared_cache_misses += from.prepared_cache_misses;
+  into->prepared_cache_evictions += from.prepared_cache_evictions;
+}
+
+}  // namespace
 
 BatPtr PreparedArg::OrderColumn(size_t i) const {
   const BatPtr& col = rel.column(split.order_idx[i]);
@@ -38,45 +105,60 @@ ExecContext::ExecContext(const RmaOptions& opts,
       cache_(cache != nullptr ? std::move(cache)
                               : std::make_shared<QueryCache>()) {}
 
+int ExecContext::effective_thread_budget() const {
+  const int ambient = CurrentThreadBudget();
+  const int own = opts_.max_threads;
+  if (ambient > 0 && own > 0) return std::min(ambient, own);
+  return ambient > 0 ? ambient : own;
+}
+
 void ExecContext::RecordStage(Stage stage, double seconds) {
-  auto add = [&](RmaStats* stats) {
-    switch (stage) {
-      case Stage::kPrepare:
-        stats->sort_seconds += seconds;
-        break;
-      case Stage::kGather:
-        stats->transform_in_seconds += seconds;
-        break;
-      case Stage::kKernel:
-        stats->compute_seconds += seconds;
-        break;
-      case Stage::kScatter:
-        stats->transform_out_seconds += seconds;
-        break;
-      case Stage::kMorph:
-        stats->morph_seconds += seconds;
-        break;
-    }
-  };
-  add(&totals_);
-  if (in_op_ && !op_stats_.empty()) add(&op_stats_.back());
-  if (opts_.stats != nullptr) add(opts_.stats);
+  if (OpenOp* op = TopOpenOp(this)) AddStage(&op->stats, stage, seconds);
+  std::lock_guard<std::mutex> lock(mu_);
+  AddStage(&totals_, stage, seconds);
+  if (opts_.stats != nullptr) AddStage(opts_.stats, stage, seconds);
+}
+
+void ExecContext::RecordPlan(const OpPlan& plan) {
+  if (OpenOp* op = TopOpenOp(this)) {
+    op->plan = plan;
+    op->has_plan = true;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.push_back(plan);
+  op_stats_.emplace_back();  // keep plans() and op_stats() aligned
 }
 
 void ExecContext::BeginOp() {
-  op_stats_.emplace_back();
-  in_op_ = true;
+  t_open_ops.push_back(OpenOp{});
+  t_open_ops.back().ctx = this;
 }
 
-void ExecContext::EndOp() {
-  in_op_ = false;
-  // An op that failed before reaching RecordPlan (prepare error, dimension
-  // check) leaves an orphan stats entry; drop it so op_stats() stays
-  // aligned with plans() for every recorded plan.
-  if (op_stats_.size() > plans_.size()) op_stats_.pop_back();
+void ExecContext::EndOp(bool commit) {
+  // The op bracket is strictly nested per thread, so this context's
+  // innermost open op is the back entry; tolerate interleaved contexts by
+  // searching backwards.
+  for (auto it = t_open_ops.rbegin(); it != t_open_ops.rend(); ++it) {
+    if (it->ctx != this) continue;
+    OpenOp op = std::move(*it);
+    t_open_ops.erase(std::next(it).base());
+    if (commit && op.has_plan) {
+      std::lock_guard<std::mutex> lock(mu_);
+      plans_.push_back(std::move(op.plan));
+      op_stats_.push_back(op.stats);
+    } else if (!commit && !op.stored_keys.empty()) {
+      // Evict-on-error: drop every prepared entry the failed op published,
+      // so the shared cache never retains state from a statement that
+      // failed mid-prepare.
+      for (const std::string& key : op.stored_keys) cache_->EvictKey(key);
+    }
+    return;
+  }
 }
 
 void ExecContext::RecordPlanCache(bool hit) {
+  std::lock_guard<std::mutex> lock(mu_);
   plan_outcome_ = hit ? PlanCacheOutcome::kHit : PlanCacheOutcome::kMiss;
   auto add = [&](RmaStats* stats) {
     if (hit) {
@@ -89,30 +171,63 @@ void ExecContext::RecordPlanCache(bool hit) {
   if (opts_.stats != nullptr) add(opts_.stats);
 }
 
+ExecContext::PlanCacheOutcome ExecContext::plan_cache_outcome() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_outcome_;
+}
+
+void ExecContext::MergeChild(const ExecContext& child) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AddStats(&totals_, child.totals_);
+  if (opts_.stats != nullptr) AddStats(opts_.stats, child.totals_);
+  plans_.insert(plans_.end(), child.plans_.begin(), child.plans_.end());
+  op_stats_.insert(op_stats_.end(), child.op_stats_.begin(),
+                   child.op_stats_.end());
+  cache_hits_ += child.cache_hits_;
+  cache_misses_ += child.cache_misses_;
+}
+
+RmaOptions ExecContext::MakeChildOptions() const {
+  RmaOptions child = opts_;
+  child.stats = nullptr;  // the child's totals are merged back exactly once
+  return child;
+}
+
+int64_t ExecContext::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_hits_;
+}
+
+int64_t ExecContext::cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_misses_;
+}
+
 void ExecContext::CountPrepared(bool hit) {
+  if (OpenOp* op = TopOpenOp(this)) {
+    if (hit) {
+      ++op->stats.prepared_cache_hits;
+    } else {
+      ++op->stats.prepared_cache_misses;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   if (hit) {
     ++cache_hits_;
+    ++totals_.prepared_cache_hits;
+    if (opts_.stats != nullptr) ++opts_.stats->prepared_cache_hits;
   } else {
     ++cache_misses_;
+    ++totals_.prepared_cache_misses;
+    if (opts_.stats != nullptr) ++opts_.stats->prepared_cache_misses;
   }
-  auto add = [&](RmaStats* stats) {
-    if (hit) {
-      ++stats->prepared_cache_hits;
-    } else {
-      ++stats->prepared_cache_misses;
-    }
-  };
-  add(&totals_);
-  if (in_op_ && !op_stats_.empty()) add(&op_stats_.back());
-  if (opts_.stats != nullptr) add(opts_.stats);
 }
 
 void ExecContext::CountEvictions(int64_t n) {
   if (n == 0) return;
+  if (OpenOp* op = TopOpenOp(this)) op->stats.prepared_cache_evictions += n;
+  std::lock_guard<std::mutex> lock(mu_);
   totals_.prepared_cache_evictions += n;
-  if (in_op_ && !op_stats_.empty()) {
-    op_stats_.back().prepared_cache_evictions += n;
-  }
   if (opts_.stats != nullptr) opts_.stats->prepared_cache_evictions += n;
 }
 
@@ -161,13 +276,20 @@ PreparedArgPtr ExecContext::LookupPrepared(
   return found;
 }
 
+void ExecContext::StoreByKey(std::string key, std::vector<uint64_t> relations,
+                             PreparedArgPtr prepared) {
+  if (OpenOp* op = TopOpenOp(this)) op->stored_keys.push_back(key);
+  CountEvictions(
+      cache_->StorePrepared(std::move(key), std::move(relations),
+                            std::move(prepared)));
+}
+
 void ExecContext::StorePrepared(const Relation& r,
                                 const std::vector<std::string>& order,
                                 bool avoid_sort, PreparedArgPtr prepared) {
   if (!opts_.enable_prepared_cache) return;
-  CountEvictions(
-      cache_->StorePrepared(PreparedKey(r, order, avoid_sort) + KeySuffix(),
-                            {r.identity()}, std::move(prepared)));
+  StoreByKey(PreparedKey(r, order, avoid_sort) + KeySuffix(), {r.identity()},
+             std::move(prepared));
 }
 
 PreparedArgPtr ExecContext::LookupAligned(
@@ -186,9 +308,8 @@ void ExecContext::StoreAligned(const Relation& s,
                                const std::vector<std::string>& order_r,
                                PreparedArgPtr prepared) {
   if (!opts_.enable_prepared_cache) return;
-  CountEvictions(cache_->StorePrepared(
-      AlignedKey(s, order_s, r, order_r) + KeySuffix(),
-      {s.identity(), r.identity()}, std::move(prepared)));
+  StoreByKey(AlignedKey(s, order_s, r, order_r) + KeySuffix(),
+             {s.identity(), r.identity()}, std::move(prepared));
 }
 
 }  // namespace rma

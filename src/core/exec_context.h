@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,9 +65,15 @@ using PreparedArgPtr = std::shared_ptr<const PreparedArg>;
 ///  - the physical plans of every executed operation (introspection, tests,
 ///    EXPLAIN ANALYZE).
 ///
-/// A context is single-threaded state: share one per query/expression, not
-/// across concurrent queries. The QueryCache it borrows from is itself
-/// thread-safe, so contexts of concurrent queries may share one cache.
+/// Thread-safety: stats aggregation, plan recording, and the cache counters
+/// are mutex-guarded, and each op bracket (BeginOp/EndOp) lives in
+/// thread-local state, so concurrent statements of one batch — and child
+/// subtree evaluations merged back via MergeChild — may share one context.
+/// An operation must still begin and end on the same thread (RmaUnary/
+/// RmaBinary run each op on one thread), and mutable_options() must not be
+/// used while other threads execute on the context. plans() and op_stats()
+/// are appended together at op commit, so they stay aligned; read them after
+/// the concurrent work has joined.
 class ExecContext {
  public:
   ExecContext();
@@ -84,6 +91,12 @@ class ExecContext {
   /// Worker threads kernel stages may use (0 = hardware concurrency).
   int thread_budget() const { return opts_.max_threads; }
 
+  /// The budget kernel stages should install: the minimum of the positive
+  /// caps among the ambient ScopedThreadBudget (installed by the stage
+  /// scheduler around a subtree) and the options' max_threads. 0 = no cap
+  /// (hardware concurrency).
+  int effective_thread_budget() const;
+
   /// Records `seconds` against a stage: the per-op sink (options().stats,
   /// when set), the open per-op log entry, and the context-wide totals.
   void RecordStage(Stage stage, double seconds);
@@ -91,21 +104,38 @@ class ExecContext {
   /// Cumulative per-stage totals across all operations run on this context.
   const RmaStats& totals() const { return totals_; }
 
-  /// Records the physical plan of an executed operation.
-  void RecordPlan(const OpPlan& plan) { plans_.push_back(plan); }
+  /// Records the physical plan of the operation this thread has open (it is
+  /// published to plans() when the op commits), or appends directly when no
+  /// op bracket is open.
+  void RecordPlan(const OpPlan& plan);
   const std::vector<OpPlan>& plans() const { return plans_; }
 
   /// Brackets one relational matrix operation for the per-op stats log
-  /// (EXPLAIN ANALYZE): stages recorded between BeginOp and EndOp accrue to
-  /// op_stats().back(), aligned with plans() for completed operations.
+  /// (EXPLAIN ANALYZE). Stages recorded between BeginOp and EndOp accrue to
+  /// the op entry; EndOp(true) publishes {plan, stats} to plans()/op_stats()
+  /// as one aligned pair. EndOp(false) — the op failed — drops the entry and
+  /// evicts every prepared-argument key the op stored from the shared cache,
+  /// so a statement that fails mid-prepare leaves no entry behind
+  /// (evict-on-error).
   void BeginOp();
-  void EndOp();
+  void EndOp(bool commit);
   const std::vector<RmaStats>& op_stats() const { return op_stats_; }
 
   /// Statement-level plan-cache provenance, recorded by the SQL layer.
   enum class PlanCacheOutcome { kNotConsulted, kHit, kMiss };
   void RecordPlanCache(bool hit);
-  PlanCacheOutcome plan_cache_outcome() const { return plan_outcome_; }
+  PlanCacheOutcome plan_cache_outcome() const;
+
+  /// Absorbs a quiescent child context (same borrowed cache) created for a
+  /// concurrently evaluated subtree: appends its plans/op_stats in order and
+  /// accumulates its totals and cache counters (also into this context's
+  /// stats sink). The child's sink should be null to avoid double counting —
+  /// MakeChildOptions() arranges that.
+  void MergeChild(const ExecContext& child);
+
+  /// This context's options with the stats sink cleared, for child contexts
+  /// whose totals are merged back via MergeChild.
+  RmaOptions MakeChildOptions() const;
 
   /// Prepared-argument cache, borrowed from cache(). Returns the cached
   /// prepared argument for (r's identity, order, avoid_sort) or null.
@@ -129,8 +159,8 @@ class ExecContext {
 
   /// Per-context prepared-cache counters (cache-sharing contexts also
   /// aggregate into the QueryCache's own counters).
-  int64_t cache_hits() const { return cache_hits_; }
-  int64_t cache_misses() const { return cache_misses_; }
+  int64_t cache_hits() const;
+  int64_t cache_misses() const;
 
  private:
   static std::string PreparedKey(const Relation& r,
@@ -147,28 +177,37 @@ class ExecContext {
 
   void CountPrepared(bool hit);
   void CountEvictions(int64_t n);
+  void StoreByKey(std::string key, std::vector<uint64_t> relations,
+                  PreparedArgPtr prepared);
 
   RmaOptions opts_;
   std::shared_ptr<QueryCache> cache_;
+
+  /// Guards totals_, plans_, op_stats_, the cache counters, the plan-cache
+  /// outcome, and writes to the opts_.stats sink.
+  mutable std::mutex mu_;
   RmaStats totals_;
   std::vector<OpPlan> plans_;
   std::vector<RmaStats> op_stats_;
-  bool in_op_ = false;
   PlanCacheOutcome plan_outcome_ = PlanCacheOutcome::kNotConsulted;
   int64_t cache_hits_ = 0;
   int64_t cache_misses_ = 0;
 };
 
-/// RAII bracket for ExecContext::BeginOp/EndOp.
+/// RAII bracket for ExecContext::BeginOp/EndOp. Destruction without
+/// Commit() counts as failure: the op's stats entry is dropped and its
+/// cache stores are evicted (see ExecContext::EndOp).
 class ScopedOpStats {
  public:
   explicit ScopedOpStats(ExecContext* ctx) : ctx_(ctx) { ctx_->BeginOp(); }
-  ~ScopedOpStats() { ctx_->EndOp(); }
+  ~ScopedOpStats() { ctx_->EndOp(committed_); }
+  void Commit() { committed_ = true; }
   ScopedOpStats(const ScopedOpStats&) = delete;
   ScopedOpStats& operator=(const ScopedOpStats&) = delete;
 
  private:
   ExecContext* ctx_;
+  bool committed_ = false;
 };
 
 }  // namespace rma

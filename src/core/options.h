@@ -97,13 +97,29 @@ struct RmaOptions {
   /// matrix layer honours it.
   int max_threads = 0;
 
+  /// Let the concurrent stage scheduler (core/scheduler.h) evaluate
+  /// independent subtrees of a relational-matrix expression on the shared
+  /// worker pool, splitting the thread budget across in-flight subtrees.
+  /// Takes effect only when the effective budget leaves headroom (>= 2);
+  /// results and recorded plan order are identical to serial evaluation.
+  bool concurrent_subtrees = true;
+
+  /// Shape floor for offloading a subtree: subtrees whose estimated result
+  /// (rows x application columns, from the lowered plan) stays under this
+  /// many elements run inline — a task dispatch costs more than a tiny
+  /// kernel. 0 = offload whenever the tree structure allows.
+  int64_t parallel_min_elements = 0;
+
   /// Reuse sort permutations across operations sharing an ExecContext:
   /// preparing the same (relation, order schema) twice hits a cache instead
   /// of re-sorting. Covers e.g. the covariance pipeline tra+mmu and the OLS
   /// workloads.
   bool enable_prepared_cache = true;
 
-  /// Optional timing sink (not owned).
+  /// Optional timing sink (not owned). Writes are serialized per
+  /// ExecContext; don't point two concurrently executing contexts at one
+  /// sink (database-level aggregate counters live in QueryCache::Counters
+  /// instead).
   RmaStats* stats = nullptr;
 
   /// Cross-algebra rewrites applied by plan-level evaluators.

@@ -28,10 +28,21 @@ std::string QueryCache::NormalizeStatement(const std::string& sql) {
   out.reserve(sql.size());
   char quote = '\0';
   bool pending_space = false;
-  for (char c : sql) {
+  for (size_t i = 0; i < sql.size(); ++i) {
+    const char c = sql[i];
     if (quote != '\0') {
       out += c;
-      if (c == quote) quote = '\0';
+      if (c == quote) {
+        // The lexer treats a doubled quote inside a literal as an escaped
+        // quote, not a close; mirror that so quote state cannot
+        // desynchronize (two different literals must never share a key).
+        if (i + 1 < sql.size() && sql[i + 1] == quote) {
+          out += quote;
+          ++i;
+        } else {
+          quote = '\0';
+        }
+      }
       continue;
     }
     if (c == '\'' || c == '"') {
@@ -165,6 +176,11 @@ void QueryCache::EvictRelation(uint64_t relation_identity) {
       ++it;
     }
   }
+}
+
+void QueryCache::EvictKey(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (prepared_.erase(key) > 0) ++counters_.evictions;
 }
 
 QueryCache::Counters QueryCache::counters() const {

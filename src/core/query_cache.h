@@ -108,6 +108,13 @@ class QueryCache {
   /// identity token (the catalog is replacing or dropping it).
   void EvictRelation(uint64_t relation_identity);
 
+  /// Drops one prepared entry by exact key. Used by the evict-on-error path:
+  /// an operation that fails after publishing a prepared argument takes its
+  /// entries back out so a failed statement leaves no state in the shared
+  /// cache. Missing keys are ignored (a concurrent statement may have
+  /// already evicted or replaced the entry).
+  void EvictKey(const std::string& key);
+
   // --- introspection ---------------------------------------------------------
 
   Counters counters() const;

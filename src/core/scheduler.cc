@@ -1,0 +1,153 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "core/query_cache.h"
+#include "matrix/parallel.h"
+
+namespace rma {
+
+namespace {
+
+/// The parallelism available to this evaluation: the effective budget
+/// (ambient scheduler share ∧ options cap), falling back to the hardware
+/// when unbounded.
+int ResolveBudget(const ExecContext& ctx) {
+  const int budget = ctx.effective_thread_budget();
+  return budget > 0 ? budget : DefaultThreadCount();
+}
+
+/// The plan child matching an expression child, when the lowered tree is
+/// present and structurally in sync (PlanExpression mirrors the rewritten
+/// expression 1:1; a stale or absent plan degrades to shape-blind forking,
+/// never to wrong results).
+PlanNodePtr PlanChild(const PlanNodePtr& plan, const RmaExprPtr& expr,
+                      size_t i) {
+  if (plan == nullptr || expr == nullptr) return nullptr;
+  if (plan->children.size() != expr->children.size()) return nullptr;
+  return plan->children[i];
+}
+
+/// Whether evaluating this subtree is worth a pool task: it must contain at
+/// least one operation (leaves are free), and — when the lowered plan knows
+/// the subtree's shape — its result must clear the configured element floor.
+bool WorthOffloading(const RmaExprPtr& expr, const PlanNodePtr& plan,
+                     int64_t min_elements) {
+  if (expr == nullptr || expr->kind == RmaExpr::Kind::kLeaf) return false;
+  if (min_elements > 0 && plan != nullptr) {
+    const int64_t elements = plan->out_shape.rows * plan->out_shape.cols;
+    if (elements < min_elements) return false;
+  }
+  return true;
+}
+
+/// Holder for a subtree evaluated off-thread: the child context (borrowing
+/// the parent's cache) and the slot its result lands in. Heap-allocated and
+/// shared with the task so the submitting frame can fail fast while the
+/// task still owns valid state.
+struct Fork {
+  Fork(const RmaOptions& opts, std::shared_ptr<QueryCache> cache)
+      : ctx(opts, std::move(cache)),
+        result(Status::Invalid("subtree not evaluated")) {}
+
+  ExecContext ctx;
+  Result<Relation> result;
+};
+
+Result<Relation> EvalNode(const RmaExprPtr& expr, const PlanNodePtr& plan,
+                          ExecContext* ctx, int budget);
+
+/// Evaluates all children of `expr` (concurrently when the structure, the
+/// budget, and the shapes allow), then runs the node itself by delegating a
+/// shallow copy with leaf children to the serial evaluator — one code path
+/// for kernels, relabel, aliasing, and arity checks.
+Result<Relation> EvalOpNode(const RmaExprPtr& expr, const PlanNodePtr& plan,
+                            ExecContext* ctx, int budget) {
+  const size_t arity = expr->children.size();
+  std::vector<Relation> inputs(arity);
+
+  const int64_t min_elements = ctx->options().parallel_min_elements;
+  const bool fork = arity == 2 && budget >= 2 &&
+                    WorthOffloading(expr->children[0],
+                                    PlanChild(plan, expr, 0), min_elements) &&
+                    WorthOffloading(expr->children[1],
+                                    PlanChild(plan, expr, 1), min_elements);
+  if (fork) {
+    // Shape-dependent barrier: both subtrees are independent up to this
+    // node's kernel dispatch, which needs both shapes. Split the budget,
+    // offload the right subtree, run the left inline, join, merge.
+    const int right_budget = std::max(1, budget / 2);
+    const int left_budget = std::max(1, budget - right_budget);
+    auto child = std::make_shared<Fork>(ctx->MakeChildOptions(), ctx->cache());
+    const RmaExprPtr right_expr = expr->children[1];
+    const PlanNodePtr right_plan = PlanChild(plan, expr, 1);
+    ThreadPool::TaskPtr task =
+        ThreadPool::Shared().Submit([child, right_expr, right_plan,
+                                     right_budget] {
+          ScopedThreadBudget share(right_budget);
+          child->result =
+              EvalNode(right_expr, right_plan, &child->ctx, right_budget);
+        });
+    Result<Relation> left = [&]() -> Result<Relation> {
+      ScopedThreadBudget share(left_budget);
+      return EvalNode(expr->children[0], PlanChild(plan, expr, 0), ctx,
+                      left_budget);
+    }();
+    ThreadPool::Shared().Wait(task);  // barrier; rethrows task exceptions
+    // Merge in child order so plans()/op_stats() match serial evaluation.
+    ctx->MergeChild(child->ctx);
+    RMA_RETURN_NOT_OK(left.status());
+    RMA_RETURN_NOT_OK(child->result.status());
+    inputs[0] = std::move(*left);
+    inputs[1] = std::move(*child->result);
+  } else {
+    for (size_t i = 0; i < arity; ++i) {
+      RMA_ASSIGN_OR_RETURN(inputs[i],
+                           EvalNode(expr->children[i], PlanChild(plan, expr, i),
+                                    ctx, budget));
+    }
+  }
+
+  // Delegate the node's own operation to the serial evaluator over a
+  // shallow copy whose children are materialized leaves.
+  auto node = std::make_shared<RmaExpr>(*expr);
+  node->children.clear();
+  for (auto& in : inputs) node->children.push_back(RmaExpr::Leaf(std::move(in)));
+  return EvaluateExpression(node, ctx);
+}
+
+Result<Relation> EvalNode(const RmaExprPtr& expr, const PlanNodePtr& plan,
+                          ExecContext* ctx, int budget) {
+  if (expr == nullptr) return Status::Invalid("null RMA expression");
+  switch (expr->kind) {
+    case RmaExpr::Kind::kLeaf: {
+      Relation out = expr->relation;
+      if (!expr->alias.empty()) out.set_name(expr->alias);
+      return out;
+    }
+    case RmaExpr::Kind::kOp:
+    case RmaExpr::Kind::kRelabel:
+      if (expr->children.empty() || expr->children.size() > 2) {
+        return EvaluateExpression(expr, ctx);  // let it report the arity error
+      }
+      return EvalOpNode(expr, plan, ctx, budget);
+  }
+  return Status::Invalid("unreachable RMA expression kind");
+}
+
+}  // namespace
+
+Result<Relation> EvaluateExpressionConcurrent(const RmaExprPtr& expr,
+                                              ExecContext* ctx,
+                                              const PlanNodePtr& plan) {
+  RMA_CHECK(ctx != nullptr);
+  const int budget = ResolveBudget(*ctx);
+  if (!ctx->options().concurrent_subtrees || budget < 2) {
+    return EvaluateExpression(expr, ctx);
+  }
+  return EvalNode(expr, plan, ctx, budget);
+}
+
+}  // namespace rma

@@ -1,0 +1,47 @@
+#ifndef RMA_CORE_SCHEDULER_H_
+#define RMA_CORE_SCHEDULER_H_
+
+#include "core/algebra.h"
+#include "core/exec_context.h"
+#include "core/planner.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace rma {
+
+/// Concurrent stage scheduler: the DAG executor over relational-matrix
+/// expression trees.
+///
+/// A rewritten expression tree makes independent subtrees explicit — the two
+/// arguments of a binary operation depend on disjoint inputs and can run
+/// concurrently; the operation itself is a barrier that needs both results
+/// (its kernel dispatch is shape-dependent, so the join sits exactly where
+/// the child shapes become known). EvaluateExpressionConcurrent walks the
+/// tree in lockstep with its lowered PlanNode tree (when available — the
+/// query cache stores one per statement op) and:
+///
+///  - schedules the right-hand subtree of a fork onto the shared ThreadPool
+///    while the left runs inline on the calling thread (cooperative join:
+///    waiting threads execute queued tasks, so nested forks cannot deadlock
+///    a bounded pool),
+///  - splits the caller's effective thread budget across the in-flight
+///    subtrees (each side's kernels install their share via
+///    ScopedThreadBudget), keeping total worker fan-out bounded by the
+///    statement's budget,
+///  - skips forking for subtrees the plan shows to be trivial
+///    (RmaOptions::parallel_min_elements) and falls back to plain serial
+///    EvaluateExpression when the budget has no headroom or
+///    RmaOptions::concurrent_subtrees is off.
+///
+/// Offloaded subtrees evaluate on child ExecContexts borrowing the same
+/// QueryCache; each child is merged back into `ctx` at its join in child
+/// order, so plans()/op_stats() come out in the serial order regardless of
+/// completion order. Results are identical to EvaluateExpression.
+Result<Relation> EvaluateExpressionConcurrent(const RmaExprPtr& expr,
+                                              ExecContext* ctx,
+                                              const PlanNodePtr& plan =
+                                                  nullptr);
+
+}  // namespace rma
+
+#endif  // RMA_CORE_SCHEDULER_H_

@@ -1,8 +1,8 @@
 #include "matrix/parallel.h"
 
 #include <algorithm>
-#include <thread>
-#include <vector>
+#include <chrono>
+#include <utility>
 
 namespace rma {
 
@@ -38,16 +38,143 @@ void ParallelFor(int64_t begin, int64_t end,
     fn(begin, end);
     return;
   }
+  // Fresh std::threads start with no ambient budget, so a nested ParallelFor
+  // inside `fn` would otherwise see budget 0 and fan out to the full
+  // DefaultThreadCount() per worker — oversubscribing the machine. Each
+  // worker inherits an even split of the caller's resolved budget instead,
+  // bounding total fan-out by `max_threads`.
+  const int per_worker = std::max(1, static_cast<int>(max_threads) / threads);
   const int64_t chunk = (n + threads - 1) / threads;
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     const int64_t lo = begin + t * chunk;
     const int64_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    pool.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+    pool.emplace_back([&fn, &error_mu, &first_error, lo, hi, per_worker] {
+      ScopedThreadBudget inherited(per_worker);
+      // Exception barrier: a raw std::thread terminates the process on an
+      // escaped exception. Capture the first one and rethrow after join.
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    });
   }
   for (auto& th : pool) th.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+// --- ThreadPool -------------------------------------------------------------
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = std::max(2, DefaultThreadCount());
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& th : workers_) th.join();
+  // Mark abandoned tasks done so no waiter can block forever.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TaskPtr& task : queue_) {
+    std::lock_guard<std::mutex> task_lock(task->mu_);
+    task->done_.store(true, std::memory_order_release);
+    task->cv_.notify_all();
+  }
+  queue_.clear();
+}
+
+ThreadPool::TaskPtr ThreadPool::Submit(std::function<void()> fn) {
+  auto task = std::make_shared<Task>();
+  task->fn_ = std::move(fn);
+  bool inline_run = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      inline_run = true;  // shutting down: run inline, don't drop the work
+    } else {
+      queue_.push_back(task);
+    }
+  }
+  if (inline_run) {
+    RunTask(task);
+  } else {
+    cv_.notify_one();
+  }
+  return task;
+}
+
+void ThreadPool::RunTask(const TaskPtr& task) {
+  try {
+    task->fn_();
+  } catch (...) {
+    task->error_ = std::current_exception();
+  }
+  task->fn_ = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(task->mu_);
+    task->done_.store(true, std::memory_order_release);
+  }
+  task->cv_.notify_all();
+}
+
+bool ThreadPool::TryRunOne() {
+  TaskPtr task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  RunTask(task);
+  return true;
+}
+
+void ThreadPool::Wait(const TaskPtr& task) {
+  if (task == nullptr) return;
+  while (!task->done()) {
+    // Cooperative join: drain queued work instead of blocking, so a task
+    // waiting on its own sub-tasks makes progress even when every worker is
+    // occupied by an ancestor.
+    if (TryRunOne()) continue;
+    std::unique_lock<std::mutex> lock(task->mu_);
+    task->cv_.wait_for(lock, std::chrono::milliseconds(1),
+                       [&] { return task->done(); });
+  }
+  if (task->error_ != nullptr) std::rethrow_exception(task->error_);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    TaskPtr task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunTask(task);
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: worker threads must outlive every static destructor
+  // that could still submit work.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
 }
 
 }  // namespace rma

@@ -1,8 +1,16 @@
 #ifndef RMA_MATRIX_PARALLEL_H_
 #define RMA_MATRIX_PARALLEL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace rma {
 
@@ -38,9 +46,79 @@ class ScopedThreadBudget {
 /// caps the worker count (0 = the ambient ScopedThreadBudget, falling back
 /// to DefaultThreadCount(); 1 = run inline — used to model single-threaded
 /// competitors).
+///
+/// Workers inherit a split of the caller's resolved budget (each gets
+/// `max(1, budget / workers)`), so a nested ParallelFor inside `fn` cannot
+/// fan out past the caller's budget. If `fn` throws, all workers are joined
+/// and the first exception is rethrown on the calling thread.
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_chunk = 1024, int max_threads = 0);
+
+/// A small persistent worker pool for coarse-grained tasks (concurrent plan
+/// subtrees, batched statements). Kernels keep using ParallelFor for
+/// fine-grained data parallelism; the pool schedules the *structural*
+/// concurrency above them.
+///
+/// Waiting is cooperative: Wait() executes queued tasks on the waiting
+/// thread while its task is pending, so fork/join recursion (a pool task
+/// that submits and waits on further tasks) cannot deadlock even on a
+/// single-worker pool.
+class ThreadPool {
+ public:
+  /// One submitted task. `done()` becomes true after the task ran (or was
+  /// abandoned by pool shutdown); an exception thrown by the task is
+  /// captured and rethrown by ThreadPool::Wait.
+  class Task {
+   public:
+    bool done() const { return done_.load(std::memory_order_acquire); }
+
+   private:
+    friend class ThreadPool;
+    std::function<void()> fn_;
+    std::atomic<bool> done_{false};
+    std::exception_ptr error_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+  };
+  using TaskPtr = std::shared_ptr<Task>;
+
+  /// `threads <= 0` sizes the pool to DefaultThreadCount() (at least 2, so
+  /// structural concurrency exists even on single-core machines).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn`; worker threads start with no ambient thread budget (the
+  /// task installs its own ScopedThreadBudget if it needs one).
+  TaskPtr Submit(std::function<void()> fn);
+
+  /// Runs one queued task on the calling thread. Returns false if the queue
+  /// was empty.
+  bool TryRunOne();
+
+  /// Blocks until `task` completed, executing other queued tasks while
+  /// waiting (cooperative join). Rethrows the task's exception, if any.
+  void Wait(const TaskPtr& task);
+
+  /// The process-wide shared pool used by the stage scheduler and batched
+  /// statement execution.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+  static void RunTask(const TaskPtr& task);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<TaskPtr> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
 
 }  // namespace rma
 

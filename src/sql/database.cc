@@ -1,15 +1,51 @@
 #include "sql/database.h"
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
+#include <utility>
 
 #include "core/exec_context.h"
+#include "matrix/parallel.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 #include "util/string_util.h"
 
 namespace rma::sql {
 
-void Database::BumpCatalogVersion() {
+// Suppress the member's default initializer (a fresh QueryCache that the
+// assignment below would immediately discard); the shared cache is copied
+// under the source's lock.
+Database::Database(const Database& other) : query_cache_(nullptr) {
+  std::shared_lock<std::shared_mutex> lock(other.catalog_mu_);
+  tables_ = other.tables_;
+  query_cache_ = other.query_cache_;
+  catalog_version_.store(other.catalog_version(), std::memory_order_release);
+  rma_options = other.rma_options;
+}
+
+Database& Database::operator=(const Database& other) {
+  if (this == &other) return *this;
+  std::map<std::string, Relation> tables;
+  QueryCachePtr cache;
+  uint64_t version;
+  RmaOptions opts;
+  {
+    std::shared_lock<std::shared_mutex> lock(other.catalog_mu_);
+    tables = other.tables_;
+    cache = other.query_cache_;
+    version = other.catalog_version();
+    opts = other.rma_options;
+  }
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  tables_ = std::move(tables);
+  query_cache_ = std::move(cache);
+  catalog_version_.store(version, std::memory_order_release);
+  rma_options = opts;
+  return *this;
+}
+
+void Database::BumpCatalogVersionLocked() {
   // Versions come from a process-wide counter, not a per-database one:
   // copied Database objects share the QueryCache, and independent bumps of
   // per-database counters could coincide and let one copy serve the other's
@@ -17,23 +53,27 @@ void Database::BumpCatalogVersion() {
   // global counter makes every post-copy mutation land on a version no
   // other database ever reaches.
   static std::atomic<uint64_t> global_version{0};
-  catalog_version_ = global_version.fetch_add(1, std::memory_order_relaxed) + 1;
-  query_cache_->InvalidateStalePlans(catalog_version_);
+  catalog_version_.store(
+      global_version.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_release);
+  query_cache_->InvalidateStalePlans(catalog_version());
 }
 
 Status Database::Register(const std::string& name, Relation rel) {
   rel.set_name(name);
   const std::string key = ToLower(name);
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   auto it = tables_.find(key);
   if (it != tables_.end()) {
     query_cache_->EvictRelation(it->second.identity());
   }
   tables_[key] = std::move(rel);
-  BumpCatalogVersion();
+  BumpCatalogVersionLocked();
   return Status::OK();
 }
 
 Result<Relation> Database::Get(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) {
     return Status::KeyError("unknown table: " + name);
@@ -42,17 +82,19 @@ Result<Relation> Database::Get(const std::string& name) const {
 }
 
 Status Database::Drop(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) {
     return Status::NotFound("table not found: " + name);
   }
   query_cache_->EvictRelation(it->second.identity());
   tables_.erase(it);
-  BumpCatalogVersion();
+  BumpCatalogVersionLocked();
   return Status::OK();
 }
 
 std::vector<std::string> Database::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [name, rel] : tables_) out.push_back(rel.name());
@@ -68,6 +110,11 @@ Result<Relation> Database::Query(const std::string& sql) const {
 
 Result<Relation> Database::Execute(const std::string& sql) {
   RMA_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  return ExecuteParsed(std::move(stmt), sql);
+}
+
+Result<Relation> Database::ExecuteParsed(Statement&& stmt,
+                                         const std::string& sql) {
   switch (stmt.kind) {
     case Statement::Kind::kSelect: {
       ExecContext ctx(rma_options, query_cache_);
@@ -93,6 +140,104 @@ Result<Relation> Database::Execute(const std::string& sql) {
       return ExplainStatement(*this, stmt, sql);
   }
   return Status::Invalid("unreachable statement kind");
+}
+
+std::vector<Result<Relation>> Database::ExecuteBatch(
+    const std::vector<std::string>& statements) {
+  const size_t n = statements.size();
+  std::vector<Result<Relation>> results(
+      n, Result<Relation>(Status::Invalid("statement not executed")));
+  // Parse everything up front so runs of independent statements are known
+  // before execution starts.
+  std::vector<Result<Statement>> parsed;
+  parsed.reserve(n);
+  for (const std::string& sql : statements) parsed.push_back(Parse(sql));
+
+  size_t i = 0;
+  while (i < n) {
+    if (!parsed[i].ok()) {
+      results[i] = parsed[i].status();
+      ++i;
+      continue;
+    }
+    if (parsed[i]->kind != Statement::Kind::kSelect) {
+      // Catalog mutations (and EXPLAIN, whose rendering should observe a
+      // settled cache) are barriers executed serially in sequence position.
+      results[i] = ExecuteParsed(std::move(*parsed[i]), statements[i]);
+      ++i;
+      continue;
+    }
+    // Maximal run of SELECT statements: read-only over the catalog, so they
+    // are independent of each other and run concurrently over one context.
+    size_t j = i;
+    while (j < n && parsed[j].ok() &&
+           parsed[j]->kind == Statement::Kind::kSelect) {
+      ++j;
+    }
+    const size_t count = j - i;
+    const int budget = rma_options.max_threads > 0 ? rma_options.max_threads
+                                                   : DefaultThreadCount();
+    ExecContext ctx(rma_options, query_cache_);
+    if (count == 1 || budget < 2) {
+      for (size_t k = i; k < j; ++k) {
+        results[k] = ExecuteSelectCached(
+            *this, *parsed[k]->select,
+            QueryCache::NormalizeStatement(statements[k]), &ctx);
+      }
+    } else {
+      // Dispatch the run in waves of at most `budget` statements so no more
+      // than `budget` are ever in flight (the pool is sized to the hardware,
+      // not the user's cap), and split the statement-level thread budget
+      // across each wave; each statement's kernels (and its own subtree
+      // forks) inherit the share via the ambient ScopedThreadBudget.
+      for (size_t base = i; base < j;
+           base += static_cast<size_t>(budget)) {
+        const size_t wave_end =
+            std::min(j, base + static_cast<size_t>(budget));
+        const int share = std::max(
+            1, budget / static_cast<int>(wave_end - base));
+        std::vector<ThreadPool::TaskPtr> tasks;
+        tasks.reserve(wave_end - base);
+        for (size_t k = base; k < wave_end; ++k) {
+          const SelectStmtPtr select = parsed[k]->select;
+          const std::string* sql = &statements[k];
+          Result<Relation>* slot = &results[k];
+          tasks.push_back(ThreadPool::Shared().Submit([this, &ctx, select,
+                                                       sql, slot, share] {
+            ScopedThreadBudget budget_share(share);
+            *slot = ExecuteSelectCached(*this, *select,
+                                        QueryCache::NormalizeStatement(*sql),
+                                        &ctx);
+          }));
+        }
+        // Join every task before letting any exception escape: a rethrow
+        // with tasks still in flight would unwind ctx/results/parsed while
+        // running tasks reference them.
+        std::exception_ptr first_error;
+        for (const auto& task : tasks) {
+          try {
+            ThreadPool::Shared().Wait(task);
+          } catch (...) {
+            if (first_error == nullptr) {
+              first_error = std::current_exception();
+            }
+          }
+        }
+        if (first_error != nullptr) std::rethrow_exception(first_error);
+      }
+    }
+    i = j;
+  }
+  return results;
+}
+
+std::vector<Result<Relation>> Database::ExecuteScript(
+    const std::string& script) {
+  Result<std::vector<std::string>> statements = SplitStatements(script);
+  if (!statements.ok()) {
+    return {Result<Relation>(statements.status())};
+  }
+  return ExecuteBatch(*statements);
 }
 
 }  // namespace rma::sql

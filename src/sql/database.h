@@ -1,14 +1,17 @@
 #ifndef RMA_SQL_DATABASE_H_
 #define RMA_SQL_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "core/options.h"
 #include "core/query_cache.h"
+#include "sql/ast.h"
 #include "storage/relation.h"
 #include "util/result.h"
 
@@ -28,8 +31,23 @@ namespace rma::sql {
 /// (Register, Drop, CREATE TABLE AS) bump a monotone catalog version that
 /// invalidates stale plans and evicts the touched relation's prepared
 /// arguments.
+///
+/// Thread-safety: the catalog is guarded by a shared mutex and the version
+/// is atomic, so concurrent Query/Execute calls may interleave with
+/// Register/Drop from other threads without corrupting state — every bound
+/// relation is an immutable snapshot (shared immutable columns), and plan
+/// entries only hit at the exact catalog version they were built at. The
+/// isolation level is read-committed, not snapshot: a statement binds each
+/// table reference with its own lookup, so a mutation landing mid-statement
+/// can let one statement observe both the old and the new catalog (e.g. a
+/// self-join bound around a concurrent Register). `rma_options` must not be
+/// mutated while statements execute concurrently.
 class Database {
  public:
+  Database() = default;
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+
   /// Adds (or replaces) a table. The relation's name is set to `name`.
   /// Bumps the catalog version; a replaced relation's cached state is
   /// evicted.
@@ -54,6 +72,25 @@ class Database {
   /// plan rendering.
   Result<Relation> Execute(const std::string& sql);
 
+  /// Executes `statements` in order, returning one Result per statement
+  /// (aligned with the input; a failed statement does not stop the batch).
+  ///
+  /// Runs of consecutive SELECT statements are independent (read-only over
+  /// the catalog snapshot) and execute **concurrently** on the shared worker
+  /// pool over one ExecContext borrowing the query cache; the thread budget
+  /// (rma_options.max_threads, 0 = hardware concurrency) is split across
+  /// the in-flight statements so total worker fan-out stays bounded. Any
+  /// other statement kind (CREATE TABLE AS, DROP TABLE, EXPLAIN) is a
+  /// barrier: the concurrent run drains first, then the statement executes
+  /// serially at its sequence position.
+  std::vector<Result<Relation>> ExecuteBatch(
+      const std::vector<std::string>& statements);
+
+  /// Splits a multi-statement script on top-level semicolons
+  /// (sql::SplitStatements) and runs it through ExecuteBatch. A script that
+  /// fails to split returns a single error Result.
+  std::vector<Result<Relation>> ExecuteScript(const std::string& script);
+
   /// The shared query cache (never null). Exposed for introspection
   /// (benchmarks, tests); statements use it automatically.
   const QueryCachePtr& query_cache() const { return query_cache_; }
@@ -61,17 +98,23 @@ class Database {
   /// Monotone version of the catalog contents; bumped by Register/Drop
   /// (and thus CREATE TABLE AS). Plan-cache entries only hit at the exact
   /// version they were built at.
-  uint64_t catalog_version() const { return catalog_version_; }
+  uint64_t catalog_version() const {
+    return catalog_version_.load(std::memory_order_acquire);
+  }
 
   /// Options applied to relational matrix operations inside queries.
   RmaOptions rma_options;
 
  private:
-  void BumpCatalogVersion();
+  void BumpCatalogVersionLocked();
+  Result<Relation> ExecuteParsed(Statement&& stmt, const std::string& sql);
 
+  /// Guards tables_; the catalog version is additionally atomic so
+  /// statement execution can read it without the lock.
+  mutable std::shared_mutex catalog_mu_;
   std::map<std::string, Relation> tables_;  // keyed by lower-cased name
   QueryCachePtr query_cache_ = std::make_shared<QueryCache>();
-  uint64_t catalog_version_ = 0;
+  std::atomic<uint64_t> catalog_version_{0};
 };
 
 }  // namespace rma::sql

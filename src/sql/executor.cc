@@ -11,6 +11,7 @@
 #include "core/planner.h"
 #include "core/query_cache.h"
 #include "core/rma.h"
+#include "core/scheduler.h"
 #include "rel/operators.h"
 #include "sql/database.h"
 #include "storage/bat_ops.h"
@@ -271,8 +272,11 @@ Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
       if (pcs != nullptr && pcs->hit != nullptr &&
           pcs->cursor < pcs->hit->ops.size()) {
         const QueryCache::CachedOp& cop = pcs->hit->ops[pcs->cursor++];
-        RMA_ASSIGN_OR_RETURN(Relation rel,
-                             EvaluateExpression(cop.rewritten, ctx));
+        // The cached lowered plan drives the stage scheduler's
+        // shape-dependent fork decisions.
+        RMA_ASSIGN_OR_RETURN(
+            Relation rel,
+            EvaluateExpressionConcurrent(cop.rewritten, ctx, cop.plan));
         return BindRelation(std::move(rel), ref->alias);
       }
       // Build the whole nested-operation tree as an algebra expression so
@@ -283,6 +287,7 @@ Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
       RewriteReport report;
       const RmaExprPtr rewritten =
           RewriteExpression(expr, ctx->options().rewrites, &report);
+      PlanNodePtr lowered;
       if (pcs != nullptr && pcs->record != nullptr) {
         QueryCache::CachedOp cop;
         cop.rewritten = rewritten;
@@ -293,10 +298,12 @@ Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
         if (auto plan = PlanExpression(rewritten, ctx->options(), nullptr);
             plan.ok()) {
           cop.plan = *plan;
+          lowered = cop.plan;
         }
         pcs->record->push_back(std::move(cop));
       }
-      RMA_ASSIGN_OR_RETURN(Relation rel, EvaluateExpression(rewritten, ctx));
+      RMA_ASSIGN_OR_RETURN(
+          Relation rel, EvaluateExpressionConcurrent(rewritten, ctx, lowered));
       return BindRelation(std::move(rel), ref->alias);
     }
     case TableRef::Kind::kJoin:
@@ -511,10 +518,16 @@ Result<Relation> RunStatement(const Database& db, const SelectStmt& stmt,
   const QueryCachePtr& cache = db.query_cache();
   const uint64_t fingerprint =
       QueryCache::OptionsFingerprint(ctx->options());
+  // Capture the catalog version once: looking it up again at store time
+  // would race with concurrent Register/Drop — a statement built against
+  // the old catalog could be stored under the *new* version and then serve
+  // stale relations. Stored under the captured version, a concurrently
+  // bumped entry simply never hits and is swept by InvalidateStalePlans.
+  const uint64_t catalog_version = db.catalog_version();
   PlanCacheState pcs;
   QueryCache::StatementPlanPtr used;
   if (normalized != nullptr) {
-    used = cache->LookupPlan(*normalized, db.catalog_version(), fingerprint);
+    used = cache->LookupPlan(*normalized, catalog_version, fingerprint);
     ctx->RecordPlanCache(used != nullptr);
   }
   std::vector<QueryCache::CachedOp> recorded;
@@ -528,7 +541,7 @@ Result<Relation> RunStatement(const Database& db, const SelectStmt& stmt,
   if (used == nullptr) {
     auto plan = std::make_shared<QueryCache::StatementPlan>();
     plan->ops = std::move(recorded);
-    plan->catalog_version = db.catalog_version();
+    plan->catalog_version = catalog_version;
     plan->options_fingerprint = fingerprint;
     used = plan;
     if (normalized != nullptr) cache->StorePlan(*normalized, std::move(plan));

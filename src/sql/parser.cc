@@ -451,4 +451,25 @@ Result<SelectStmtPtr> ParseSelect(const std::string& input) {
   return stmt.select;
 }
 
+Result<std::vector<std::string>> SplitStatements(const std::string& script) {
+  RMA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(script));
+  std::vector<std::string> out;
+  size_t start = 0;
+  bool has_content = false;
+  for (const Token& tok : tokens) {
+    if (tok.kind == TokenKind::kEnd) break;
+    if (tok.kind == TokenKind::kSymbol && tok.text == ";") {
+      if (has_content) {
+        out.push_back(script.substr(start, tok.position - start));
+      }
+      start = tok.position + 1;
+      has_content = false;
+    } else {
+      has_content = true;
+    }
+  }
+  if (has_content) out.push_back(script.substr(start));
+  return out;
+}
+
 }  // namespace rma::sql

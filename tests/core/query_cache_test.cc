@@ -28,6 +28,18 @@ TEST(NormalizeStatementTest, PreservesStringLiterals) {
             "select * from t where s = 'A  B'");
 }
 
+TEST(NormalizeStatementTest, EscapedQuoteDoesNotDesyncQuoteState) {
+  // '' is an escaped quote inside a literal (lexer semantics): the literal
+  // continues, so the differing trailing characters must keep the two
+  // statements on different keys.
+  EXPECT_NE(
+      QueryCache::NormalizeStatement("SELECT * FROM t WHERE s = 'X''y'"),
+      QueryCache::NormalizeStatement("SELECT * FROM t WHERE s = 'X''Y'"));
+  EXPECT_EQ(
+      QueryCache::NormalizeStatement("SELECT * FROM t WHERE s = 'X''Y'  "),
+      "select * from t where s = 'X''Y'");
+}
+
 TEST(NormalizeStatementTest, StripsExplainAnalyzePrefix) {
   const std::string base = QueryCache::NormalizeStatement("SELECT * FROM t");
   EXPECT_EQ(QueryCache::NormalizeStatement("EXPLAIN SELECT * FROM t"), base);

@@ -1,0 +1,261 @@
+// Tests for the concurrent stage scheduler (core/scheduler.h), the
+// thread-safe ExecContext aggregation it relies on, and the evict-on-error
+// audit of the borrowed prepared-argument cache.
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/algebra.h"
+#include "core/exec_context.h"
+#include "core/query_cache.h"
+#include "core/rma.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace rma {
+namespace {
+
+using testing::RandomKeyedRelation;
+
+/// Cell-exact relation comparison (schema names + stringified values).
+void ExpectSameRelation(const Relation& a, const Relation& b) {
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (int c = 0; c < a.num_columns(); ++c) {
+    EXPECT_EQ(a.schema().attribute(c).name, b.schema().attribute(c).name);
+    for (int64_t i = 0; i < a.num_rows(); ++i) {
+      EXPECT_EQ(a.column(c)->GetString(i), b.column(c)->GetString(i))
+          << "column " << c << " row " << i;
+    }
+  }
+}
+
+/// add(qqr(r BY id), qqr(s BY id2)): two independent non-leaf subtrees — the
+/// smallest expression with a genuine fork and a shape-dependent barrier.
+RmaExprPtr ForkExpression(const Relation& r, const Relation& s) {
+  return RmaExpr::Binary(
+      MatrixOp::kAdd,
+      RmaExpr::Unary(MatrixOp::kQqr, RmaExpr::Leaf(r), {"id"}), {"id"},
+      RmaExpr::Unary(MatrixOp::kQqr, RmaExpr::Leaf(s), {"id2"}), {"id2"});
+}
+
+Relation MakeRightRelation(int64_t n, int cols, Rng* rng) {
+  Relation s = RandomKeyedRelation(n, cols, rng, -10.0, 10.0, "s");
+  return s.RenameColumn(0, "id2").ValueOrDie();
+}
+
+TEST(SchedulerTest, ConcurrentMatchesSerialEvaluation) {
+  Rng rng(42);
+  const Relation r = RandomKeyedRelation(300, 4, &rng);
+  const Relation s = MakeRightRelation(300, 4, &rng);
+  const RmaExprPtr expr = ForkExpression(r, s);
+
+  RmaOptions serial_opts;
+  serial_opts.concurrent_subtrees = false;
+  ExecContext serial_ctx(serial_opts);
+  ASSERT_OK_AND_ASSIGN(Relation expected,
+                       EvaluateExpression(expr, &serial_ctx));
+
+  RmaOptions par_opts;
+  par_opts.max_threads = 4;
+  ExecContext par_ctx(par_opts);
+  ASSERT_OK_AND_ASSIGN(Relation actual,
+                       EvaluateExpressionConcurrent(expr, &par_ctx));
+
+  ExpectSameRelation(expected, actual);
+}
+
+TEST(SchedulerTest, PlanOrderMatchesSerialEvaluation) {
+  // Offloaded subtrees are merged at the join in child order, so the
+  // recorded plans come out exactly as serial evaluation would record them
+  // (EXPLAIN ANALYZE stays deterministic).
+  Rng rng(43);
+  const Relation r = RandomKeyedRelation(200, 3, &rng);
+  const Relation s = MakeRightRelation(200, 3, &rng);
+  const RmaExprPtr expr = ForkExpression(r, s);
+
+  RmaOptions serial_opts;
+  serial_opts.concurrent_subtrees = false;
+  ExecContext serial_ctx(serial_opts);
+  ASSERT_OK(EvaluateExpression(expr, &serial_ctx).status());
+
+  RmaOptions par_opts;
+  par_opts.max_threads = 4;
+  ExecContext par_ctx(par_opts);
+  ASSERT_OK(EvaluateExpressionConcurrent(expr, &par_ctx).status());
+
+  ASSERT_EQ(par_ctx.plans().size(), serial_ctx.plans().size());
+  ASSERT_EQ(par_ctx.op_stats().size(), par_ctx.plans().size());
+  for (size_t i = 0; i < par_ctx.plans().size(); ++i) {
+    EXPECT_EQ(par_ctx.plans()[i].op, serial_ctx.plans()[i].op) << "op " << i;
+    EXPECT_EQ(par_ctx.plans()[i].kernel, serial_ctx.plans()[i].kernel)
+        << "op " << i;
+  }
+}
+
+TEST(SchedulerTest, RespectsParallelMinElements) {
+  // With an element floor far above the subtree shapes, the scheduler must
+  // fall back to inline evaluation (still correct, no forking) when the
+  // lowered plan is available to reveal the shapes.
+  Rng rng(44);
+  const Relation r = RandomKeyedRelation(50, 3, &rng);
+  const Relation s = MakeRightRelation(50, 3, &rng);
+  const RmaExprPtr expr = ForkExpression(r, s);
+
+  RmaOptions opts;
+  opts.max_threads = 4;
+  opts.parallel_min_elements = int64_t{1} << 40;
+  ExecContext ctx(opts);
+  ASSERT_OK_AND_ASSIGN(PlanNodePtr plan, PlanExpression(expr, opts));
+  ASSERT_OK_AND_ASSIGN(Relation out,
+                       EvaluateExpressionConcurrent(expr, &ctx, plan));
+
+  RmaOptions serial_opts;
+  serial_opts.concurrent_subtrees = false;
+  ExecContext serial_ctx(serial_opts);
+  ASSERT_OK_AND_ASSIGN(Relation expected, EvaluateExpression(expr, &serial_ctx));
+  ExpectSameRelation(expected, out);
+}
+
+TEST(SchedulerTest, SerialFallbackWhenBudgetIsOne) {
+  Rng rng(45);
+  const Relation r = RandomKeyedRelation(60, 3, &rng);
+  const Relation s = MakeRightRelation(60, 3, &rng);
+  RmaOptions opts;
+  opts.max_threads = 1;  // no headroom: must behave exactly like serial
+  ExecContext ctx(opts);
+  ASSERT_OK(EvaluateExpressionConcurrent(ForkExpression(r, s), &ctx).status());
+  EXPECT_EQ(ctx.plans().size(), 3u);
+}
+
+TEST(SchedulerTest, DeepTreeWithRewritesMatchesSerial) {
+  // The covariance pattern mmu(tra(x) BY C, x): the rewriter turns it into
+  // cpd(x, x) whose children are leaves — the scheduler must degrade to
+  // serial evaluation gracefully and produce identical results.
+  Rng rng(46);
+  const Relation x = RandomKeyedRelation(120, 4, &rng);
+  RmaExprPtr tra =
+      RmaExpr::Unary(MatrixOp::kTra, RmaExpr::Leaf(x), {"id"});
+  RmaExprPtr mmu = RmaExpr::Binary(MatrixOp::kMmu, tra, {kContextAttrName},
+                                   RmaExpr::Leaf(x), {"id"});
+  RmaOptions opts;
+  opts.max_threads = 4;
+  ExecContext ctx(opts);
+  RewriteReport report;
+  const RmaExprPtr rewritten = RewriteExpression(mmu, opts.rewrites, &report);
+  ASSERT_OK_AND_ASSIGN(Relation out,
+                       EvaluateExpressionConcurrent(rewritten, &ctx));
+
+  ExecContext serial_ctx{RmaOptions{}};
+  ASSERT_OK_AND_ASSIGN(Relation expected,
+                       EvaluateExpression(rewritten, &serial_ctx));
+  ExpectSameRelation(expected, out);
+}
+
+TEST(SchedulerTest, FailingSubtreeSurfacesError) {
+  Rng rng(47);
+  const Relation r = RandomKeyedRelation(100, 3, &rng);
+  // Right subtree fails: qqr over a relation with fewer rows than columns.
+  const Relation bad = MakeRightRelation(2, 5, &rng);
+  const RmaExprPtr expr = ForkExpression(r, bad);
+  RmaOptions opts;
+  opts.max_threads = 4;
+  ExecContext ctx(opts);
+  EXPECT_FALSE(EvaluateExpressionConcurrent(expr, &ctx).ok());
+}
+
+// --- evict-on-error ----------------------------------------------------------
+
+TEST(EvictOnErrorTest, FailedUnaryOpLeavesNoPreparedEntry) {
+  Rng rng(48);
+  // 2 rows x 4 app cols: the sort succeeds (and would be stored), then the
+  // qr row-count check fails. The op must take its cache stores back out.
+  const Relation r = RandomKeyedRelation(2, 4, &rng);
+  ExecContext ctx{RmaOptions{}};
+  EXPECT_FALSE(RmaUnary(&ctx, MatrixOp::kQqr, r, {"id"}).ok());
+  EXPECT_EQ(ctx.cache()->prepared_entries(), 0u);
+  EXPECT_EQ(ctx.plans().size(), 0u);
+  EXPECT_EQ(ctx.op_stats().size(), 0u);
+}
+
+TEST(EvictOnErrorTest, FailedBinaryOpLeavesNoPreparedEntries) {
+  Rng rng(49);
+  const Relation r = RandomKeyedRelation(40, 3, &rng);
+  const Relation s = MakeRightRelation(30, 3, &rng);  // row-count mismatch
+  ExecContext ctx{RmaOptions{}};
+  // Both arguments prepare (two sorts stored), then the add shape check
+  // fails.
+  EXPECT_FALSE(RmaBinary(&ctx, MatrixOp::kAdd, r, {"id"}, s, {"id2"}).ok());
+  EXPECT_EQ(ctx.cache()->prepared_entries(), 0u);
+}
+
+TEST(EvictOnErrorTest, SuccessfulOpKeepsPreparedEntry) {
+  Rng rng(50);
+  const Relation r = RandomKeyedRelation(40, 3, &rng);
+  ExecContext ctx{RmaOptions{}};
+  ASSERT_OK(RmaUnary(&ctx, MatrixOp::kQqr, r, {"id"}).status());
+  EXPECT_EQ(ctx.cache()->prepared_entries(), 1u);
+  ASSERT_EQ(ctx.plans().size(), 1u);
+  ASSERT_EQ(ctx.op_stats().size(), 1u);
+}
+
+TEST(EvictOnErrorTest, FailureDoesNotEvictOtherStatementsEntries) {
+  Rng rng(51);
+  const Relation good = RandomKeyedRelation(40, 3, &rng);
+  const Relation bad = RandomKeyedRelation(2, 4, &rng);
+  ExecContext ctx{RmaOptions{}};
+  ASSERT_OK(RmaUnary(&ctx, MatrixOp::kQqr, good, {"id"}).status());
+  EXPECT_FALSE(RmaUnary(&ctx, MatrixOp::kQqr, bad, {"id"}).ok());
+  // Only the failed op's stores were evicted; the earlier committed entry
+  // survives.
+  EXPECT_EQ(ctx.cache()->prepared_entries(), 1u);
+}
+
+// --- thread-safe stats aggregation -------------------------------------------
+
+TEST(ExecContextConcurrencyTest, ConcurrentOpsOnOneContextStayConsistent) {
+  Rng rng(52);
+  const int kThreads = 8;
+  const int kOpsPerThread = 16;
+  std::vector<Relation> rels;
+  for (int t = 0; t < kThreads; ++t) {
+    rels.push_back(RandomKeyedRelation(64, 3, &rng, -10.0, 10.0,
+                                       "r" + std::to_string(t)));
+  }
+  ExecContext ctx{RmaOptions{}};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kOpsPerThread; ++k) {
+        if (!RmaUnary(&ctx, MatrixOp::kQqr, rels[static_cast<size_t>(t)],
+                      {"id"})
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  const size_t total = static_cast<size_t>(kThreads) * kOpsPerThread;
+  // Concurrent EndOp must neither lose nor duplicate entries, and the
+  // plans/op_stats alignment must hold.
+  EXPECT_EQ(ctx.plans().size(), total);
+  EXPECT_EQ(ctx.op_stats().size(), total);
+  // Every op performed exactly one prepare lookup.
+  EXPECT_EQ(ctx.cache_hits() + ctx.cache_misses(),
+            static_cast<int64_t>(total));
+  EXPECT_EQ(ctx.totals().prepared_cache_hits +
+                ctx.totals().prepared_cache_misses,
+            static_cast<int64_t>(total));
+}
+
+}  // namespace
+}  // namespace rma

@@ -1,0 +1,169 @@
+// Tests for the matrix-layer threading primitives: ParallelFor budget
+// inheritance and exception propagation, ScopedThreadBudget scoping, and
+// the ThreadPool's cooperative fork/join.
+#include "matrix/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace rma {
+namespace {
+
+TEST(ScopedThreadBudgetTest, InstallsAndRestores) {
+  EXPECT_EQ(CurrentThreadBudget(), 0);
+  {
+    ScopedThreadBudget outer(4);
+    EXPECT_EQ(CurrentThreadBudget(), 4);
+    {
+      ScopedThreadBudget inner(2);
+      EXPECT_EQ(CurrentThreadBudget(), 2);
+      ScopedThreadBudget ignored(0);  // <= 0 leaves the budget unchanged
+      EXPECT_EQ(CurrentThreadBudget(), 2);
+    }
+    EXPECT_EQ(CurrentThreadBudget(), 4);
+  }
+  EXPECT_EQ(CurrentThreadBudget(), 0);
+}
+
+TEST(ParallelForTest, WorkersInheritSplitBudget) {
+  // A budget of 4 split across 2 workers: each worker must see an ambient
+  // budget of 2 — not 0 (the pre-fix behavior, which let a nested
+  // ParallelFor fan out to the full DefaultThreadCount() per worker).
+  ScopedThreadBudget budget(4);
+  std::mutex mu;
+  std::vector<int> seen;
+  ParallelFor(
+      0, 2,
+      [&](int64_t, int64_t) {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.push_back(CurrentThreadBudget());
+      },
+      /*min_chunk=*/1, /*max_threads=*/0);
+  ASSERT_EQ(seen.size(), 2u);
+  for (int b : seen) EXPECT_EQ(b, 2);
+}
+
+TEST(ParallelForTest, NestedFanOutStaysWithinBudget) {
+  // Outer budget 2 over 2 chunks -> each worker gets budget 1, so the
+  // nested ParallelFor must run inline: at most 2 distinct threads ever
+  // touch the leaf work.
+  ScopedThreadBudget budget(2);
+  std::mutex mu;
+  std::set<std::thread::id> leaf_threads;
+  ParallelFor(
+      0, 2,
+      [&](int64_t, int64_t) {
+        ParallelFor(
+            0, 8,
+            [&](int64_t, int64_t) {
+              std::lock_guard<std::mutex> lock(mu);
+              leaf_threads.insert(std::this_thread::get_id());
+            },
+            /*min_chunk=*/1, /*max_threads=*/0);
+      },
+      /*min_chunk=*/1, /*max_threads=*/0);
+  EXPECT_LE(leaf_threads.size(), 2u);
+}
+
+TEST(ParallelForTest, InlineExecutionKeepsCallerBudget) {
+  // max_threads = 1 runs inline on the caller; the ambient budget is left
+  // untouched for the caller's own nested parallelism.
+  ScopedThreadBudget budget(8);
+  int seen = -1;
+  ParallelFor(
+      0, 100, [&](int64_t, int64_t) { seen = CurrentThreadBudget(); },
+      /*min_chunk=*/1, /*max_threads=*/1);
+  EXPECT_EQ(seen, 8);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  // Pre-fix, an exception escaping `fn` on a raw std::thread terminated the
+  // whole process. Now every worker is joined and the first exception is
+  // rethrown on the calling thread.
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      ParallelFor(
+          0, 4,
+          [&](int64_t lo, int64_t) {
+            if (lo == 0) throw std::runtime_error("kernel failure");
+            completed.fetch_add(1);
+          },
+          /*min_chunk=*/1, /*max_threads=*/4),
+      std::runtime_error);
+  // The other chunks still ran to completion (workers are joined, not
+  // abandoned).
+  EXPECT_EQ(completed.load(), 3);
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromEveryChunkPosition) {
+  for (int64_t bad = 0; bad < 3; ++bad) {
+    EXPECT_THROW(
+        ParallelFor(
+            0, 3,
+            [&](int64_t lo, int64_t) {
+              if (lo == bad) throw std::invalid_argument("boom");
+            },
+            /*min_chunk=*/1, /*max_threads=*/3),
+        std::invalid_argument);
+  }
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  std::vector<ThreadPool::TaskPtr> tasks;
+  for (int i = 1; i <= 10; ++i) {
+    tasks.push_back(pool.Submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (const auto& t : tasks) pool.Wait(t);
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  auto task = pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(task), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ForkJoinDoesNotDeadlockOnSingleWorker) {
+  // A task that submits and waits on sub-tasks must complete even when the
+  // pool has a single worker: Wait() executes queued tasks cooperatively.
+  ThreadPool pool(1);
+  std::atomic<int> leaves{0};
+  auto root = pool.Submit([&] {
+    std::vector<ThreadPool::TaskPtr> subs;
+    for (int i = 0; i < 4; ++i) {
+      subs.push_back(pool.Submit([&leaves] { leaves.fetch_add(1); }));
+    }
+    for (const auto& s : subs) pool.Wait(s);
+  });
+  pool.Wait(root);
+  EXPECT_EQ(leaves.load(), 4);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsPersistent) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 2);
+  std::atomic<bool> ran{false};
+  a.Wait(a.Submit([&] { ran.store(true); }));
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WorkersStartWithNoAmbientBudget) {
+  ThreadPool pool(1);
+  int seen = -1;
+  auto task = pool.Submit([&] { seen = CurrentThreadBudget(); });
+  pool.Wait(task);
+  EXPECT_EQ(seen, 0);
+}
+
+}  // namespace
+}  // namespace rma
