@@ -1,8 +1,17 @@
 // Ablation microbenchmarks (google-benchmark): the design choices DESIGN.md
 // calls out — BAT vs contiguous kernels per operation, the sort-avoidance
 // optimizations, and Householder vs Gram-Schmidt QR.
+//
+// `--json` (stripped before google-benchmark sees the args) emits
+// BENCH_bench_ablation_kernels.json via bench_common's BenchJson recorder —
+// the machine-readable artifact the CI perf gate diffs against
+// bench/baselines/. Sizes honour RMA_BENCH_SCALE so CI can run small.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+
+#include "bench_common.h"
 #include "core/algebra.h"
 #include "core/rma.h"
 #include "matrix/qr.h"
@@ -19,6 +28,13 @@ RmaOptions Opts(KernelPolicy kernel, SortPolicy sort) {
   return o;
 }
 
+void SetShapeCounters(benchmark::State& state, int64_t rows, int64_t cols) {
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["cols"] = static_cast<double>(cols);
+  state.counters["bytes"] =
+      static_cast<double>(rows * cols * static_cast<int64_t>(sizeof(double)));
+}
+
 // --- BAT vs contiguous per operation ---------------------------------------
 
 void BM_UnaryOp(benchmark::State& state, MatrixOp op, KernelPolicy kernel,
@@ -28,6 +44,7 @@ void BM_UnaryOp(benchmark::State& state, MatrixOp op, KernelPolicy kernel,
   for (auto _ : state) {
     benchmark::DoNotOptimize(RmaUnary(op, r, {"id"}, opts).ValueOrDie());
   }
+  SetShapeCounters(state, rows, cols);
 }
 
 void BM_BinaryOp(benchmark::State& state, MatrixOp op, KernelPolicy kernel,
@@ -40,12 +57,13 @@ void BM_BinaryOp(benchmark::State& state, MatrixOp op, KernelPolicy kernel,
     benchmark::DoNotOptimize(
         RmaBinary(op, r, {"id"}, s, {"id2"}, opts).ValueOrDie());
   }
+  SetShapeCounters(state, rows, cols);
 }
 
 // --- sort policies -----------------------------------------------------------
 
 void BM_SortPolicy(benchmark::State& state, MatrixOp op, SortPolicy sort) {
-  const int64_t rows = 100000;
+  const int64_t rows = bench::Scaled(100000);
   const Relation r = workload::ManyOrderColumnsRelation(rows, 8, 7, 11, "r");
   Relation s = workload::ManyOrderColumnsRelation(rows, 8, 7, 13, "s");
   std::vector<std::string> order_r;
@@ -67,6 +85,7 @@ void BM_SortPolicy(benchmark::State& state, MatrixOp op, SortPolicy sort) {
           RmaBinary(op, r, order_r, s, order_s, opts).ValueOrDie());
     }
   }
+  SetShapeCounters(state, rows, 8);
 }
 
 // --- cross-algebra rewriter ---------------------------------------------------
@@ -75,7 +94,8 @@ void BM_SortPolicy(benchmark::State& state, MatrixOp op, SortPolicy sort) {
 /// rewriter on it collapses to cpd(x, x) (symmetric SYRK kernel, no wide
 /// transposed intermediate).
 void BM_CovariancePattern(benchmark::State& state, bool rewrite) {
-  const Relation r = workload::UniformRelation(10000, 30, 11, 0, 100, true);
+  const int64_t rows = bench::Scaled(10000);
+  const Relation r = workload::UniformRelation(rows, 30, 11, 0, 100, true);
   RmaOptions opts;
   opts.rewrites.enabled = rewrite;
   auto x = RmaExpr::Leaf(r);
@@ -85,12 +105,14 @@ void BM_CovariancePattern(benchmark::State& state, bool rewrite) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(EvaluateOptimized(expr, opts).ValueOrDie());
   }
+  SetShapeCounters(state, rows, 30);
 }
 
 /// Fig. 10's round trip tra(tra(x BY id) BY C): the rewriter replaces both
 /// transposes (and the 1-column-per-row intermediate) with a relabel.
 void BM_DoubleTranspose(benchmark::State& state, bool rewrite) {
-  const Relation r = workload::UniformRelation(5000, 20, 12, 0, 100, true);
+  const int64_t rows = bench::Scaled(5000);
+  const Relation r = workload::UniformRelation(rows, 20, 12, 0, 100, true);
   RmaOptions opts;
   opts.rewrites.enabled = rewrite;
   auto expr = RmaExpr::Unary(
@@ -99,6 +121,7 @@ void BM_DoubleTranspose(benchmark::State& state, bool rewrite) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(EvaluateOptimized(expr, opts).ValueOrDie());
   }
+  SetShapeCounters(state, rows, 20);
 }
 
 // --- Householder vs Gram-Schmidt QR -----------------------------------------
@@ -121,16 +144,66 @@ void BM_QrAlgorithm(benchmark::State& state, bool householder) {
     }
     benchmark::DoNotOptimize(q);
   }
+  SetShapeCounters(state, n, 20);
 }
+
+// --- machine-readable reporting ----------------------------------------------
+
+/// Console output as usual, plus one BenchJson entry per run: name, per-
+/// iteration wall time, and the shape/bytes counters the benchmarks set.
+/// The kernel field is the trailing name component ("bat", "contiguous",
+/// "rewrite_on", ...), the op field the leading one.
+class JsonForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      const size_t slash = name.find('/');
+      const std::string op = slash == std::string::npos
+                                 ? name
+                                 : name.substr(0, slash);
+      // The variant is the second name segment; anything after it is a
+      // google-benchmark Arg suffix ("qr/householder/20000"), not a kernel.
+      std::string kernel;
+      if (slash != std::string::npos) {
+        const size_t next = name.find('/', slash + 1);
+        kernel = name.substr(slash + 1, next == std::string::npos
+                                            ? std::string::npos
+                                            : next - slash - 1);
+      }
+      const double per_iter_seconds =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      std::string shape;
+      auto rows = run.counters.find("rows");
+      auto cols = run.counters.find("cols");
+      if (rows != run.counters.end() && cols != run.counters.end()) {
+        shape = std::to_string(static_cast<int64_t>(rows->second.value)) +
+                "x" + std::to_string(static_cast<int64_t>(cols->second.value));
+      }
+      auto bytes = run.counters.find("bytes");
+      rma::bench::BenchJson::Record(
+          name, op, shape, per_iter_seconds,
+          bytes != run.counters.end()
+              ? static_cast<int64_t>(bytes->second.value)
+              : 0,
+          kernel);
+    }
+  }
+};
 
 }  // namespace
 }  // namespace rma
 
 int main(int argc, char** argv) {
   using namespace rma;
-  const int64_t kRows = 20000;
+  bench::BenchJson::Init("bench_ablation_kernels", &argc, argv);
+  const int64_t kRows = bench::Scaled(20000);
   const int kCols = 30;
-  const int64_t kSq = 400;  // square ops
+  const int64_t kSq = bench::Scaled(400);  // square ops
 
   benchmark::RegisterBenchmark("inv/bat", [&](benchmark::State& s) {
     BM_UnaryOp(s, MatrixOp::kInv, KernelPolicy::kBat, kSq, static_cast<int>(kSq));
@@ -190,12 +263,14 @@ int main(int argc, char** argv) {
 
   benchmark::RegisterBenchmark("qr/householder", [](benchmark::State& s) {
     BM_QrAlgorithm(s, true);
-  })->Arg(20000);
+  })->Arg(bench::Scaled(20000));
   benchmark::RegisterBenchmark("qr/gram_schmidt", [](benchmark::State& s) {
     BM_QrAlgorithm(s, false);
-  })->Arg(20000);
+  })->Arg(bench::Scaled(20000));
 
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  JsonForwardingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  bench::BenchJson::Flush();
   return 0;
 }

@@ -51,29 +51,48 @@ void RunBatchVsSerial(int64_t tuples, int relations, int app_cols) {
       "Batched independent statements vs. serial execution "
       "(Database::ExecuteBatch, shared query cache)",
       {"thread budget", "serial", "batched", "speedup", "plan hit/miss"});
+  const std::string shape =
+      std::to_string(tuples) + "x" + std::to_string(app_cols);
+  const int64_t bytes = tuples * app_cols * static_cast<int64_t>(sizeof(double));
   for (int budget : {1, 2, 4}) {
-    sql::Database serial_db =
-        MakeDatabase(tuples, relations, app_cols, budget);
-    sql::Database batch_db = MakeDatabase(tuples, relations, app_cols, budget);
     const std::vector<std::string> statements = MakeStatements(relations);
-
-    const double serial = TimeIt([&] {
-      for (const std::string& s : statements) {
-        serial_db.Execute(s).ValueOrDie();
-      }
-    });
-    const double batched = TimeIt([&] {
-      for (auto& r : batch_db.ExecuteBatch(statements)) {
-        r.ValueOrDie();
-      }
-    });
-    const QueryCache::Counters c = batch_db.query_cache()->counters();
+    // Best of 3 cold runs (fresh databases each repetition, so every run
+    // plans from scratch): single wall-clock samples of millisecond
+    // workloads swing too much for the CI perf gate to diff.
+    constexpr int kReps = 3;
+    double serial = 0;
+    double batched = 0;
+    QueryCache::Counters c;
+    for (int rep = 0; rep < kReps; ++rep) {
+      sql::Database serial_db =
+          MakeDatabase(tuples, relations, app_cols, budget);
+      sql::Database batch_db =
+          MakeDatabase(tuples, relations, app_cols, budget);
+      const double s = TimeIt([&] {
+        for (const std::string& stmt : statements) {
+          serial_db.Execute(stmt).ValueOrDie();
+        }
+      });
+      const double b = TimeIt([&] {
+        for (auto& r : batch_db.ExecuteBatch(statements)) {
+          r.ValueOrDie();
+        }
+      });
+      if (rep == 0 || s < serial) serial = s;
+      if (rep == 0 || b < batched) batched = b;
+      c = batch_db.query_cache()->counters();  // cold-cache hit/miss split
+    }
     char speedup[32];
     std::snprintf(speedup, sizeof(speedup), "%.2fx",
                   batched > 0 ? serial / batched : 0.0);
     table.AddRow({std::to_string(budget), Secs(serial), Secs(batched), speedup,
                   std::to_string(c.plan_hits) + "/" +
                       std::to_string(c.plan_misses)});
+    const std::string b = std::to_string(budget);
+    BenchJson::Record("batch/threads=" + b + "/serial", "qqr+cpd", shape,
+                      serial, bytes, "auto");
+    BenchJson::Record("batch/threads=" + b + "/batched", "qqr+cpd", shape,
+                      batched, bytes, "auto");
   }
   table.AddNote("hardware threads on this machine: " +
                 std::to_string(DefaultThreadCount()) +
@@ -83,6 +102,9 @@ void RunBatchVsSerial(int64_t tuples, int relations, int app_cols) {
 }
 
 void RunSubtreeScheduler(int64_t tuples, int app_cols) {
+  const std::string shape =
+      std::to_string(tuples) + "x" + std::to_string(app_cols);
+  const int64_t bytes = tuples * app_cols * static_cast<int64_t>(sizeof(double));
   // One statement whose expression tree has two independent non-leaf
   // subtrees: ADD(QQR(a), QQR(b)). The stage scheduler forks the right
   // subtree onto the worker pool and joins at the add barrier.
@@ -112,17 +134,23 @@ void RunSubtreeScheduler(int64_t tuples, int app_cols) {
 
     // Warm the plan and prepared caches once so both measured runs compare
     // steady-state kernel work (the toggle below does not affect the plan
-    // fingerprint — scheduling strategy is not plan content).
+    // fingerprint — scheduling strategy is not plan content); best-of-3 on
+    // the warm runs for gate-stable numbers.
     db.Query(q).ValueOrDie();
     db.rma_options.concurrent_subtrees = false;
-    const double serial = TimeIt([&] { db.Query(q).ValueOrDie(); });
+    const double serial = TimeBest(3, [&] { db.Query(q).ValueOrDie(); });
     db.rma_options.concurrent_subtrees = true;
-    const double concurrent = TimeIt([&] { db.Query(q).ValueOrDie(); });
+    const double concurrent = TimeBest(3, [&] { db.Query(q).ValueOrDie(); });
     char speedup[32];
     std::snprintf(speedup, sizeof(speedup), "%.2fx",
                   concurrent > 0 ? serial / concurrent : 0.0);
     table.AddRow({std::to_string(budget), Secs(serial), Secs(concurrent),
                   speedup});
+    const std::string b = std::to_string(budget);
+    BenchJson::Record("subtrees/threads=" + b + "/serial", "add(qqr,qqr)",
+                      shape, serial, bytes, "auto");
+    BenchJson::Record("subtrees/threads=" + b + "/concurrent", "add(qqr,qqr)",
+                      shape, concurrent, bytes, "auto");
   }
   table.AddNote("the fork engages at budget >= 2; the join sits at the "
                 "shape-dependent add barrier");
@@ -132,9 +160,11 @@ void RunSubtreeScheduler(int64_t tuples, int app_cols) {
 }  // namespace
 }  // namespace rma::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rma::bench;
+  BenchJson::Init("bench_batch", &argc, argv);
   RunBatchVsSerial(Scaled(60000), /*relations=*/4, /*app_cols=*/24);
   RunSubtreeScheduler(Scaled(60000), /*app_cols=*/24);
+  BenchJson::Flush();
   return 0;
 }

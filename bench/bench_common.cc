@@ -2,8 +2,118 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
 
 namespace rma::bench {
+
+namespace {
+
+struct BenchJsonState {
+  std::mutex mu;
+  bool enabled = false;
+  std::string bench_name;
+  struct Entry {
+    std::string name;
+    std::string op;
+    std::string shape;
+    double ns = 0;
+    int64_t bytes = 0;
+    std::string kernel;
+  };
+  std::vector<Entry> entries;
+  size_t flushed_entries = 0;  ///< Flush is a no-op until new entries arrive
+};
+
+BenchJsonState& JsonState() {
+  static BenchJsonState* state = new BenchJsonState();  // leaked: atexit-safe
+  return *state;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchJson::Init(const std::string& bench_name, int* argc, char** argv) {
+  BenchJsonState& state = JsonState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.bench_name = bench_name;
+  const char* env = std::getenv("RMA_BENCH_JSON");
+  if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+    state.enabled = true;
+  }
+  if (argc != nullptr) {
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        state.enabled = true;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    for (int i = out; i < *argc; ++i) argv[i] = nullptr;
+    *argc = out;
+  }
+  if (state.enabled) std::atexit(&BenchJson::Flush);
+}
+
+bool BenchJson::enabled() {
+  BenchJsonState& state = JsonState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.enabled;
+}
+
+void BenchJson::Record(const std::string& name, const std::string& op,
+                       const std::string& shape, double seconds, int64_t bytes,
+                       const std::string& kernel) {
+  BenchJsonState& state = JsonState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.enabled) return;
+  state.entries.push_back(
+      {name, op, shape, seconds * 1e9, bytes, kernel});
+}
+
+void BenchJson::Flush() {
+  BenchJsonState& state = JsonState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.enabled || state.bench_name.empty() || state.entries.empty() ||
+      state.entries.size() == state.flushed_entries) {
+    return;
+  }
+  state.flushed_entries = state.entries.size();
+  const std::string path = "BENCH_" + state.bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %g,\n"
+               "  \"entries\": [\n",
+               JsonEscape(state.bench_name).c_str(), ScaleFactor());
+  for (size_t i = 0; i < state.entries.size(); ++i) {
+    const auto& e = state.entries[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"op\": \"%s\", \"shape\": \"%s\", "
+                 "\"ns\": %.3f, \"bytes\": %lld, \"kernel\": \"%s\"}%s\n",
+                 JsonEscape(e.name).c_str(), JsonEscape(e.op).c_str(),
+                 JsonEscape(e.shape).c_str(), e.ns,
+                 static_cast<long long>(e.bytes), JsonEscape(e.kernel).c_str(),
+                 i + 1 < state.entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("bench: wrote %s (%zu entries)\n", path.c_str(),
+              state.entries.size());
+}
 
 double ScaleFactor() {
   const char* env = std::getenv("RMA_BENCH_SCALE");
@@ -20,6 +130,12 @@ double TimeIt(const std::function<void()>& fn) {
   Timer t;
   fn();
   return t.Seconds();
+}
+
+double TimeBest(int reps, const std::function<void()>& fn) {
+  double best = TimeIt(fn);
+  for (int r = 1; r < reps; ++r) best = std::min(best, TimeIt(fn));
+  return best;
 }
 
 std::string Secs(double s) {

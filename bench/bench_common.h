@@ -22,11 +22,49 @@ int64_t Scaled(int64_t rows);
 /// Times one invocation of `fn` in seconds.
 double TimeIt(const std::function<void()>& fn);
 
+/// Minimum over `reps` timed invocations — sheds scheduler noise, which a
+/// single TimeIt cannot (the perf gate diffs these numbers across runs).
+double TimeBest(int reps, const std::function<void()>& fn);
+
 /// Formats seconds as "1.23" (fixed, seconds) — paper tables are in sec.
 std::string Secs(double s);
 
 /// Formats a percentage as "83".
 std::string Pct(double fraction);
+
+/// Machine-readable benchmark output for the CI perf gate. When enabled
+/// (`--json` on the bench command line, or env RMA_BENCH_JSON=1), every
+/// Record() call collects one entry and the process writes
+/// `BENCH_<bench>.json` to the working directory at Flush() / exit:
+///
+///   {"bench": "bench_batch", "scale": 1.0, "entries": [
+///     {"name": "...", "op": "...", "shape": "RxC", "ns": 1.2e6,
+///      "bytes": 0, "kernel": "auto"}, ...]}
+///
+/// `scripts/bench_compare.py` diffs two such files with a noise threshold;
+/// `bench/baselines/*.json` holds the checked-in references.
+class BenchJson {
+ public:
+  /// Strips a `--json` flag out of argv (so benches can forward the rest,
+  /// e.g. to google-benchmark) and arms the recorder. Also armed by
+  /// RMA_BENCH_JSON=1 without the flag. `bench_name` names the output file.
+  static void Init(const std::string& bench_name, int* argc, char** argv);
+
+  static bool enabled();
+
+  /// Records one measurement: `op` is the operation or phase measured,
+  /// `shape` a free-form size ("60000x24"), `seconds` wall time (stored as
+  /// ns), `bytes` the touched payload (0 = unknown), `kernel` the kernel
+  /// family or policy chosen ("" = n/a).
+  static void Record(const std::string& name, const std::string& op,
+                     const std::string& shape, double seconds, int64_t bytes,
+                     const std::string& kernel);
+
+  /// Writes BENCH_<bench>.json if armed and entries exist. Registered via
+  /// atexit by Init; calling it twice is harmless (second write is
+  /// identical).
+  static void Flush();
+};
 
 /// Aligned paper-style table printer: one instance per table/figure.
 class PaperTable {

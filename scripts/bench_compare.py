@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files (bench_common's BenchJson format) and fail on
+perf regressions beyond a noise threshold.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [--threshold 0.30]
+                   [--min-ns 50000] [--absolute]
+
+Both files hold {"bench": ..., "scale": ..., "entries": [{"name", "ns", ...}]}.
+Entries are matched by name. By default the comparison is *speed-normalized*:
+the median current/baseline ratio across all matched entries is treated as
+the machine-speed factor (CI runners differ from the machine that produced
+the checked-in baseline), and an entry only counts as a regression when its
+ratio exceeds the median by more than the threshold — i.e. it got slower
+*relative to everything else*. --absolute compares raw ratios instead (for
+same-machine A/B runs).
+
+Entries whose baseline time is under --min-ns are skipped: timer granularity
+and allocator noise dominate there. A scale mismatch between the two files is
+an error (ns at different problem sizes are not comparable).
+
+Exit status: 0 = no regressions, 1 = regressions found, 2 = usage/format
+error.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_entries(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if "entries" not in doc or not isinstance(doc["entries"], list):
+        sys.exit(f"bench_compare: {path}: no entries array")
+    entries = {}
+    for e in doc["entries"]:
+        name, ns = e.get("name"), e.get("ns")
+        if not isinstance(name, str) or not isinstance(ns, (int, float)):
+            sys.exit(f"bench_compare: {path}: malformed entry {e!r}")
+        entries[name] = float(ns)
+    return doc.get("scale", 1.0), entries
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="max tolerated slowdown, e.g. 0.30 = +30%% "
+                         "(default: %(default)s)")
+    ap.add_argument("--min-ns", type=float, default=50000,
+                    help="skip entries whose baseline is below this many ns "
+                         "(default: %(default)s)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="compare raw ratios; skip median speed "
+                         "normalization")
+    args = ap.parse_args()
+
+    base_scale, base = load_entries(args.baseline)
+    cur_scale, cur = load_entries(args.current)
+    if base_scale != cur_scale:
+        sys.exit(f"bench_compare: scale mismatch: baseline ran at "
+                 f"{base_scale}, current at {cur_scale} — regenerate the "
+                 f"baseline at the comparison scale")
+
+    matched = sorted(set(base) & set(cur))
+    for name in sorted(set(base) - set(cur)):
+        print(f"  [missing] {name}: in baseline only (renamed or removed?)")
+    for name in sorted(set(cur) - set(base)):
+        print(f"  [new]     {name}: not in baseline (skipped)")
+    if not matched:
+        sys.exit("bench_compare: no common entries to compare")
+
+    usable = [n for n in matched if base[n] >= args.min_ns]
+    skipped = len(matched) - len(usable)
+    if not usable:
+        sys.exit("bench_compare: every common entry is under --min-ns "
+                 f"({args.min_ns:.0f}); nothing comparable")
+
+    ratios = {n: cur[n] / base[n] for n in usable}
+    speed = 1.0 if args.absolute else statistics.median(ratios.values())
+
+    regressions, improvements = [], []
+    print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} "
+          f"{'norm ratio':>10}")
+    for name in usable:
+        norm = ratios[name] / speed
+        flag = ""
+        if norm > 1.0 + args.threshold:
+            regressions.append((name, norm))
+            flag = "  << REGRESSION"
+        elif norm < 1.0 - args.threshold:
+            improvements.append((name, norm))
+            flag = "  (improved)"
+        print(f"{name:<40} {base[name]:>10.0f}ns {cur[name]:>10.0f}ns "
+              f"{norm:>9.2f}x{flag}")
+
+    print(f"\nmachine-speed factor (median ratio): {speed:.2f}x"
+          f"{' (absolute mode)' if args.absolute else ''}")
+    if skipped:
+        print(f"skipped {skipped} entr{'y' if skipped == 1 else 'ies'} under "
+              f"the {args.min_ns:.0f}ns noise floor")
+    if improvements:
+        print(f"{len(improvements)} improved beyond the threshold")
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} regression(s) beyond "
+              f"+{args.threshold:.0%}:")
+        for name, norm in sorted(regressions, key=lambda r: -r[1]):
+            print(f"  {name}: {norm:.2f}x the expected time")
+        return 1
+    print("OK: no regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+#ifndef RMA_CORE_CALIBRATION_H_
+#define RMA_CORE_CALIBRATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/result.h"
+
+namespace rma {
+
+/// The kernel families the planner prices (core/planner.cc). Each family
+/// gets one probe and one refinable cost entry; the planner's analytic
+/// constants are the seed values when no calibration ran.
+enum class CostKernel : int {
+  kBatStream = 0,   ///< element-wise streaming over BAT columns (add/sub/emu)
+  kBatAxpy,         ///< vectorized axpy column combines (mmu)
+  kBatDecomp,       ///< column-at-a-time decompositions (inv/qqr/rqr/det/sol)
+  kBatTranspose,    ///< element-at-a-time scatter (tra)
+  kBatFetch,        ///< per-element virtual BUNfetch (cpd)
+  kDenseFlop,       ///< contiguous dense kernel inner loops
+  kGather,          ///< BATs -> contiguous strided copy (transform in)
+  kScatter,         ///< contiguous -> BATs copy (transform out)
+  kSort,            ///< order-schema argsort / key alignment
+  kCount_,          ///< sentinel
+};
+constexpr int kNumCostKernels = static_cast<int>(CostKernel::kCount_);
+
+const char* CostKernelName(CostKernel k);
+/// Inverse of CostKernelName; returns false for unknown names.
+bool CostKernelFromName(const std::string& name, CostKernel* out);
+
+/// How a kernel family's cost entry was derived, in increasing order of
+/// trust: the planner's analytic constants, a startup micro-probe, or
+/// online refinement from measured per-op RmaStats.
+enum class CostSource : int {
+  kAnalytic = 0,
+  kProbed = 1,
+  kRefined = 2,
+};
+
+const char* CostSourceName(CostSource s);
+
+/// Cost of one kernel family: a fixed per-operation overhead plus a
+/// per-element rate. Under the analytic profile the rate is the planner's
+/// dimensionless penalty constant and the overhead is zero, so cost ratios
+/// reproduce the pre-calibration model exactly; probed/refined profiles
+/// measure both in seconds.
+struct KernelCost {
+  double per_element = 1.0;
+  double fixed = 0.0;
+  CostSource source = CostSource::kAnalytic;
+  int64_t refinements = 0;  ///< EWMA updates applied to this entry
+};
+
+/// Per-machine cost profile of the planner's kernel families. Thread-safe:
+/// concurrent statements price plans while the execution feedback loop
+/// refines entries (one mutex, same discipline as ExecContext/QueryCache).
+///
+/// Lifecycle: Analytic() seeds the model with the planner's constants;
+/// Probe() (core/calibration.cc) measures the families at a few sizes and
+/// fits {fixed, per_element}; Save/Load round-trip the profile through JSON
+/// so probes run once per machine (RmaOptions::calibration_path, env
+/// RMA_CALIBRATION); ExecContext::EndOp feeds measured per-op stats back via
+/// Refine() so repeated workloads converge toward observed costs.
+class CostProfile {
+ public:
+  CostProfile();
+
+  /// The planner's pre-calibration analytic constants (see planner.cc):
+  /// dimensionless element-operation units, zero fixed overhead.
+  static CostProfile Analytic();
+
+  KernelCost Get(CostKernel k) const;
+  void Set(CostKernel k, const KernelCost& cost);
+
+  /// Estimated cost of processing `elements` elements with family `k`:
+  /// fixed + elements * per_element. Units are seconds for probed/refined
+  /// profiles and element-operation units for the analytic profile — only
+  /// ratios between families matter to the planner.
+  double Cost(CostKernel k, double elements) const;
+
+  /// Online refinement from one measured execution: `seconds` observed for
+  /// `elements` elements. Folds the observation into per_element with an
+  /// EWMA (alpha = kRefineAlpha) and marks the entry kRefined. No-ops when
+  /// refinement is disabled (the shared analytic default must stay
+  /// deterministic) or the observation is too small to be signal.
+  void Refine(CostKernel k, double elements, double seconds);
+
+  /// Whether Refine() applies. Off for Analytic() (and the process-wide
+  /// default profile), on for probed/loaded profiles.
+  bool refinable() const;
+  void set_refinable(bool on);
+
+  /// The dominant source across entries (refined > probed > analytic):
+  /// EXPLAIN reports which model priced each op.
+  CostSource Source() const;
+
+  /// Fingerprint over quantized per-element rates (eighth-of-an-octave
+  /// resolution). Plan caches mix it into their options fingerprint, so a
+  /// materially changed profile invalidates cached plans while per-op EWMA
+  /// jitter does not churn the cache.
+  uint64_t Fingerprint() const;
+
+  /// Serializes to the calibration JSON document.
+  std::string ToJson() const;
+  /// Parses a calibration JSON document. Unknown kernel names are ignored;
+  /// malformed documents return Invalid (callers fall back to Analytic()).
+  static Result<CostProfile> FromJson(const std::string& json);
+
+  Status SaveFile(const std::string& path) const;
+  static Result<CostProfile> LoadFile(const std::string& path);
+
+  CostProfile(const CostProfile& other);
+  CostProfile& operator=(const CostProfile& other);
+
+  static constexpr double kRefineAlpha = 0.2;
+
+ private:
+  mutable std::mutex mu_;
+  KernelCost costs_[kNumCostKernels];
+  bool refinable_ = false;
+};
+
+using CostProfilePtr = std::shared_ptr<CostProfile>;
+
+/// Options for the startup micro-probes.
+struct ProbeOptions {
+  /// Element counts each family is timed at; {fixed, per_element} are fitted
+  /// by least squares over the sizes. Small by design: the whole probe pass
+  /// stays well under a second.
+  int64_t small_elements = 1 << 12;
+  int64_t large_elements = 1 << 16;
+  int repetitions = 3;  ///< best-of-N to shed scheduler noise
+};
+
+/// Times the planner's kernel families (BAT streaming/axpy/decomposition/
+/// fetch, dense flops, gather/scatter strided copies, argsort) at two sizes
+/// and fits a KernelCost per family. The result is refinable.
+CostProfile ProbeCostProfile(const ProbeOptions& opts = ProbeOptions());
+
+/// The process-wide default profile consulted when RmaOptions carries no
+/// explicit cost_profile. Resolved once, from the RMA_CALIBRATION
+/// environment variable:
+///  - unset: the analytic constants (deterministic, no probes at startup);
+///  - set to a readable calibration file: loaded from JSON;
+///  - set to a missing/corrupt path: probes run and the result is saved
+///    there (a corrupt file warns to stderr and falls back to probing —
+///    never a crash).
+const CostProfilePtr& DefaultCostProfile();
+
+/// Resolves the profile an options struct denotes: its explicit profile, a
+/// profile loaded/probed from its calibration_path, or the process default.
+/// Never null. (Implemented in calibration.cc; used by the planner and the
+/// options fingerprint.)
+struct RmaOptions;
+CostProfilePtr ResolveCostProfile(const RmaOptions& opts);
+
+}  // namespace rma
+
+#endif  // RMA_CORE_CALIBRATION_H_

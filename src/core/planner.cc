@@ -17,20 +17,18 @@ namespace {
 
 // --- cost model -------------------------------------------------------------
 //
-// Costs are in element-operation units: one unit is one streamed read-modify-
-// write over a contiguous double. The absolute scale cancels out — only the
-// ratio between the column-at-a-time (BAT) path and the gather/kernel/scatter
-// (contiguous) path matters. The penalties encode what Sec. 7.3 and Fig. 17
-// measure: element-wise BAT operations run at streaming speed (and skip
-// zeros on compressed columns), axpy-based kernels are close to dense speed,
-// column-at-a-time decompositions lose locality, and cpd degrades to
-// element-at-a-time BUNfetch calls — the 24-70x delegation win.
-
-constexpr double kBatElementwise = 1.0;   ///< add/sub/emu: streaming columns
-constexpr double kBatAxpy = 1.5;          ///< mmu: vectorized axpy combines
-constexpr double kBatDecomposition = 3.0; ///< inv/qqr/rqr/det/sol: MGS/Gauss
-constexpr double kBatTranspose = 4.0;     ///< tra: element-at-a-time scatter
-constexpr double kBatBunFetch = 12.0;     ///< cpd: per-element virtual fetch
+// Element counts are priced through a CostProfile (core/calibration.h): each
+// kernel family carries a per-element rate plus a fixed overhead. The
+// default (analytic) profile uses dimensionless element-operation units —
+// one unit is one streamed read-modify-write over a contiguous double, and
+// only the ratio between the column-at-a-time (BAT) path and the
+// gather/kernel/scatter (contiguous) path matters. Its penalties encode
+// what Sec. 7.3 and Fig. 17 measure: element-wise BAT operations run at
+// streaming speed (and skip zeros on compressed columns), axpy-based
+// kernels are close to dense speed, column-at-a-time decompositions lose
+// locality, and cpd degrades to element-at-a-time BUNfetch calls — the
+// 24-70x delegation win. Probed/refined profiles replace the constants with
+// measured seconds for this machine.
 
 double Flops(MatrixOp op, const ArgShape& a, const ArgShape* b) {
   const double n = static_cast<double>(a.rows);
@@ -62,23 +60,6 @@ double Flops(MatrixOp op, const ArgShape& a, const ArgShape* b) {
   }
 }
 
-double BatPenalty(MatrixOp op) {
-  switch (op) {
-    case MatrixOp::kAdd:
-    case MatrixOp::kSub:
-    case MatrixOp::kEmu:
-      return kBatElementwise;
-    case MatrixOp::kMmu:
-      return kBatAxpy;
-    case MatrixOp::kTra:
-      return kBatTranspose;
-    case MatrixOp::kCpd:
-      return kBatBunFetch;
-    default:
-      return kBatDecomposition;
-  }
-}
-
 /// Result shape of the base result, from Table 1.
 ArgShape ResultShape(const OpInfo& info, const ArgShape& a, const ArgShape* b) {
   const int64_t r2 = b == nullptr ? 0 : b->rows;
@@ -98,6 +79,23 @@ std::vector<Stage> StagesFor(KernelChoice kernel) {
 }
 
 }  // namespace
+
+CostKernel BatCostFamily(MatrixOp op) {
+  switch (op) {
+    case MatrixOp::kAdd:
+    case MatrixOp::kSub:
+    case MatrixOp::kEmu:
+      return CostKernel::kBatStream;
+    case MatrixOp::kMmu:
+      return CostKernel::kBatAxpy;
+    case MatrixOp::kTra:
+      return CostKernel::kBatTranspose;
+    case MatrixOp::kCpd:
+      return CostKernel::kBatFetch;
+    default:
+      return CostKernel::kBatDecomp;
+  }
+}
 
 const char* StageName(Stage s) {
   switch (s) {
@@ -135,7 +133,8 @@ std::string OpPlan::DebugString() const {
     if (i > 0) os << ' ';
     os << StageName(stages[i]);
   }
-  os << "] cost(bat)=" << cost_bat << " cost(dense)=" << cost_dense;
+  os << "] cost(bat)=" << cost_bat << " cost(dense)=" << cost_dense
+     << " cost-model=" << CostSourceName(cost_source);
   if (over_budget) os << " over-budget";
   return os.str();
 }
@@ -150,6 +149,7 @@ OpPlan PlanOp(MatrixOp op, const RmaOptions& opts, const ArgShape& left,
 
   const double flops = Flops(op, left, right);
   const ArgShape out = ResultShape(info, left, right);
+  const CostProfilePtr profile = ResolveCostProfile(opts);
 
   // Contiguous path: gather each argument, run the dense kernel, scatter the
   // base result. A self cross product gathers only once and halves the
@@ -161,17 +161,28 @@ OpPlan PlanOp(MatrixOp op, const RmaOptions& opts, const ArgShape& left,
   }
   const double scatter =
       static_cast<double>(out.rows) * static_cast<double>(out.cols);
-  plan.cost_dense = gather + (self_cross ? flops / 2.0 : flops) + scatter;
+  plan.flops = self_cross ? flops / 2.0 : flops;
+  plan.gather_elements = gather;
+  plan.scatter_elements = scatter;
+  plan.sort_elements =
+      static_cast<double>(left.rows) +
+      (right != nullptr && !self_cross ? static_cast<double>(right->rows) : 0);
+  plan.cost_dense = profile->Cost(CostKernel::kGather, gather) +
+                    profile->Cost(CostKernel::kDenseFlop, plan.flops) +
+                    profile->Cost(CostKernel::kScatter, scatter);
 
-  // Column-at-a-time path: no transformation, but the kernel pays the
-  // BAT penalty. Element-wise operations stream only the stored entries of
-  // compressed columns (Table 5), which the density factor captures.
-  double bat_flops = flops * BatPenalty(op);
+  // Column-at-a-time path: no transformation, but the kernel runs at its
+  // family's (slower) rate. Element-wise operations stream only the stored
+  // entries of compressed columns (Table 5), which the density factor
+  // captures.
+  double bat_elements = flops;
   if (info.union_compatible) {
     const double d_right = right == nullptr ? 1.0 : right->density;
-    bat_flops *= std::min(1.0, (left.density + d_right) / 2.0);
+    bat_elements *= std::min(1.0, (left.density + d_right) / 2.0);
   }
-  plan.cost_bat = bat_flops;
+  plan.bat_elements = bat_elements;
+  plan.cost_bat = profile->Cost(BatCostFamily(op), bat_elements);
+  plan.cost_source = profile->Source();
 
   const int64_t contiguous_bytes =
       left.ContiguousBytes() +

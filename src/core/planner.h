@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/calibration.h"
 #include "core/options.h"
 #include "core/ops.h"
 #include "storage/relation.h"
@@ -40,6 +41,13 @@ enum class KernelChoice : int {
 
 const char* KernelChoiceName(KernelChoice k);
 
+/// The cost-profile family pricing an op's column-at-a-time kernel
+/// (core/calibration.h): streaming for element-wise ops, axpy for mmu,
+/// element-at-a-time scatter for tra, BUNfetch for cpd, decomposition
+/// otherwise. Shared by the planner (pricing) and the execution feedback
+/// loop (refinement).
+CostKernel BatCostFamily(MatrixOp op);
+
 /// Shape summary of one prepared argument, the planner's input.
 struct ArgShape {
   int64_t rows = 0;
@@ -63,6 +71,19 @@ struct OpPlan {
   double cost_bat = 0;    ///< estimated cost of the column-at-a-time path
   double cost_dense = 0;  ///< estimated cost of gather + kernel + scatter
   bool over_budget = false;  ///< contiguous copy exceeded the memory ceiling
+
+  /// Which cost model priced this op (analytic constants, startup probes,
+  /// or stats-refined) — surfaced by EXPLAIN.
+  CostSource cost_source = CostSource::kAnalytic;
+
+  /// Element counts behind the estimates, per priced family. Recorded at
+  /// plan time so ExecContext can feed measured per-stage seconds back into
+  /// the cost profile (seconds / elements = observed per-element rate).
+  double flops = 0;             ///< dense kernel work (SYRK-halved)
+  double bat_elements = 0;      ///< density-scaled column-at-a-time work
+  double gather_elements = 0;   ///< BATs -> contiguous copy size
+  double scatter_elements = 0;  ///< result -> BATs copy size
+  double sort_elements = 0;     ///< rows sorted across both arguments
 
   ArgShape left;
   ArgShape right;  ///< zeroed for unary operations

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <utility>
+
+#include "core/calibration.h"
 
 namespace rma {
 
@@ -13,6 +16,15 @@ namespace {
 /// stay small; LRU keeps the hot statements of a steady workload resident.
 constexpr size_t kMaxPlanEntries = 128;
 constexpr size_t kMaxPreparedEntries = 256;
+
+/// Upper bound on waiting for an in-flight leader. The leader publishes only
+/// when its whole statement finishes (the statement plan accretes during
+/// execution), and a waiter still executes the statement itself after
+/// borrowing — so waiting past the planning-cost scale buys nothing and only
+/// delays the duplicate. The bound keeps dedupe effective for the common
+/// fast statement while capping the added latency behind a slow leader; a
+/// timed-out waiter simply plans independently (the pre-dedupe behavior).
+constexpr std::chrono::milliseconds kDedupWait{100};
 
 uint64_t HashMix(uint64_t h, uint64_t v) {
   // FNV-1a over 8-byte words.
@@ -85,7 +97,11 @@ uint64_t QueryCache::OptionsFingerprint(const RmaOptions& opts) {
                  rw.eliminate_double_tra, rw.rnk_of_tra, rw.det_of_tra}) {
     bits = (bits << 1) | (b ? 1 : 0);
   }
-  return HashMix(h, bits);
+  h = HashMix(h, bits);
+  // The cost profile prices kernel choices, so it is plan content. The
+  // profile fingerprint quantizes per-element rates: EWMA jitter keeps
+  // cached plans valid, a materially shifted profile invalidates them.
+  return HashMix(h, ResolveCostProfile(opts)->Fingerprint());
 }
 
 QueryCache::StatementPlanPtr QueryCache::LookupPlan(
@@ -104,10 +120,8 @@ QueryCache::StatementPlanPtr QueryCache::LookupPlan(
   return it->second.plan;
 }
 
-void QueryCache::StorePlan(const std::string& normalized,
-                           StatementPlanPtr plan) {
-  if (plan == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+void QueryCache::StorePlanLocked(const std::string& normalized,
+                                 StatementPlanPtr plan) {
   if (plans_.size() >= kMaxPlanEntries && plans_.count(normalized) == 0) {
     auto victim = plans_.begin();
     for (auto it = plans_.begin(); it != plans_.end(); ++it) {
@@ -117,6 +131,90 @@ void QueryCache::StorePlan(const std::string& normalized,
     ++counters_.evictions;
   }
   plans_[normalized] = PlanEntry{std::move(plan), ++tick_};
+}
+
+void QueryCache::StorePlan(const std::string& normalized,
+                           StatementPlanPtr plan) {
+  if (plan == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  StorePlanLocked(normalized, std::move(plan));
+}
+
+QueryCache::PlanTicket QueryCache::AcquirePlan(const std::string& normalized,
+                                               uint64_t catalog_version,
+                                               uint64_t options_fingerprint) {
+  PlanTicket ticket;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = plans_.find(normalized);
+    if (it != plans_.end() &&
+        it->second.plan->catalog_version == catalog_version &&
+        it->second.plan->options_fingerprint == options_fingerprint) {
+      it->second.last_used = ++tick_;
+      ++counters_.plan_hits;
+      ticket.plan = it->second.plan;
+      return ticket;
+    }
+    auto inf = inflight_.find(normalized);
+    if (inf == inflight_.end()) {
+      auto entry = std::make_shared<Inflight>();
+      entry->catalog_version = catalog_version;
+      entry->options_fingerprint = options_fingerprint;
+      inflight_[normalized] = std::move(entry);
+      ++counters_.plan_misses;
+      ticket.leader = true;
+      return ticket;
+    }
+    if (inf->second->catalog_version != catalog_version ||
+        inf->second->options_fingerprint != options_fingerprint) {
+      // A leader is planning the same text under a different catalog version
+      // or options fingerprint; its plan cannot serve this statement. Plan
+      // independently (stored via StorePlan, no waiters to wake).
+      ++counters_.plan_misses;
+      return ticket;
+    }
+    const std::shared_ptr<Inflight> entry = inf->second;
+    ++counters_.plan_dedup_waits;
+    const bool completed = entry->cv.wait_for(
+        lock, kDedupWait, [&entry] { return entry->done; });
+    if (!completed) {
+      // Liveness backstop (leader stuck or starved): plan independently.
+      ++counters_.plan_misses;
+      return ticket;
+    }
+    if (entry->plan != nullptr) {
+      ++counters_.plan_hits;
+      ticket.plan = entry->plan;
+      ticket.borrowed = true;
+      return ticket;
+    }
+    // The leader abandoned (its statement failed before producing a plan).
+    // Retry: the next round may find a new leader, or elect this caller.
+  }
+}
+
+void QueryCache::FinishInflightLocked(const std::string& normalized,
+                                      StatementPlanPtr plan) {
+  auto it = inflight_.find(normalized);
+  if (it == inflight_.end()) return;
+  // Waiters hold the shared_ptr, so the entry (and its condition variable)
+  // outlives the map erase; they observe done/plan under mu_ when they wake.
+  it->second->done = true;
+  it->second->plan = std::move(plan);
+  it->second->cv.notify_all();
+  inflight_.erase(it);
+}
+
+void QueryCache::PublishPlan(const std::string& normalized,
+                             StatementPlanPtr plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan != nullptr) StorePlanLocked(normalized, plan);
+  FinishInflightLocked(normalized, std::move(plan));
+}
+
+void QueryCache::AbandonPlan(const std::string& normalized) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FinishInflightLocked(normalized, nullptr);
 }
 
 void QueryCache::InvalidateStalePlans(uint64_t current_version) {

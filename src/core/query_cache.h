@@ -1,6 +1,7 @@
 #ifndef RMA_CORE_QUERY_CACHE_H_
 #define RMA_CORE_QUERY_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -36,6 +37,12 @@ namespace rma {
 /// invalidated precisely via EvictRelation when the catalog replaces or
 /// drops a relation.
 ///
+/// Concurrent identical statements (ExecuteBatch dispatches whole runs at
+/// once) are deduplicated: AcquirePlan elects one leader per normalized key
+/// to plan while the rest wait and borrow the published plan, so a batch of
+/// N identical statements plans once instead of N times racing to fill the
+/// same entry.
+///
 /// All methods are thread-safe (one mutex); contexts of concurrent queries
 /// may share one cache.
 class QueryCache {
@@ -64,6 +71,7 @@ class QueryCache {
     int64_t plan_hits = 0;
     int64_t plan_misses = 0;
     int64_t plan_invalidations = 0;  ///< stale entries dropped on version bump
+    int64_t plan_dedup_waits = 0;    ///< statements that waited on a leader
     int64_t prepared_hits = 0;
     int64_t prepared_misses = 0;
     int64_t evictions = 0;           ///< entries dropped for capacity/eviction
@@ -76,7 +84,9 @@ class QueryCache {
   static std::string NormalizeStatement(const std::string& sql);
 
   /// Fingerprint of every RmaOptions field that affects plan content.
-  /// A changed kernel/sort policy or rewrite toggle must miss.
+  /// A changed kernel/sort policy, rewrite toggle, or (materially shifted)
+  /// cost profile must miss — calibration changes kernel choices, so cached
+  /// plans priced under the old profile cannot be served.
   static uint64_t OptionsFingerprint(const RmaOptions& opts);
 
   // --- statement plans -------------------------------------------------------
@@ -92,6 +102,36 @@ class QueryCache {
   /// Catalog changed: eagerly drops every plan entry built at an older
   /// version (they can never hit again).
   void InvalidateStalePlans(uint64_t current_version);
+
+  // --- in-flight statement dedupe -------------------------------------------
+
+  /// Outcome of AcquirePlan. Exactly one of three shapes:
+  ///  - `plan` non-null: serve it (a cache hit, or borrowed from a leader
+  ///    that just published — `borrowed` distinguishes the two);
+  ///  - `leader` true: this caller plans and MUST call PublishPlan (success)
+  ///    or AbandonPlan (failure) — waiters are blocked on it;
+  ///  - both false/null: plan independently and store via StorePlan (an
+  ///    incompatible leader was in flight, or waiting timed out).
+  struct PlanTicket {
+    StatementPlanPtr plan;
+    bool leader = false;
+    bool borrowed = false;
+  };
+
+  /// Combined lookup + leader election for one statement execution. On a
+  /// miss with no compatible in-flight leader, the caller is elected leader;
+  /// identical concurrent statements block (bounded — see kDedupWait) until
+  /// the leader publishes, then borrow its plan instead of re-planning.
+  PlanTicket AcquirePlan(const std::string& normalized,
+                         uint64_t catalog_version,
+                         uint64_t options_fingerprint);
+
+  /// Leader completed: stores the plan and wakes every waiter with it.
+  void PublishPlan(const std::string& normalized, StatementPlanPtr plan);
+
+  /// Leader failed before producing a plan: wakes waiters empty-handed;
+  /// each retries AcquirePlan (and may be elected the new leader).
+  void AbandonPlan(const std::string& normalized);
 
   // --- prepared arguments ----------------------------------------------------
 
@@ -131,11 +171,24 @@ class QueryCache {
     StatementPlanPtr plan;
     uint64_t last_used = 0;
   };
+  /// One in-flight planning leader; waiters hold the shared_ptr so the
+  /// condition variable outlives the map entry.
+  struct Inflight {
+    uint64_t catalog_version = 0;
+    uint64_t options_fingerprint = 0;
+    bool done = false;
+    StatementPlanPtr plan;  ///< null after AbandonPlan
+    std::condition_variable cv;
+  };
 
   int64_t EvictPreparedLruLocked();
+  void StorePlanLocked(const std::string& normalized, StatementPlanPtr plan);
+  void FinishInflightLocked(const std::string& normalized,
+                            StatementPlanPtr plan);
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, PlanEntry> plans_;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
   std::unordered_map<std::string, PreparedEntry> prepared_;
   uint64_t tick_ = 0;
   Counters counters_;

@@ -79,10 +79,13 @@ class Database {
   /// the catalog snapshot) and execute **concurrently** on the shared worker
   /// pool over one ExecContext borrowing the query cache; the thread budget
   /// (rma_options.max_threads, 0 = hardware concurrency) is split across
-  /// the in-flight statements so total worker fan-out stays bounded. Any
-  /// other statement kind (CREATE TABLE AS, DROP TABLE, EXPLAIN) is a
-  /// barrier: the concurrent run drains first, then the statement executes
-  /// serially at its sequence position.
+  /// the in-flight statements so total worker fan-out stays bounded.
+  /// Identical in-flight statements are deduplicated at the plan cache
+  /// (QueryCache::AcquirePlan): one leader plans, the rest wait and borrow
+  /// its plan instead of racing to fill the same entry. Any other statement
+  /// kind (CREATE TABLE AS, DROP TABLE, EXPLAIN) is a barrier: the
+  /// concurrent run drains first, then the statement executes serially at
+  /// its sequence position.
   std::vector<Result<Relation>> ExecuteBatch(
       const std::vector<std::string>& statements);
 

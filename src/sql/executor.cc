@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <unordered_set>
 
 #include "core/algebra.h"
+#include "core/calibration.h"
 #include "core/exec_context.h"
 #include "core/planner.h"
 #include "core/query_cache.h"
@@ -507,11 +509,37 @@ Result<Relation> ExecuteSelectImpl(const Database& db, const SelectStmt& stmt,
   return result;
 }
 
+/// Ensures an elected planning leader always resolves its in-flight entry:
+/// destruction without Publish() abandons, waking waiters empty-handed (the
+/// statement failed or an exception unwound through planning).
+class PlanLeaderGuard {
+ public:
+  PlanLeaderGuard(QueryCache* cache, const std::string* key)
+      : cache_(cache), key_(key) {}
+  ~PlanLeaderGuard() {
+    if (cache_ != nullptr) cache_->AbandonPlan(*key_);
+  }
+  void Publish(QueryCache::StatementPlanPtr plan) {
+    cache_->PublishPlan(*key_, std::move(plan));
+    cache_ = nullptr;
+  }
+  PlanLeaderGuard(const PlanLeaderGuard&) = delete;
+  PlanLeaderGuard& operator=(const PlanLeaderGuard&) = delete;
+
+ private:
+  QueryCache* cache_;
+  const std::string* key_;
+};
+
 /// Shared statement runner. With `normalized` set, consults and populates
-/// the database's plan cache; with it null, records the statement plan
-/// without touching the cache (EXPLAIN ANALYZE of a CTAS — whose own
-/// Register would invalidate a stored entry before it could ever hit).
-/// `plan_out` (optional) receives the plan that served or was recorded.
+/// the database's plan cache through the dedupe protocol: identical
+/// concurrent statements elect one leader to plan while the rest wait and
+/// borrow its plan (ExecuteBatch dispatches whole runs at once — without the
+/// election they race to fill the same entry, planning N times). With
+/// `normalized` null, records the statement plan without touching the cache
+/// (EXPLAIN ANALYZE of a CTAS — whose own Register would invalidate a stored
+/// entry before it could ever hit). `plan_out` (optional) receives the plan
+/// that served or was recorded.
 Result<Relation> RunStatement(const Database& db, const SelectStmt& stmt,
                               const std::string* normalized, ExecContext* ctx,
                               QueryCache::StatementPlanPtr* plan_out) {
@@ -526,8 +554,14 @@ Result<Relation> RunStatement(const Database& db, const SelectStmt& stmt,
   const uint64_t catalog_version = db.catalog_version();
   PlanCacheState pcs;
   QueryCache::StatementPlanPtr used;
+  std::unique_ptr<PlanLeaderGuard> leader;
   if (normalized != nullptr) {
-    used = cache->LookupPlan(*normalized, catalog_version, fingerprint);
+    QueryCache::PlanTicket ticket =
+        cache->AcquirePlan(*normalized, catalog_version, fingerprint);
+    used = std::move(ticket.plan);
+    if (ticket.leader) {
+      leader = std::make_unique<PlanLeaderGuard>(cache.get(), normalized);
+    }
     ctx->RecordPlanCache(used != nullptr);
   }
   std::vector<QueryCache::CachedOp> recorded;
@@ -537,14 +571,18 @@ Result<Relation> RunStatement(const Database& db, const SelectStmt& stmt,
     pcs.record = &recorded;
   }
   Result<Relation> result = ExecuteSelectImpl(db, stmt, ctx, &pcs);
-  if (!result.ok()) return result;
+  if (!result.ok()) return result;  // the guard abandons for a leader
   if (used == nullptr) {
     auto plan = std::make_shared<QueryCache::StatementPlan>();
     plan->ops = std::move(recorded);
     plan->catalog_version = catalog_version;
     plan->options_fingerprint = fingerprint;
     used = plan;
-    if (normalized != nullptr) cache->StorePlan(*normalized, std::move(plan));
+    if (leader != nullptr) {
+      leader->Publish(std::move(plan));
+    } else if (normalized != nullptr) {
+      cache->StorePlan(*normalized, std::move(plan));
+    }
   }
   if (plan_out != nullptr) *plan_out = std::move(used);
   return result;
@@ -688,6 +726,7 @@ void AppendExecutionSection(const Database& db, const ExecContext& ctx,
     std::ostringstream os;
     os << "op " << i + 1 << ": " << GetOpInfo(plans[i].op).name
        << " kernel=" << KernelChoiceName(plans[i].kernel)
+       << " cost-model=" << CostSourceName(plans[i].cost_source)
        << " sort=" << FormatSecs(stats[i].sort_seconds)
        << " gather=" << FormatSecs(stats[i].transform_in_seconds)
        << " kernel=" << FormatSecs(stats[i].compute_seconds)
@@ -712,6 +751,11 @@ void AppendExecutionSection(const Database& db, const ExecContext& ctx,
   plan_line += " (catalog version " + std::to_string(db.catalog_version()) +
                ")";
   AppendIndented(plan_line, 1, lines);
+  const CostProfilePtr profile = ResolveCostProfile(ctx.options());
+  AppendIndented(std::string("cost profile: ") +
+                     CostSourceName(profile->Source()) +
+                     (profile->refinable() ? " (refining)" : ""),
+                 1, lines);
   const RmaStats& totals = ctx.totals();
   AppendIndented("prepared cache: " +
                      std::to_string(totals.prepared_cache_hits) + " hits, " +

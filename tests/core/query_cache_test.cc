@@ -3,8 +3,11 @@
 // relation eviction, and capacity-bounded LRU eviction.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/exec_context.h"
 #include "core/query_cache.h"
@@ -213,6 +216,105 @@ TEST(QueryCacheTest, AlignedPermutationReusedAcrossElementwiseOps) {
   ASSERT_OK(RmaBinary(&ctx, MatrixOp::kSub, r, {"id"}, s, {"id2"}).status());
   EXPECT_GE(second.prepared_cache_hits, 1);
   EXPECT_EQ(second.sort_seconds, 0.0);  // alignment reused, no hash pass
+}
+
+// --- in-flight plan dedupe ----------------------------------------------------
+
+TEST(PlanDedupeTest, FirstAcquirerLeadsThenWaitersBorrow) {
+  QueryCache cache;
+  const std::string key = "select * from t";
+  QueryCache::PlanTicket first = cache.AcquirePlan(key, 3, 42);
+  EXPECT_TRUE(first.leader);
+  EXPECT_EQ(first.plan, nullptr);
+
+  // A concurrent identical statement blocks until the leader publishes.
+  std::thread waiter([&] {
+    QueryCache::PlanTicket t = cache.AcquirePlan(key, 3, 42);
+    EXPECT_FALSE(t.leader);
+    EXPECT_TRUE(t.borrowed);
+    ASSERT_NE(t.plan, nullptr);
+    EXPECT_EQ(t.plan->catalog_version, 3u);
+  });
+  // The wait counter bumps right before the waiter blocks; publishing only
+  // after observing it makes the borrow path deterministic.
+  while (cache.counters().plan_dedup_waits == 0) std::this_thread::yield();
+  auto plan = std::make_shared<QueryCache::StatementPlan>();
+  plan->catalog_version = 3;
+  plan->options_fingerprint = 42;
+  cache.PublishPlan(key, plan);
+  waiter.join();
+
+  // After publication the entry is a normal cache hit.
+  QueryCache::PlanTicket later = cache.AcquirePlan(key, 3, 42);
+  EXPECT_FALSE(later.leader);
+  EXPECT_FALSE(later.borrowed);
+  EXPECT_NE(later.plan, nullptr);
+
+  const QueryCache::Counters c = cache.counters();
+  EXPECT_EQ(c.plan_misses, 1);      // only the leader planned
+  EXPECT_EQ(c.plan_dedup_waits, 1);
+  EXPECT_EQ(c.plan_hits, 2);        // the borrower and the later hit
+}
+
+TEST(PlanDedupeTest, AbandonedLeaderHandsOffToAWaiter) {
+  QueryCache cache;
+  const std::string key = "select * from broken";
+  QueryCache::PlanTicket first = cache.AcquirePlan(key, 1, 7);
+  ASSERT_TRUE(first.leader);
+
+  std::thread waiter([&] {
+    // Wakes empty-handed when the leader abandons, retries, and is elected
+    // the new leader.
+    QueryCache::PlanTicket t = cache.AcquirePlan(key, 1, 7);
+    EXPECT_TRUE(t.leader);
+    EXPECT_EQ(t.plan, nullptr);
+    cache.AbandonPlan(key);  // resolve its own leadership for the test
+  });
+  cache.AbandonPlan(key);
+  waiter.join();
+  EXPECT_EQ(cache.plan_entries(), 0u);  // nothing was ever stored
+}
+
+TEST(PlanDedupeTest, IncompatibleInflightLeaderDoesNotBlock) {
+  QueryCache cache;
+  const std::string key = "select * from t";
+  QueryCache::PlanTicket leader = cache.AcquirePlan(key, 1, 7);
+  ASSERT_TRUE(leader.leader);
+  // Same text, different catalog version: the leader's plan could never
+  // serve this statement, so it must not wait — it plans independently.
+  QueryCache::PlanTicket other = cache.AcquirePlan(key, 2, 7);
+  EXPECT_FALSE(other.leader);
+  EXPECT_FALSE(other.borrowed);
+  EXPECT_EQ(other.plan, nullptr);
+  cache.AbandonPlan(key);
+}
+
+TEST(PlanDedupeTest, ManyConcurrentAcquirersPlanExactlyOnce) {
+  QueryCache cache;
+  const std::string key = "select * from hot";
+  constexpr int kThreads = 8;
+  std::atomic<int> leaders{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      QueryCache::PlanTicket t = cache.AcquirePlan(key, 5, 9);
+      if (t.leader) {
+        ++leaders;
+        auto plan = std::make_shared<QueryCache::StatementPlan>();
+        plan->catalog_version = 5;
+        plan->options_fingerprint = 9;
+        cache.PublishPlan(key, std::move(plan));
+      } else if (t.plan != nullptr) {
+        ++served;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(leaders.load(), 1);
+  EXPECT_EQ(served.load(), kThreads - 1);
+  EXPECT_EQ(cache.counters().plan_misses, 1);
 }
 
 }  // namespace

@@ -97,14 +97,32 @@ TEST(ExecuteBatchTest, SharedContextSharesThePlanCache) {
     EXPECT_EQ(r->num_rows(), 500);
   }
   const QueryCache::Counters c = db.query_cache()->counters();
-  // All eight statements raced on a cold cache: at least one miss populated
-  // the entry; total consults add up; a second batch is all hits.
+  // Eight identical statements on a cold cache: the in-flight dedupe elects
+  // one leader to plan while the rest wait and borrow (or hit, if the
+  // leader already published) — one miss total, never eight statements
+  // racing to fill the same entry.
   EXPECT_EQ(c.plan_hits + c.plan_misses, 8);
-  EXPECT_GE(c.plan_misses, 1);
+  EXPECT_EQ(c.plan_misses, 1);
+  EXPECT_EQ(c.plan_hits, 7);
   std::vector<Result<Relation>> warm = db.ExecuteBatch(statements);
   const QueryCache::Counters c2 = db.query_cache()->counters();
   EXPECT_EQ(c2.plan_hits + c2.plan_misses, 16);
   EXPECT_EQ(c2.plan_hits - c.plan_hits, 8);  // the warm batch fully hits
+}
+
+TEST(ExecuteBatchTest, MixedDuplicatesPlanOncePerDistinctStatement) {
+  Database db = MakeDb();
+  std::vector<std::string> statements;
+  for (int i = 0; i < 4; ++i) {
+    statements.push_back("SELECT * FROM QQR(r BY id)");
+    statements.push_back("SELECT * FROM QQR(s BY id)");
+  }
+  std::vector<Result<Relation>> results = db.ExecuteBatch(statements);
+  for (const auto& r : results) ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const QueryCache::Counters c = db.query_cache()->counters();
+  EXPECT_EQ(c.plan_misses, 2);  // one leader per distinct normalized text
+  EXPECT_EQ(c.plan_hits, 6);
+  EXPECT_EQ(db.query_cache()->plan_entries(), 2u);
 }
 
 TEST(ExecuteBatchTest, DdlActsAsBarrier) {
