@@ -33,6 +33,20 @@ uint64_t HashMix(uint64_t h, uint64_t v) {
   return h * kPrime;
 }
 
+/// The single hit rule. The options fingerprint always gates; after that an
+/// identity snapshot match serves (mutations of unrelated tables bumped the
+/// version but changed none of the plan's relations), and exact catalog
+/// version is the fallback when either side lacks attribution.
+bool PlanServes(const QueryCache::StatementPlan& plan, uint64_t version,
+                uint64_t fingerprint,
+                const QueryCache::TableSnapshot* tables) {
+  if (plan.options_fingerprint != fingerprint) return false;
+  if (plan.tables_known && tables != nullptr) {
+    return plan.base_tables == *tables;
+  }
+  return plan.catalog_version == version;
+}
+
 }  // namespace
 
 std::string QueryCache::NormalizeStatement(const std::string& sql) {
@@ -42,6 +56,30 @@ std::string QueryCache::NormalizeStatement(const std::string& sql) {
   bool pending_space = false;
   for (size_t i = 0; i < sql.size(); ++i) {
     const char c = sql[i];
+    if (quote == '\0' && c == '-' && i + 1 < sql.size() &&
+        sql[i + 1] == '-') {
+      // Line comment: skip to (not past) the newline, which the whitespace
+      // branch then collapses. Comments separate tokens like whitespace and
+      // never reach the key — an apostrophe inside one must not flip the
+      // quote state, and comment-only differences must share an entry.
+      i += 2;
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      --i;  // the loop increment lands on the newline / one-past-end
+      pending_space = true;
+      continue;
+    }
+    if (quote == '\0' && c == '/' && i + 1 < sql.size() &&
+        sql[i + 1] == '*') {
+      // Block comment: skip past the closing */; an unterminated comment
+      // (which the lexer rejects) swallows the rest of the text.
+      i += 2;
+      while (i + 1 < sql.size() && !(sql[i] == '*' && sql[i + 1] == '/')) {
+        ++i;
+      }
+      i = (i + 1 < sql.size()) ? i + 1 : sql.size();
+      pending_space = true;
+      continue;
+    }
     if (quote != '\0') {
       out += c;
       if (c == quote) {
@@ -106,12 +144,12 @@ uint64_t QueryCache::OptionsFingerprint(const RmaOptions& opts) {
 
 QueryCache::StatementPlanPtr QueryCache::LookupPlan(
     const std::string& normalized, uint64_t catalog_version,
-    uint64_t options_fingerprint) {
+    uint64_t options_fingerprint, const TableSnapshot* tables) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = plans_.find(normalized);
   if (it == plans_.end() ||
-      it->second.plan->catalog_version != catalog_version ||
-      it->second.plan->options_fingerprint != options_fingerprint) {
+      !PlanServes(*it->second.plan, catalog_version, options_fingerprint,
+                  tables)) {
     ++counters_.plan_misses;
     return nullptr;
   }
@@ -142,14 +180,15 @@ void QueryCache::StorePlan(const std::string& normalized,
 
 QueryCache::PlanTicket QueryCache::AcquirePlan(const std::string& normalized,
                                                uint64_t catalog_version,
-                                               uint64_t options_fingerprint) {
+                                               uint64_t options_fingerprint,
+                                               const TableSnapshot* tables) {
   PlanTicket ticket;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     auto it = plans_.find(normalized);
     if (it != plans_.end() &&
-        it->second.plan->catalog_version == catalog_version &&
-        it->second.plan->options_fingerprint == options_fingerprint) {
+        PlanServes(*it->second.plan, catalog_version, options_fingerprint,
+                   tables)) {
       it->second.last_used = ++tick_;
       ++counters_.plan_hits;
       ticket.plan = it->second.plan;
@@ -160,16 +199,24 @@ QueryCache::PlanTicket QueryCache::AcquirePlan(const std::string& normalized,
       auto entry = std::make_shared<Inflight>();
       entry->catalog_version = catalog_version;
       entry->options_fingerprint = options_fingerprint;
+      if (tables != nullptr) {
+        entry->tables = *tables;
+        entry->tables_known = true;
+      }
       inflight_[normalized] = std::move(entry);
       ++counters_.plan_misses;
       ticket.leader = true;
       return ticket;
     }
-    if (inf->second->catalog_version != catalog_version ||
-        inf->second->options_fingerprint != options_fingerprint) {
-      // A leader is planning the same text under a different catalog version
-      // or options fingerprint; its plan cannot serve this statement. Plan
-      // independently (stored via StorePlan, no waiters to wake).
+    const Inflight& leader = *inf->second;
+    const bool same_snapshot = leader.tables_known && tables != nullptr &&
+                               leader.tables == *tables;
+    if (leader.options_fingerprint != options_fingerprint ||
+        (!same_snapshot && leader.catalog_version != catalog_version)) {
+      // A leader is planning the same text against a different catalog
+      // state (snapshot and version both differ) or options fingerprint;
+      // its plan cannot serve this statement. Plan independently (stored
+      // via StorePlan, no waiters to wake).
       ++counters_.plan_misses;
       return ticket;
     }
@@ -183,6 +230,17 @@ QueryCache::PlanTicket QueryCache::AcquirePlan(const std::string& normalized,
       return ticket;
     }
     if (entry->plan != nullptr) {
+      // Re-validate the published plan against *this* caller before
+      // borrowing: the leader advertised its acquire-time snapshot, but
+      // what it bound can diverge (a catalog mutation landed mid-flight
+      // — the plan then carries different identities, or none at all for
+      // mixed binds). The hit rule is the same one LookupPlan applies;
+      // a plan that fails it is planned around independently.
+      if (!PlanServes(*entry->plan, catalog_version, options_fingerprint,
+                      tables)) {
+        ++counters_.plan_misses;
+        return ticket;
+      }
       ++counters_.plan_hits;
       ticket.plan = entry->plan;
       ticket.borrowed = true;
@@ -217,10 +275,23 @@ void QueryCache::AbandonPlan(const std::string& normalized) {
   FinishInflightLocked(normalized, nullptr);
 }
 
-void QueryCache::InvalidateStalePlans(uint64_t current_version) {
+void QueryCache::InvalidatePlansForTables(
+    const std::vector<std::string>& written, uint64_t current_version) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = plans_.begin(); it != plans_.end();) {
-    if (it->second.plan->catalog_version != current_version) {
+    const StatementPlan& plan = *it->second.plan;
+    bool stale;
+    if (plan.tables_known) {
+      stale = std::any_of(plan.base_tables.begin(), plan.base_tables.end(),
+                          [&written](const auto& entry) {
+                            return std::find(written.begin(), written.end(),
+                                             entry.first) != written.end();
+                          });
+    } else {
+      // No attribution: the version backstop — any mutation strands it.
+      stale = plan.catalog_version != current_version;
+    }
+    if (stale) {
       it = plans_.erase(it);
       ++counters_.plan_invalidations;
     } else {

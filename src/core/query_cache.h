@@ -29,13 +29,22 @@ namespace rma {
 ///    the same relation skips the sort — the paper's single biggest cost for
 ///    wide order schemas (Fig. 13).
 ///
-/// Invalidation is catalog-versioned: the owning catalog (sql::Database)
-/// bumps a monotone version on Register/Drop/CREATE TABLE AS. Plan entries
-/// remember the version they were built at and can only hit at that exact
-/// version; bumping eagerly drops stale entries. Prepared entries are keyed
-/// on identity tokens that new relations can never collide with, so they are
-/// invalidated precisely via EvictRelation when the catalog replaces or
-/// drops a relation.
+/// Invalidation is per-table, anchored on relation identities: a statement
+/// plan records the base tables it reads as (lower-cased name, relation
+/// identity) pairs captured when the statement bound them, and hits only
+/// while the caller's current snapshot matches exactly — so a catalog
+/// mutation of table A never costs cached plans that read only table B,
+/// and a copied Database sharing this cache can never borrow a plan whose
+/// leaves embed the other catalog's relations (identities are process-wide
+/// unique and never recycled). The owning catalog (sql::Database) still
+/// bumps a monotone version on Register/Drop/CREATE TABLE AS and passes the
+/// written table names to InvalidatePlansForTables, which eagerly evicts
+/// exactly the plans reading a written table; the version remains the
+/// correctness backstop for plans whose table set could not be attributed
+/// (`tables_known` false) — those hit only at the exact version they were
+/// built at, as before. Prepared entries are keyed on identity tokens that
+/// new relations can never collide with, so they are invalidated precisely
+/// via EvictRelation when the catalog replaces or drops a relation.
 ///
 /// Concurrent identical statements (ExecuteBatch dispatches whole runs at
 /// once) are deduplicated: AcquirePlan elects one leader per normalized key
@@ -57,11 +66,23 @@ class QueryCache {
     std::vector<std::string> rewrites;
   };
 
+  /// Identity snapshot of the base tables a statement reads: (lower-cased
+  /// table name, Relation::identity() when the statement captured it),
+  /// sorted by name, de-duplicated. Two snapshots are interchangeable iff
+  /// they compare equal — same tables, same relation objects.
+  using TableSnapshot = std::vector<std::pair<std::string, uint64_t>>;
+
   /// The cached plan of one whole statement, in FROM-clause traversal order.
   struct StatementPlan {
     std::vector<CachedOp> ops;
     uint64_t catalog_version = 0;
     uint64_t options_fingerprint = 0;
+    /// The read-set snapshot the statement was bound against. With
+    /// `tables_known`, the plan hits for any caller whose current snapshot
+    /// is equal (regardless of catalog version — mutations of other tables
+    /// don't matter); without it, only the exact catalog version hits.
+    TableSnapshot base_tables;
+    bool tables_known = false;
   };
   using StatementPlanPtr = std::shared_ptr<const StatementPlan>;
 
@@ -70,7 +91,7 @@ class QueryCache {
   struct Counters {
     int64_t plan_hits = 0;
     int64_t plan_misses = 0;
-    int64_t plan_invalidations = 0;  ///< stale entries dropped on version bump
+    int64_t plan_invalidations = 0;  ///< entries dropped by catalog mutation
     int64_t plan_dedup_waits = 0;    ///< statements that waited on a leader
     int64_t prepared_hits = 0;
     int64_t prepared_misses = 0;
@@ -78,9 +99,12 @@ class QueryCache {
   };
 
   /// Canonical form of a statement for plan-cache keying: lower-cased
-  /// outside string literals, whitespace collapsed, a leading
-  /// EXPLAIN [ANALYZE] prefix and a trailing semicolon stripped (so
-  /// `SELECT …`, `select …;` and `EXPLAIN ANALYZE SELECT …` share one plan).
+  /// outside string literals, whitespace collapsed, `--` line and `/* */`
+  /// block comments stripped (mirroring the lexer, so a comment — even one
+  /// containing an apostrophe — never changes the key or desynchronizes
+  /// quote tracking), a leading EXPLAIN [ANALYZE] prefix and a trailing
+  /// semicolon stripped (so `SELECT …`, `select …;` and
+  /// `EXPLAIN ANALYZE SELECT …` share one plan).
   static std::string NormalizeStatement(const std::string& sql);
 
   /// Fingerprint of every RmaOptions field that affects plan content.
@@ -91,17 +115,26 @@ class QueryCache {
 
   // --- statement plans -------------------------------------------------------
 
-  /// Returns the cached plan for `normalized` iff it was built at exactly
-  /// `catalog_version` with `options_fingerprint`; null (a miss) otherwise.
+  /// Returns the cached plan for `normalized` iff it can serve a caller at
+  /// `catalog_version` / `options_fingerprint` / `tables` (the caller's
+  /// current read-set snapshot; may be null when unattributable): the
+  /// fingerprint must match, and then either the entry's identity snapshot
+  /// equals `tables`, or — for entries or callers without a snapshot — the
+  /// catalog version matches exactly. Null (a miss) otherwise.
   StatementPlanPtr LookupPlan(const std::string& normalized,
                               uint64_t catalog_version,
-                              uint64_t options_fingerprint);
+                              uint64_t options_fingerprint,
+                              const TableSnapshot* tables = nullptr);
 
   void StorePlan(const std::string& normalized, StatementPlanPtr plan);
 
-  /// Catalog changed: eagerly drops every plan entry built at an older
-  /// version (they can never hit again).
-  void InvalidateStalePlans(uint64_t current_version);
+  /// Catalog mutation wrote `written` (lower-cased table names): eagerly
+  /// drops the plan entries whose recorded read set intersects it, plus —
+  /// the version backstop — every entry without an attributed table set
+  /// that was built at an older version. Entries reading only other tables
+  /// survive and keep hitting via their identity snapshots.
+  void InvalidatePlansForTables(const std::vector<std::string>& written,
+                                uint64_t current_version);
 
   // --- in-flight statement dedupe -------------------------------------------
 
@@ -124,7 +157,8 @@ class QueryCache {
   /// the leader publishes, then borrow its plan instead of re-planning.
   PlanTicket AcquirePlan(const std::string& normalized,
                          uint64_t catalog_version,
-                         uint64_t options_fingerprint);
+                         uint64_t options_fingerprint,
+                         const TableSnapshot* tables = nullptr);
 
   /// Leader completed: stores the plan and wakes every waiter with it.
   void PublishPlan(const std::string& normalized, StatementPlanPtr plan);
@@ -176,6 +210,8 @@ class QueryCache {
   struct Inflight {
     uint64_t catalog_version = 0;
     uint64_t options_fingerprint = 0;
+    TableSnapshot tables;  ///< the leader's read-set snapshot
+    bool tables_known = false;
     bool done = false;
     StatementPlanPtr plan;  ///< null after AbandonPlan
     std::condition_variable cv;

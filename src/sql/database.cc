@@ -7,6 +7,7 @@
 
 #include "core/exec_context.h"
 #include "matrix/parallel.h"
+#include "sql/effects.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 #include "util/string_util.h"
@@ -45,18 +46,23 @@ Database& Database::operator=(const Database& other) {
   return *this;
 }
 
-void Database::BumpCatalogVersionLocked() {
+void Database::BumpCatalogVersionLocked(const std::string& written_table) {
   // Versions come from a process-wide counter, not a per-database one:
   // copied Database objects share the QueryCache, and independent bumps of
   // per-database counters could coincide and let one copy serve the other's
   // cached plans (whose leaves embed the wrong catalog's relations). A
   // global counter makes every post-copy mutation land on a version no
-  // other database ever reaches.
+  // other database ever reaches. (The identity snapshots on attributed
+  // plans are the primary hit rule; the version is the backstop for plans
+  // without one.)
   static std::atomic<uint64_t> global_version{0};
   catalog_version_.store(
       global_version.fetch_add(1, std::memory_order_relaxed) + 1,
       std::memory_order_release);
-  query_cache_->InvalidateStalePlans(catalog_version());
+  // Per-table invalidation: only plans reading the written table are
+  // evicted — plans over other tables keep hitting via their identity
+  // snapshots across this version bump.
+  query_cache_->InvalidatePlansForTables({written_table}, catalog_version());
 }
 
 Status Database::Register(const std::string& name, Relation rel) {
@@ -68,7 +74,7 @@ Status Database::Register(const std::string& name, Relation rel) {
     query_cache_->EvictRelation(it->second.identity());
   }
   tables_[key] = std::move(rel);
-  BumpCatalogVersionLocked();
+  BumpCatalogVersionLocked(key);
   return Status::OK();
 }
 
@@ -88,8 +94,9 @@ Status Database::Drop(const std::string& name) {
     return Status::NotFound("table not found: " + name);
   }
   query_cache_->EvictRelation(it->second.identity());
+  const std::string key = ToLower(name);
   tables_.erase(it);
-  BumpCatalogVersionLocked();
+  BumpCatalogVersionLocked(key);
   return Status::OK();
 }
 
@@ -122,13 +129,15 @@ Result<Relation> Database::ExecuteParsed(Statement&& stmt,
                                  QueryCache::NormalizeStatement(sql), &ctx);
     }
     case Statement::Kind::kCreateTableAs: {
-      // No plan-cache consult: the Register below bumps the catalog version,
-      // which would invalidate a just-stored plan before it could ever hit.
-      // The context still borrows the shared cache, so prepared arguments
-      // (sort/alignment permutations) are reused and kept warm.
+      // The select consults the plan cache under the full statement text:
+      // invalidation is per-table, so the Register below evicts only plans
+      // reading the replaced table — a CTAS whose select reads *other*
+      // tables no longer invalidates itself (or anything else).
       ExecContext ctx(rma_options, query_cache_);
-      RMA_ASSIGN_OR_RETURN(Relation rel,
-                           ExecuteSelect(*this, *stmt.select, &ctx));
+      RMA_ASSIGN_OR_RETURN(
+          Relation rel,
+          ExecuteSelectCached(*this, *stmt.select,
+                              QueryCache::NormalizeStatement(sql), &ctx));
       RMA_RETURN_NOT_OK(Register(stmt.table_name, rel));
       return rel;
     }
@@ -142,91 +151,113 @@ Result<Relation> Database::ExecuteParsed(Statement&& stmt,
   return Status::Invalid("unreachable statement kind");
 }
 
+/// Executes one already-parsed batch statement into `results[index]`.
+/// SELECTs go through the plan cache over the wave's shared context; any
+/// other kind routes through ExecuteParsed (which creates its own context
+/// and performs its catalog mutation under the catalog lock).
+void Database::ExecuteBatchStatement(Statement&& stmt, const std::string& sql,
+                                     ExecContext* ctx,
+                                     Result<Relation>* slot) {
+  if (stmt.kind == Statement::Kind::kSelect) {
+    *slot = ExecuteSelectCached(*this, *stmt.select,
+                                QueryCache::NormalizeStatement(sql), ctx);
+  } else {
+    *slot = ExecuteParsed(std::move(stmt), sql);
+  }
+}
+
 std::vector<Result<Relation>> Database::ExecuteBatch(
     const std::vector<std::string>& statements) {
   const size_t n = statements.size();
   std::vector<Result<Relation>> results(
       n, Result<Relation>(Status::Invalid("statement not executed")));
-  // Parse everything up front so runs of independent statements are known
-  // before execution starts.
+  // Parse everything up front: the dependency analysis needs every
+  // statement's effects before execution starts.
   std::vector<Result<Statement>> parsed;
   parsed.reserve(n);
   for (const std::string& sql : statements) parsed.push_back(Parse(sql));
 
-  size_t i = 0;
-  while (i < n) {
-    if (!parsed[i].ok()) {
-      results[i] = parsed[i].status();
-      ++i;
-      continue;
-    }
-    if (parsed[i]->kind != Statement::Kind::kSelect) {
-      // Catalog mutations (and EXPLAIN, whose rendering should observe a
-      // settled cache) are barriers executed serially in sequence position.
-      results[i] = ExecuteParsed(std::move(*parsed[i]), statements[i]);
-      ++i;
-      continue;
-    }
-    // Maximal run of SELECT statements: read-only over the catalog, so they
-    // are independent of each other and run concurrently over one context.
-    size_t j = i;
-    while (j < n && parsed[j].ok() &&
-           parsed[j]->kind == Statement::Kind::kSelect) {
-      ++j;
-    }
-    const size_t count = j - i;
-    const int budget = rma_options.max_threads > 0 ? rma_options.max_threads
-                                                   : DefaultThreadCount();
-    ExecContext ctx(rma_options, query_cache_);
-    if (count == 1 || budget < 2) {
-      for (size_t k = i; k < j; ++k) {
-        results[k] = ExecuteSelectCached(
-            *this, *parsed[k]->select,
-            QueryCache::NormalizeStatement(statements[k]), &ctx);
-      }
+  // Per-statement effect analysis → dependency-DAG waves. A statement only
+  // waits on earlier statements whose write set intersects its read/write
+  // sets (RAW/WAW/WAR over table names), so a CTAS fences only statements
+  // touching its table, disjoint DDL+SELECT chains overlap, and read-only
+  // statements (SELECT, EXPLAIN) never fence each other. Statements in one
+  // wave are pairwise independent; waves execute in index order, so every
+  // statement still observes exactly the catalog state its position in the
+  // script implies.
+  std::vector<StatementEffects> effects(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (parsed[i].ok()) {
+      effects[i] = AnalyzeEffects(*parsed[i]);
     } else {
-      // Dispatch the run in waves of at most `budget` statements so no more
-      // than `budget` are ever in flight (the pool is sized to the hardware,
-      // not the user's cap), and split the statement-level thread budget
-      // across each wave; each statement's kernels (and its own subtree
-      // forks) inherit the share via the ambient ScopedThreadBudget.
-      for (size_t base = i; base < j;
-           base += static_cast<size_t>(budget)) {
-        const size_t wave_end =
-            std::min(j, base + static_cast<size_t>(budget));
-        const int share = std::max(
-            1, budget / static_cast<int>(wave_end - base));
-        std::vector<ThreadPool::TaskPtr> tasks;
-        tasks.reserve(wave_end - base);
-        for (size_t k = base; k < wave_end; ++k) {
-          const SelectStmtPtr select = parsed[k]->select;
-          const std::string* sql = &statements[k];
-          Result<Relation>* slot = &results[k];
-          tasks.push_back(ThreadPool::Shared().Submit([this, &ctx, select,
-                                                       sql, slot, share] {
-            ScopedThreadBudget budget_share(share);
-            *slot = ExecuteSelectCached(*this, *select,
-                                        QueryCache::NormalizeStatement(*sql),
-                                        &ctx);
-          }));
-        }
-        // Join every task before letting any exception escape: a rethrow
-        // with tasks still in flight would unwind ctx/results/parsed while
-        // running tasks reference them.
-        std::exception_ptr first_error;
-        for (const auto& task : tasks) {
-          try {
-            ThreadPool::Shared().Wait(task);
-          } catch (...) {
-            if (first_error == nullptr) {
-              first_error = std::current_exception();
-            }
+      results[i] = parsed[i].status();
+      // Unparseable: no effects — it conflicts with nothing and never runs.
+    }
+  }
+  const std::vector<int> waves = ScheduleWaves(effects);
+  int last_wave = -1;
+  for (size_t i = 0; i < n; ++i) {
+    if (parsed[i].ok()) last_wave = std::max(last_wave, waves[i]);
+  }
+
+  const int budget = rma_options.max_threads > 0 ? rma_options.max_threads
+                                                 : DefaultThreadCount();
+  std::vector<size_t> wave_members;
+  for (int wave = 0; wave <= last_wave; ++wave) {
+    wave_members.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (parsed[i].ok() && waves[i] == wave) wave_members.push_back(i);
+    }
+    // One context per wave: concurrent SELECTs share it (it is internally
+    // synchronized and borrows the shared QueryCache), keeping the
+    // plan/prepared caches warm across the whole batch.
+    ExecContext ctx(rma_options, query_cache_);
+    if (wave_members.size() == 1 || budget < 2) {
+      for (size_t k : wave_members) {
+        ExecuteBatchStatement(std::move(*parsed[k]), statements[k], &ctx,
+                              &results[k]);
+      }
+      continue;
+    }
+    // Dispatch the wave in flights of at most `budget` statements so no
+    // more than `budget` are ever in flight (the pool is sized to the
+    // hardware, not the user's cap), and split the statement-level thread
+    // budget across each flight; each statement's kernels (and its own
+    // subtree forks) inherit the share via the ambient ScopedThreadBudget.
+    for (size_t base = 0; base < wave_members.size();
+         base += static_cast<size_t>(budget)) {
+      const size_t flight_end = std::min(
+          wave_members.size(), base + static_cast<size_t>(budget));
+      const int share =
+          std::max(1, budget / static_cast<int>(flight_end - base));
+      std::vector<ThreadPool::TaskPtr> tasks;
+      tasks.reserve(flight_end - base);
+      for (size_t m = base; m < flight_end; ++m) {
+        const size_t k = wave_members[m];
+        Statement* stmt = &*parsed[k];
+        const std::string* sql = &statements[k];
+        Result<Relation>* slot = &results[k];
+        tasks.push_back(ThreadPool::Shared().Submit(
+            [this, &ctx, stmt, sql, slot, share] {
+              ScopedThreadBudget budget_share(share);
+              ExecuteBatchStatement(std::move(*stmt), *sql, &ctx, slot);
+            }));
+      }
+      // Join every task before letting any exception escape: a rethrow
+      // with tasks still in flight would unwind ctx/results/parsed while
+      // running tasks reference them.
+      std::exception_ptr first_error;
+      for (const auto& task : tasks) {
+        try {
+          ThreadPool::Shared().Wait(task);
+        } catch (...) {
+          if (first_error == nullptr) {
+            first_error = std::current_exception();
           }
         }
-        if (first_error != nullptr) std::rethrow_exception(first_error);
       }
+      if (first_error != nullptr) std::rethrow_exception(first_error);
     }
-    i = j;
   }
   return results;
 }

@@ -28,20 +28,26 @@ namespace rma::sql {
 /// physical plans are cached per normalized statement text and prepared
 /// arguments (sort/alignment permutations) per relation identity, so a
 /// repeated query skips planning and sorting entirely. Catalog mutations
-/// (Register, Drop, CREATE TABLE AS) bump a monotone catalog version that
-/// invalidates stale plans and evicts the touched relation's prepared
-/// arguments.
+/// (Register, Drop, CREATE TABLE AS) invalidate **per table**: a cached
+/// plan records the base tables it reads (as identity-anchored snapshots),
+/// and a mutation evicts only the plans touching the written table —
+/// mutating A never costs plans that read only B. The monotone catalog
+/// version stays as the backstop for plans whose read set could not be
+/// attributed.
 ///
 /// Thread-safety: the catalog is guarded by a shared mutex and the version
 /// is atomic, so concurrent Query/Execute calls may interleave with
 /// Register/Drop from other threads without corrupting state — every bound
-/// relation is an immutable snapshot (shared immutable columns), and plan
-/// entries only hit at the exact catalog version they were built at. The
+/// relation is an immutable snapshot (shared immutable columns), and a
+/// plan entry only hits while the catalog still maps each table the plan
+/// reads to the exact relation it embedded (identity match; unattributed
+/// entries hit only at the exact catalog version they were built at). The
 /// isolation level is read-committed, not snapshot: a statement binds each
 /// table reference with its own lookup, so a mutation landing mid-statement
 /// can let one statement observe both the old and the new catalog (e.g. a
-/// self-join bound around a concurrent Register). `rma_options` must not be
-/// mutated while statements execute concurrently.
+/// self-join bound around a concurrent Register); a plan recorded by such a
+/// statement detects the mixed binds and is never served by identity.
+/// `rma_options` must not be mutated while statements execute concurrently.
 class Database {
  public:
   Database() = default;
@@ -49,15 +55,16 @@ class Database {
   Database& operator=(const Database& other);
 
   /// Adds (or replaces) a table. The relation's name is set to `name`.
-  /// Bumps the catalog version; a replaced relation's cached state is
-  /// evicted.
+  /// Bumps the catalog version and evicts exactly the cached plans reading
+  /// this table (plus a replaced relation's prepared arguments); plans over
+  /// other tables survive.
   Status Register(const std::string& name, Relation rel);
 
   /// Looks a table up (case-insensitive).
   Result<Relation> Get(const std::string& name) const;
 
-  /// Removes a table, its cached prepared arguments, and every plan built
-  /// against the old catalog. NotFound (with the table name) if absent.
+  /// Removes a table, its cached prepared arguments, and every cached plan
+  /// reading it. NotFound (with the table name) if absent.
   Status Drop(const std::string& name);
 
   bool Has(const std::string& name) const { return Get(name).ok(); }
@@ -72,20 +79,29 @@ class Database {
   /// plan rendering.
   Result<Relation> Execute(const std::string& sql);
 
-  /// Executes `statements` in order, returning one Result per statement
-  /// (aligned with the input; a failed statement does not stop the batch).
+  /// Executes `statements`, returning one Result per statement (aligned
+  /// with the input; a failed statement does not stop the batch).
   ///
-  /// Runs of consecutive SELECT statements are independent (read-only over
-  /// the catalog snapshot) and execute **concurrently** on the shared worker
-  /// pool over one ExecContext borrowing the query cache; the thread budget
-  /// (rma_options.max_threads, 0 = hardware concurrency) is split across
-  /// the in-flight statements so total worker fan-out stays bounded.
-  /// Identical in-flight statements are deduplicated at the plan cache
-  /// (QueryCache::AcquirePlan): one leader plans, the rest wait and borrow
-  /// its plan instead of racing to fill the same entry. Any other statement
-  /// kind (CREATE TABLE AS, DROP TABLE, EXPLAIN) is a barrier: the
-  /// concurrent run drains first, then the statement executes serially at
-  /// its sequence position.
+  /// Scheduling is dependency-aware (sql/effects.h): each statement's
+  /// effects — base tables read; tables created/dropped/replaced — are
+  /// extracted from its AST, and a statement only waits on earlier
+  /// statements whose write set intersects its read or write sets. A CTAS
+  /// fences only statements touching its table; disjoint DDL+SELECT chains
+  /// overlap; read-only statements (SELECT and EXPLAIN, plain or ANALYZE
+  /// of a select) never fence each other. The resulting DAG executes as
+  /// waves of pairwise-independent statements on the shared worker pool,
+  /// each wave over one ExecContext borrowing the query cache; the thread
+  /// budget (rma_options.max_threads, 0 = hardware concurrency) is split
+  /// across the in-flight statements so total worker fan-out stays
+  /// bounded. Identical in-flight statements are deduplicated at the plan
+  /// cache (QueryCache::AcquirePlan): one leader plans, the rest wait and
+  /// borrow its plan instead of racing to fill the same entry.
+  ///
+  /// Every statement observes exactly the catalog state its script
+  /// position implies: a SELECT over a table created earlier in the batch
+  /// runs after that CTAS, and one over a table dropped earlier fails —
+  /// the waves only reorder statements whose results cannot depend on each
+  /// other.
   std::vector<Result<Relation>> ExecuteBatch(
       const std::vector<std::string>& statements);
 
@@ -99,8 +115,10 @@ class Database {
   const QueryCachePtr& query_cache() const { return query_cache_; }
 
   /// Monotone version of the catalog contents; bumped by Register/Drop
-  /// (and thus CREATE TABLE AS). Plan-cache entries only hit at the exact
-  /// version they were built at.
+  /// (and thus CREATE TABLE AS). Plan-cache entries with an attributed
+  /// read set hit via identity snapshots regardless of the version;
+  /// unattributed entries only hit at the exact version they were built
+  /// at (the correctness backstop).
   uint64_t catalog_version() const {
     return catalog_version_.load(std::memory_order_acquire);
   }
@@ -109,8 +127,12 @@ class Database {
   RmaOptions rma_options;
 
  private:
-  void BumpCatalogVersionLocked();
+  /// Bumps the catalog version and evicts the cached plans reading
+  /// `written_table` (lower-cased). Caller holds catalog_mu_ exclusively.
+  void BumpCatalogVersionLocked(const std::string& written_table);
   Result<Relation> ExecuteParsed(Statement&& stmt, const std::string& sql);
+  void ExecuteBatchStatement(Statement&& stmt, const std::string& sql,
+                             ExecContext* ctx, Result<Relation>* slot);
 
   /// Guards tables_; the catalog version is additionally atomic so
   /// statement execution can read it without the lock.

@@ -16,6 +16,7 @@
 #include "core/scheduler.h"
 #include "rel/operators.h"
 #include "sql/database.h"
+#include "sql/effects.h"
 #include "storage/bat_ops.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -33,6 +34,14 @@ struct PlanCacheState {
   const QueryCache::StatementPlan* hit = nullptr;
   size_t cursor = 0;
   std::vector<QueryCache::CachedOp>* record = nullptr;
+  /// When recording, every base-table bind appends its (name, identity)
+  /// here — the identities actually embedded in the recorded expressions,
+  /// which anchor the stored plan's per-table validity (a future lookup
+  /// hits only while the catalog still maps each name to that exact
+  /// relation). Unlike `record`, this survives into nested evaluation of
+  /// matrix-operation arguments: their leaves are embedded in the recorded
+  /// expression too.
+  QueryCache::TableSnapshot* binds = nullptr;
 };
 
 /// A relation flowing through the executor, with per-column resolution
@@ -152,15 +161,19 @@ Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
 /// Turns a (possibly nested) FROM-clause operation reference into an
 /// algebra expression: kRmaOp children stay symbolic so the rewriter can
 /// match across nesting levels; any other reference is evaluated here and
-/// becomes a leaf. Leaf evaluation runs outside the plan-cache cursor (pcs
-/// null): its results are embedded in the built expression, which the cache
-/// stores whole — recording nested operations separately would double-count
-/// them and desynchronize the hit-path cursor.
+/// becomes a leaf. Leaf evaluation runs outside the plan-cache *cursor*
+/// (hit/record null): its results are embedded in the built expression,
+/// which the cache stores whole — recording nested operations separately
+/// would double-count them and desynchronize the hit-path cursor. Only the
+/// bind channel (`binds`) flows through, so base tables bound inside nested
+/// arguments still anchor the stored plan's validity.
 Result<RmaExprPtr> BuildRmaExpr(const Database& db, const TableRefPtr& ref,
-                                ExecContext* ctx) {
+                                ExecContext* ctx,
+                                QueryCache::TableSnapshot* binds) {
   if (ref->kind != TableRef::Kind::kRmaOp) {
-    RMA_ASSIGN_OR_RETURN(Bound b,
-                         EvaluateTableRef(db, ref, ctx, /*pcs=*/nullptr));
+    PlanCacheState nested;
+    nested.binds = binds;
+    RMA_ASSIGN_OR_RETURN(Bound b, EvaluateTableRef(db, ref, ctx, &nested));
     return RmaExpr::Leaf(std::move(b.rel));
   }
   auto expr = std::make_shared<RmaExpr>();
@@ -168,7 +181,8 @@ Result<RmaExprPtr> BuildRmaExpr(const Database& db, const TableRefPtr& ref,
   expr->op = ref->op;
   expr->alias = ref->alias;
   for (const auto& a : ref->rma_args) {
-    RMA_ASSIGN_OR_RETURN(RmaExprPtr child, BuildRmaExpr(db, a.table, ctx));
+    RMA_ASSIGN_OR_RETURN(RmaExprPtr child,
+                         BuildRmaExpr(db, a.table, ctx, binds));
     expr->children.push_back(std::move(child));
     expr->orders.push_back(a.order);
   }
@@ -255,6 +269,9 @@ Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
   switch (ref->kind) {
     case TableRef::Kind::kTable: {
       RMA_ASSIGN_OR_RETURN(Relation rel, db.Get(ref->table_name));
+      if (pcs != nullptr && pcs->binds != nullptr) {
+        pcs->binds->emplace_back(ToLower(ref->table_name), rel.identity());
+      }
       const std::string alias =
           ref->alias.empty() ? ref->table_name : ref->alias;
       rel.set_name(alias);
@@ -285,7 +302,9 @@ Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
       // the cross-algebra rewriter sees patterns that span FROM-clause
       // nesting levels (e.g. MMU(TRA(w3 BY U) BY C, w3 BY U) → CPD) and
       // the staged pipeline plans, caches, and executes it as one unit.
-      RMA_ASSIGN_OR_RETURN(RmaExprPtr expr, BuildRmaExpr(db, ref, ctx));
+      RMA_ASSIGN_OR_RETURN(
+          RmaExprPtr expr,
+          BuildRmaExpr(db, ref, ctx, pcs != nullptr ? pcs->binds : nullptr));
       RewriteReport report;
       const RmaExprPtr rewritten =
           RewriteExpression(expr, ctx->options().rewrites, &report);
@@ -531,14 +550,43 @@ class PlanLeaderGuard {
   const std::string* key_;
 };
 
+/// The caller's current read-set snapshot: the (lower-cased name, identity)
+/// of every base table the statement's AST references, as the catalog maps
+/// them right now. Returns false — snapshot unusable, fall back to exact
+/// catalog-version matching — when a referenced table is absent (the
+/// statement is about to fail at bind anyway).
+bool SnapshotReadTables(const Database& db, const SelectStmt& stmt,
+                        QueryCache::TableSnapshot* snapshot) {
+  for (const std::string& name : ReadTables(stmt)) {
+    Result<Relation> rel = db.Get(name);
+    if (!rel.ok()) return false;
+    snapshot->emplace_back(name, rel->identity());
+  }
+  return true;
+}
+
+/// Canonicalizes the binds a recorded statement accumulated into the
+/// snapshot stored on its plan: sorted by name, exact duplicates collapsed.
+/// Returns false when the same table was bound as two different relations —
+/// a catalog mutation landed mid-statement; such a plan embeds a mix of
+/// catalog states and must never hit by identity (it is stored under its
+/// captured version, which the mutation already left behind).
+bool CanonicalizeBinds(QueryCache::TableSnapshot* binds) {
+  std::sort(binds->begin(), binds->end());
+  binds->erase(std::unique(binds->begin(), binds->end()), binds->end());
+  for (size_t i = 1; i < binds->size(); ++i) {
+    if ((*binds)[i].first == (*binds)[i - 1].first) return false;
+  }
+  return true;
+}
+
 /// Shared statement runner. With `normalized` set, consults and populates
 /// the database's plan cache through the dedupe protocol: identical
 /// concurrent statements elect one leader to plan while the rest wait and
 /// borrow its plan (ExecuteBatch dispatches whole runs at once — without the
 /// election they race to fill the same entry, planning N times). With
 /// `normalized` null, records the statement plan without touching the cache
-/// (EXPLAIN ANALYZE of a CTAS — whose own Register would invalidate a stored
-/// entry before it could ever hit). `plan_out` (optional) receives the plan
+/// (legacy uncached entry points). `plan_out` (optional) receives the plan
 /// that served or was recorded.
 Result<Relation> RunStatement(const Database& db, const SelectStmt& stmt,
                               const std::string* normalized, ExecContext* ctx,
@@ -550,14 +598,23 @@ Result<Relation> RunStatement(const Database& db, const SelectStmt& stmt,
   // would race with concurrent Register/Drop — a statement built against
   // the old catalog could be stored under the *new* version and then serve
   // stale relations. Stored under the captured version, a concurrently
-  // bumped entry simply never hits and is swept by InvalidateStalePlans.
+  // bumped entry simply never hits and is swept at the next invalidation.
   const uint64_t catalog_version = db.catalog_version();
+  // The current identities of the tables the statement reads key the
+  // per-table hit rule: the cached plan serves iff the catalog still maps
+  // every read table to the exact relation the plan embedded — mutations
+  // of *other* tables (which bump the version) cannot cost this plan.
+  QueryCache::TableSnapshot current_tables;
+  const bool snapshot_ok =
+      normalized != nullptr && SnapshotReadTables(db, stmt, &current_tables);
+  const QueryCache::TableSnapshot* tables =
+      snapshot_ok ? &current_tables : nullptr;
   PlanCacheState pcs;
   QueryCache::StatementPlanPtr used;
   std::unique_ptr<PlanLeaderGuard> leader;
   if (normalized != nullptr) {
     QueryCache::PlanTicket ticket =
-        cache->AcquirePlan(*normalized, catalog_version, fingerprint);
+        cache->AcquirePlan(*normalized, catalog_version, fingerprint, tables);
     used = std::move(ticket.plan);
     if (ticket.leader) {
       leader = std::make_unique<PlanLeaderGuard>(cache.get(), normalized);
@@ -565,10 +622,12 @@ Result<Relation> RunStatement(const Database& db, const SelectStmt& stmt,
     ctx->RecordPlanCache(used != nullptr);
   }
   std::vector<QueryCache::CachedOp> recorded;
+  QueryCache::TableSnapshot bound_tables;
   if (used != nullptr) {
     pcs.hit = used.get();
   } else {
     pcs.record = &recorded;
+    pcs.binds = &bound_tables;
   }
   Result<Relation> result = ExecuteSelectImpl(db, stmt, ctx, &pcs);
   if (!result.ok()) return result;  // the guard abandons for a leader
@@ -577,6 +636,12 @@ Result<Relation> RunStatement(const Database& db, const SelectStmt& stmt,
     plan->ops = std::move(recorded);
     plan->catalog_version = catalog_version;
     plan->options_fingerprint = fingerprint;
+    // Anchor validity on the identities actually bound during execution
+    // (not the pre-execution snapshot): if the catalog still maps every
+    // read table to these exact relations, the embedded leaves *are* the
+    // current catalog — regardless of how often unrelated tables changed.
+    plan->tables_known = CanonicalizeBinds(&bound_tables);
+    plan->base_tables = std::move(bound_tables);
     used = plan;
     if (leader != nullptr) {
       leader->Publish(std::move(plan));
@@ -658,7 +723,8 @@ Status ExplainTableRef(const Database& db, const TableRefPtr& ref,
       return ExplainTableRef(db, ref->right, ctx, depth + 1, lines);
     }
     case TableRef::Kind::kRmaOp: {
-      RMA_ASSIGN_OR_RETURN(RmaExprPtr expr, BuildRmaExpr(db, ref, ctx));
+      RMA_ASSIGN_OR_RETURN(RmaExprPtr expr,
+                           BuildRmaExpr(db, ref, ctx, /*binds=*/nullptr));
       RewriteReport report;
       RMA_ASSIGN_OR_RETURN(PlanNodePtr plan,
                            PlanExpression(expr, ctx->options(), &report));
@@ -805,8 +871,9 @@ Result<Relation> ExplainStatement(Database& db, const Statement& stmt,
   // the statement plan that actually served (or was recorded by) the run —
   // the cached lowered PlanNode trees — followed by the measured execution
   // section. CREATE TABLE AS registers its result (side effects are part of
-  // execution) and skips the cache consult: its own Register would
-  // invalidate a stored plan before it could ever hit.
+  // execution) and consults the cache like any statement: invalidation is
+  // per-table, so its own Register only evicts the stored plan when the
+  // select reads the table it replaces.
   if (stmt.explain_create) {
     lines.push_back("create table " + stmt.table_name + " as");
   }
@@ -816,9 +883,7 @@ Result<Relation> ExplainStatement(Database& db, const Statement& stmt,
   Timer timer;
   RMA_ASSIGN_OR_RETURN(
       Relation result,
-      RunStatement(db, *stmt.select, stmt.explain_create ? nullptr
-                                                         : &normalized,
-                   &ctx, &plan_used));
+      RunStatement(db, *stmt.select, &normalized, &ctx, &plan_used));
   const double total_seconds = timer.Seconds();
   if (stmt.explain_create) {
     RMA_RETURN_NOT_OK(db.Register(stmt.table_name, result));

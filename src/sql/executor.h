@@ -29,13 +29,15 @@ Result<Relation> ExecuteSelect(const Database& db, const SelectStmt& stmt,
                                ExecContext* ctx);
 
 /// Plan-cache-aware execution: consults the database's QueryCache under
-/// `normalized` (QueryCache::NormalizeStatement of the statement text) at
-/// the current catalog version. On a hit, every FROM-clause relational
-/// matrix operation is served from its cached rewritten expression — no
-/// rebinding, rewriting, or planning; with warm prepared arguments the
-/// statement also skips every sort. On a miss the statement executes
-/// normally and its ops are recorded for the next run. The context should
-/// borrow the database's cache (Database wires this up).
+/// `normalized` (QueryCache::NormalizeStatement of the statement text)
+/// with the current identity snapshot of the statement's read tables (the
+/// per-table hit rule; the catalog version is the fallback). On a hit,
+/// every FROM-clause relational matrix operation is served from its cached
+/// rewritten expression — no rebinding, rewriting, or planning; with warm
+/// prepared arguments the statement also skips every sort. On a miss the
+/// statement executes normally, the identities it binds are recorded, and
+/// the plan is stored for the next run. The context should borrow the
+/// database's cache (Database wires this up).
 Result<Relation> ExecuteSelectCached(const Database& db, const SelectStmt& stmt,
                                      const std::string& normalized,
                                      ExecContext* ctx);
@@ -58,9 +60,10 @@ Result<Relation> ExplainSelect(const Database& db, const SelectStmt& stmt,
 /// an execution section: each operation's measured per-stage RmaStats, the
 /// statement's plan-cache and prepared-cache provenance, row count, and
 /// total wall time. A CTAS *is* registered (side effects are part of
-/// execution) but skips the plan-cache consult — its own registration
-/// would invalidate the entry immediately. `sql` is the original statement
-/// text (plan-cache key material).
+/// execution) and consults the plan cache like any statement —
+/// invalidation is per-table, so its own registration only evicts the
+/// stored plan when the select reads the replaced table. `sql` is the
+/// original statement text (plan-cache key material).
 Result<Relation> ExplainStatement(Database& db, const Statement& stmt,
                                   const std::string& sql);
 

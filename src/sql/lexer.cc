@@ -19,6 +19,17 @@ Result<std::vector<Token>> Lex(const std::string& input) {
       while (i < n && input[i] != '\n') ++i;
       continue;
     }
+    if (c == '/' && i + 1 < n && input[i + 1] == '*') {  // block comment
+      const size_t start = i;
+      i += 2;  // never match the '*' of '/*' as a closer ("/*/" stays open)
+      while (i + 1 < n && !(input[i] == '*' && input[i + 1] == '/')) ++i;
+      if (i + 1 >= n) {
+        return Status::ParseError("unterminated block comment at offset " +
+                                  std::to_string(start));
+      }
+      i += 2;
+      continue;
+    }
     Token t;
     t.position = i;
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {

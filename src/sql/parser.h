@@ -25,11 +25,12 @@ Result<Statement> Parse(const std::string& input);
 /// Parses a bare SELECT query.
 Result<SelectStmtPtr> ParseSelect(const std::string& input);
 
-/// Splits a multi-statement script on top-level semicolons (string literals
-/// containing ';' are respected via the lexer) into the original statement
-/// texts, preserving each statement's spelling so plan-cache normalization
-/// sees exactly what a single-statement call would. Empty statements (';;',
-/// trailing ';') are dropped. ParseError on malformed input.
+/// Splits a multi-statement script on top-level semicolons (a ';' inside a
+/// string literal or a line/block comment is respected via the lexer) into
+/// the original statement texts, preserving each statement's spelling so
+/// plan-cache normalization sees exactly what a single-statement call
+/// would. Empty statements (';;', trailing ';') are dropped. ParseError on
+/// malformed input.
 Result<std::vector<std::string>> SplitStatements(const std::string& script);
 
 }  // namespace rma::sql

@@ -43,6 +43,39 @@ TEST(NormalizeStatementTest, EscapedQuoteDoesNotDesyncQuoteState) {
       "select * from t where s = 'X''Y'");
 }
 
+TEST(NormalizeStatementTest, StripsLineComments) {
+  // Comment-only differences must share one plan entry, and an apostrophe
+  // inside a comment must not flip the quote-tracking state.
+  EXPECT_EQ(QueryCache::NormalizeStatement(
+                "SELECT * FROM t -- don't trip the quote tracker\n"),
+            "select * from t");
+  EXPECT_EQ(QueryCache::NormalizeStatement(
+                "SELECT a, -- pick a\n b FROM t"),
+            QueryCache::NormalizeStatement("SELECT a, b FROM t"));
+  // The comment separates tokens like whitespace.
+  EXPECT_EQ(QueryCache::NormalizeStatement("SELECT a--c\nFROM t"),
+            "select a from t");
+}
+
+TEST(NormalizeStatementTest, StripsBlockComments) {
+  EXPECT_EQ(QueryCache::NormalizeStatement(
+                "SELECT /* don't */ * FROM /* t? no: */ t"),
+            "select * from t");
+  EXPECT_EQ(QueryCache::NormalizeStatement("SELECT a/* tight */FROM t"),
+            "select a from t");
+  // Multi-line block comment, with a quote on its own line.
+  EXPECT_EQ(QueryCache::NormalizeStatement(
+                "SELECT * FROM t /* line one\n 'line two'\n*/ WHERE a > 1"),
+            "select * from t where a > 1");
+}
+
+TEST(NormalizeStatementTest, CommentMarkersInsideLiteralsArePreserved) {
+  EXPECT_EQ(QueryCache::NormalizeStatement("SELECT '--x' FROM t"),
+            "select '--x' from t");
+  EXPECT_EQ(QueryCache::NormalizeStatement("SELECT '/* x */' FROM t"),
+            "select '/* x */' from t");
+}
+
 TEST(NormalizeStatementTest, StripsExplainAnalyzePrefix) {
   const std::string base = QueryCache::NormalizeStatement("SELECT * FROM t");
   EXPECT_EQ(QueryCache::NormalizeStatement("EXPLAIN SELECT * FROM t"), base);
@@ -86,15 +119,72 @@ TEST(QueryCacheTest, PlanHitsOnlyAtItsCatalogVersion) {
   EXPECT_EQ(cache.counters().plan_misses, 2);
 }
 
-TEST(QueryCacheTest, InvalidateStalePlansDropsOldVersions) {
-  QueryCache cache;
+QueryCache::StatementPlanPtr PlanReading(QueryCache::TableSnapshot tables,
+                                         uint64_t version,
+                                         uint64_t fingerprint = 42) {
   auto plan = std::make_shared<QueryCache::StatementPlan>();
-  plan->catalog_version = 1;
-  cache.StorePlan("q1", plan);
-  ASSERT_EQ(cache.plan_entries(), 1u);
-  cache.InvalidateStalePlans(2);
-  EXPECT_EQ(cache.plan_entries(), 0u);
+  plan->catalog_version = version;
+  plan->options_fingerprint = fingerprint;
+  plan->base_tables = std::move(tables);
+  plan->tables_known = true;
+  return plan;
+}
+
+TEST(QueryCacheTest, IdentitySnapshotHitsAcrossVersionBumps) {
+  // A plan with an attributed read set hits for any caller whose current
+  // snapshot matches — mutations of *other* tables bumped the version but
+  // changed none of this plan's relations.
+  QueryCache cache;
+  const QueryCache::TableSnapshot snap = {{"a", 11}, {"b", 12}};
+  cache.StorePlan("q", PlanReading(snap, /*version=*/3));
+  EXPECT_NE(cache.LookupPlan("q", 3, 42, &snap), nullptr);
+  EXPECT_NE(cache.LookupPlan("q", 9, 42, &snap), nullptr);  // version moved on
+  // A different identity for either table must miss (the relation was
+  // replaced, or the caller is a different catalog sharing the cache).
+  const QueryCache::TableSnapshot replaced = {{"a", 11}, {"b", 99}};
+  EXPECT_EQ(cache.LookupPlan("q", 9, 42, &replaced), nullptr);
+  // The options fingerprint still gates identity hits.
+  EXPECT_EQ(cache.LookupPlan("q", 3, 43, &snap), nullptr);
+  // A caller without a snapshot falls back to exact-version matching.
+  EXPECT_NE(cache.LookupPlan("q", 3, 42), nullptr);
+  EXPECT_EQ(cache.LookupPlan("q", 9, 42), nullptr);
+}
+
+TEST(QueryCacheTest, InvalidatePlansForTablesEvictsOnlyIntersectingPlans) {
+  QueryCache cache;
+  cache.StorePlan("qa", PlanReading({{"a", 1}}, 5));
+  cache.StorePlan("qb", PlanReading({{"b", 2}}, 5));
+  cache.StorePlan("qab", PlanReading({{"a", 1}, {"b", 2}}, 5));
+  ASSERT_EQ(cache.plan_entries(), 3u);
+
+  // Mutating `a` evicts exactly the plans reading `a`; the counter stays
+  // precise (two evictions, not three).
+  cache.InvalidatePlansForTables({"a"}, /*current_version=*/6);
+  EXPECT_EQ(cache.plan_entries(), 1u);
+  EXPECT_EQ(cache.counters().plan_invalidations, 2);
+  const QueryCache::TableSnapshot snap_b = {{"b", 2}};
+  EXPECT_NE(cache.LookupPlan("qb", 6, 42, &snap_b), nullptr);
+
+  // Mutating an unrelated table costs nothing further.
+  cache.InvalidatePlansForTables({"c"}, 7);
+  EXPECT_EQ(cache.plan_entries(), 1u);
+  EXPECT_EQ(cache.counters().plan_invalidations, 2);
+}
+
+TEST(QueryCacheTest, InvalidatePlansForTablesVersionBackstopsUnattributed) {
+  // Entries without an attributed read set cannot be matched by name: any
+  // mutation strands them at their old version, and the sweep drops them.
+  QueryCache cache;
+  auto unattributed = std::make_shared<QueryCache::StatementPlan>();
+  unattributed->catalog_version = 5;
+  unattributed->options_fingerprint = 42;
+  cache.StorePlan("qu", unattributed);
+  cache.StorePlan("qb", PlanReading({{"b", 2}}, 5));
+  cache.InvalidatePlansForTables({"a"}, 6);
+  EXPECT_EQ(cache.plan_entries(), 1u);  // only the attributed plan survives
   EXPECT_EQ(cache.counters().plan_invalidations, 1);
+  const QueryCache::TableSnapshot snap_b = {{"b", 2}};
+  EXPECT_NE(cache.LookupPlan("qb", 6, 42, &snap_b), nullptr);
 }
 
 TEST(QueryCacheTest, PreparedArgumentsSharedAcrossContexts) {
@@ -273,6 +363,66 @@ TEST(PlanDedupeTest, AbandonedLeaderHandsOffToAWaiter) {
   cache.AbandonPlan(key);
   waiter.join();
   EXPECT_EQ(cache.plan_entries(), 0u);  // nothing was ever stored
+}
+
+TEST(PlanDedupeTest, WaiterWithMatchingSnapshotBorrowsAcrossVersions) {
+  // A leader and a waiter at different catalog versions are compatible as
+  // long as their identity snapshots match: the versions diverged on a
+  // table neither statement reads.
+  QueryCache cache;
+  const std::string key = "select * from t";
+  const QueryCache::TableSnapshot snap = {{"t", 7}};
+  QueryCache::PlanTicket leader = cache.AcquirePlan(key, 3, 42, &snap);
+  ASSERT_TRUE(leader.leader);
+
+  std::thread waiter([&] {
+    QueryCache::PlanTicket t = cache.AcquirePlan(key, 9, 42, &snap);
+    EXPECT_FALSE(t.leader);
+    ASSERT_NE(t.plan, nullptr);
+  });
+  while (cache.counters().plan_dedup_waits == 0) std::this_thread::yield();
+  auto plan = std::make_shared<QueryCache::StatementPlan>();
+  plan->catalog_version = 3;
+  plan->options_fingerprint = 42;
+  plan->base_tables = snap;
+  plan->tables_known = true;
+  cache.PublishPlan(key, std::move(plan));
+  waiter.join();
+
+  // A snapshot naming a different relation is incompatible with the stored
+  // entry and plans independently.
+  const QueryCache::TableSnapshot other = {{"t", 8}};
+  QueryCache::PlanTicket t = cache.AcquirePlan(key, 9, 42, &other);
+  EXPECT_TRUE(t.leader);  // entry cannot serve it; no leader in flight
+  cache.AbandonPlan(key);
+}
+
+TEST(PlanDedupeTest, BorrowRevalidatesThePublishedPlan) {
+  // The leader advertises its acquire-time snapshot, but a catalog
+  // mutation landing mid-flight can make it bind (and publish) a plan
+  // over a *different* relation. A waiter whose snapshot matched the
+  // advertisement must re-validate the published plan and plan
+  // independently instead of borrowing another catalog state's leaves.
+  QueryCache cache;
+  const std::string key = "select * from t";
+  const QueryCache::TableSnapshot snap = {{"t", 7}};
+  QueryCache::PlanTicket leader = cache.AcquirePlan(key, 3, 42, &snap);
+  ASSERT_TRUE(leader.leader);
+
+  std::thread waiter([&] {
+    QueryCache::PlanTicket t = cache.AcquirePlan(key, 3, 42, &snap);
+    EXPECT_FALSE(t.leader);
+    EXPECT_FALSE(t.borrowed);
+    EXPECT_EQ(t.plan, nullptr);  // rejected: the plan embeds relation 8
+  });
+  while (cache.counters().plan_dedup_waits == 0) std::this_thread::yield();
+  auto plan = std::make_shared<QueryCache::StatementPlan>();
+  plan->catalog_version = 3;
+  plan->options_fingerprint = 42;
+  plan->base_tables = {{"t", 8}};  // what the leader actually bound
+  plan->tables_known = true;
+  cache.PublishPlan(key, std::move(plan));
+  waiter.join();
 }
 
 TEST(PlanDedupeTest, IncompatibleInflightLeaderDoesNotBlock) {

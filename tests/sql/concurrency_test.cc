@@ -11,6 +11,7 @@
 
 #include "core/query_cache.h"
 #include "sql/database.h"
+#include "sql/effects.h"
 #include "sql/parser.h"
 #include "test_util.h"
 #include "util/random.h"
@@ -58,8 +59,129 @@ TEST(SplitStatementsTest, DropsEmptyStatements) {
   ASSERT_EQ(parts->size(), 1u);
 }
 
+TEST(SplitStatementsTest, SemicolonsInsideCommentsDoNotSplit) {
+  auto parts = SplitStatements(
+      "SELECT * FROM r -- not a boundary: ;\n"
+      "WHERE id > 0; SELECT /* nor this one: ; */ * FROM s");
+  ASSERT_TRUE(parts.ok()) << parts.status().ToString();
+  ASSERT_EQ(parts->size(), 2u);
+  EXPECT_NE((*parts)[0].find("-- not a boundary"), std::string::npos);
+  EXPECT_NE((*parts)[1].find("/* nor this one"), std::string::npos);
+}
+
+TEST(SplitStatementsTest, CommentOnlyScriptIsEmpty) {
+  auto parts = SplitStatements("-- nothing here\n/* or here; */ ;");
+  ASSERT_TRUE(parts.ok()) << parts.status().ToString();
+  EXPECT_TRUE(parts->empty());
+}
+
 TEST(SplitStatementsTest, ReportsLexErrors) {
   EXPECT_FALSE(SplitStatements("SELECT 'unterminated").ok());
+  EXPECT_FALSE(SplitStatements("SELECT * FROM r /* unterminated").ok());
+}
+
+// --- statement effects and dependency scheduling -----------------------------
+
+std::vector<StatementEffects> EffectsOf(
+    const std::vector<std::string>& statements) {
+  std::vector<StatementEffects> out;
+  for (const std::string& sql : statements) {
+    out.push_back(AnalyzeEffects(Parse(sql).ValueOrDie()));
+  }
+  return out;
+}
+
+TEST(StatementEffectsTest, ExtractsReadAndWriteSets) {
+  const StatementEffects select = AnalyzeEffects(
+      Parse("SELECT * FROM INV(CPD(R BY id, s BY id) BY C), s "
+            "JOIN (SELECT id FROM q) sub ON s.id = sub.id")
+          .ValueOrDie());
+  EXPECT_EQ(select.reads, (std::vector<std::string>{"q", "r", "s"}));
+  EXPECT_TRUE(select.writes.empty());
+
+  const StatementEffects ctas = AnalyzeEffects(
+      Parse("CREATE TABLE Out AS SELECT * FROM r").ValueOrDie());
+  EXPECT_EQ(ctas.reads, (std::vector<std::string>{"r"}));
+  EXPECT_EQ(ctas.writes, (std::vector<std::string>{"out"}));
+
+  const StatementEffects drop =
+      AnalyzeEffects(Parse("DROP TABLE r").ValueOrDie());
+  EXPECT_TRUE(drop.reads.empty());
+  EXPECT_EQ(drop.writes, (std::vector<std::string>{"r"}));
+
+  // Plain EXPLAIN executes nothing — pure read, even over a CTAS; only
+  // EXPLAIN ANALYZE of a CTAS registers its result.
+  const StatementEffects explain = AnalyzeEffects(
+      Parse("EXPLAIN CREATE TABLE t2 AS SELECT * FROM r").ValueOrDie());
+  EXPECT_EQ(explain.reads, (std::vector<std::string>{"r"}));
+  EXPECT_TRUE(explain.writes.empty());
+  const StatementEffects analyze = AnalyzeEffects(
+      Parse("EXPLAIN ANALYZE CREATE TABLE t2 AS SELECT * FROM r")
+          .ValueOrDie());
+  EXPECT_EQ(analyze.writes, (std::vector<std::string>{"t2"}));
+}
+
+TEST(ScheduleWavesTest, CtasFencesOnlyStatementsTouchingItsTable) {
+  // The acceptance shape: the t1-SELECT shares wave 0 with the CTAS (they
+  // touch disjoint tables), while the t2-SELECT waits for its producer.
+  const std::vector<int> waves = ScheduleWaves(EffectsOf({
+      "CREATE TABLE t2 AS SELECT * FROM QQR(t0 BY id)",
+      "SELECT * FROM t1",
+      "SELECT * FROM t2",
+  }));
+  EXPECT_EQ(waves, (std::vector<int>{0, 0, 1}));
+}
+
+TEST(ScheduleWavesTest, ExplainIsNotABarrier) {
+  // Regression: EXPLAIN used to serialize the whole batch. Read-only
+  // statements never fence each other, so the entire run is one wave.
+  const std::vector<int> waves = ScheduleWaves(EffectsOf({
+      "SELECT * FROM t1",
+      "EXPLAIN SELECT * FROM t1",
+      "EXPLAIN ANALYZE SELECT * FROM t1",
+      "SELECT * FROM t1",
+  }));
+  EXPECT_EQ(waves, (std::vector<int>{0, 0, 0, 0}));
+}
+
+TEST(ScheduleWavesTest, DropRecreateSelectChainsSequentially) {
+  // WAW (drop after create), then WAR/RAW ordering around the re-create:
+  // every step on one table forms a chain, while an unrelated SELECT rides
+  // wave 0.
+  const std::vector<int> waves = ScheduleWaves(EffectsOf({
+      "CREATE TABLE t AS SELECT * FROM src",
+      "DROP TABLE t",
+      "CREATE TABLE t AS SELECT * FROM other_src",
+      "SELECT * FROM t",
+      "SELECT * FROM unrelated",
+  }));
+  EXPECT_EQ(waves, (std::vector<int>{0, 1, 2, 3, 0}));
+}
+
+TEST(ScheduleWavesTest, DisjointChainsOverlap) {
+  // Two CTAS+SELECT chains over disjoint tables: the second chain does not
+  // wait for the first — both producers share wave 0, both consumers wave 1.
+  const std::vector<int> waves = ScheduleWaves(EffectsOf({
+      "CREATE TABLE ca AS SELECT * FROM QQR(a BY id)",
+      "SELECT * FROM ca",
+      "CREATE TABLE cb AS SELECT * FROM QQR(b BY id)",
+      "SELECT * FROM cb",
+  }));
+  EXPECT_EQ(waves, (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(ScheduleWavesTest, WriteAfterReadWaits) {
+  // A DROP must wait for earlier readers of its table (they are entitled to
+  // the pre-drop catalog), and a barrier-flagged statement fences both ways.
+  std::vector<StatementEffects> effects = EffectsOf({
+      "SELECT * FROM t",
+      "DROP TABLE t",
+  });
+  EXPECT_EQ(ScheduleWaves(effects), (std::vector<int>{0, 1}));
+  StatementEffects barrier;
+  barrier.barrier = true;
+  effects.insert(effects.begin() + 1, barrier);
+  EXPECT_EQ(ScheduleWaves(effects), (std::vector<int>{0, 1, 2}));
 }
 
 // --- ExecuteBatch ------------------------------------------------------------
@@ -125,7 +247,10 @@ TEST(ExecuteBatchTest, MixedDuplicatesPlanOncePerDistinctStatement) {
   EXPECT_EQ(db.query_cache()->plan_entries(), 2u);
 }
 
-TEST(ExecuteBatchTest, DdlActsAsBarrier) {
+TEST(ExecuteBatchTest, DdlOrderingIsPreserved) {
+  // DDL is no longer a global barrier, but every statement still observes
+  // the catalog state its script position implies: the dependency DAG
+  // orders producers before consumers and drops after readers.
   Database db = MakeDb();
   const std::vector<std::string> statements = {
       "SELECT * FROM r",
@@ -143,6 +268,124 @@ TEST(ExecuteBatchTest, DdlActsAsBarrier) {
   EXPECT_TRUE(results[3].ok());
   EXPECT_FALSE(results[4].ok());
   EXPECT_FALSE(db.Has("q"));
+}
+
+TEST(ExecuteBatchTest, ExplainDoesNotFenceASelectRun) {
+  // Regression for the EXPLAIN barrier: a run of SELECTs with EXPLAINs
+  // interleaved executes as one wave, so the identical SELECTs still
+  // deduplicate at the plan cache — under the old barrier semantics each
+  // EXPLAIN split the run and the dedupe never engaged across it.
+  Database db = MakeDb();
+  const std::vector<std::string> statements = {
+      "SELECT * FROM QQR(r BY id)",
+      "EXPLAIN SELECT * FROM QQR(r BY id)",
+      "SELECT * FROM QQR(r BY id)",
+      "EXPLAIN SELECT * FROM QQR(r BY id)",
+      "SELECT * FROM QQR(r BY id)",
+  };
+  std::vector<Result<Relation>> results = db.ExecuteBatch(statements);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok())
+        << statements[i] << ": " << results[i].status().ToString();
+  }
+  // Plain EXPLAIN renders without consulting the plan cache; the three
+  // SELECTs resolve as one leader plus two borrows/hits.
+  const QueryCache::Counters c = db.query_cache()->counters();
+  EXPECT_EQ(c.plan_misses, 1);
+  EXPECT_EQ(c.plan_hits, 2);
+}
+
+TEST(ExecuteBatchTest, MutatingOneTableKeepsPlansReadingOthers) {
+  // Per-table plan invalidation end-to-end: a batch whose DDL touches only
+  // `q` leaves the cached plan over `r` serving hits, and the invalidation
+  // counter records only genuinely evicted plans.
+  Database db = MakeDb();
+  ASSERT_TRUE(db.Query("SELECT * FROM QQR(r BY id)").ok());   // cache r-plan
+  ASSERT_TRUE(db.Query("SELECT * FROM QQR(s BY id)").ok());   // cache s-plan
+  const QueryCache::Counters before = db.query_cache()->counters();
+  EXPECT_EQ(before.plan_invalidations, 0);
+
+  std::vector<Result<Relation>> results = db.ExecuteBatch({
+      "CREATE TABLE q AS SELECT * FROM QQR(s BY id)",
+      "SELECT * FROM QQR(r BY id)",  // concurrent with the CTAS, still a hit
+      "DROP TABLE q",
+  });
+  for (const auto& res : results) {
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+  }
+  const QueryCache::Counters after = db.query_cache()->counters();
+  // The r-SELECT hit its surviving plan across two catalog mutations.
+  EXPECT_EQ(after.plan_hits - before.plan_hits, 1);
+  // Neither mutation evicted anything: no cached plan *reads* q (the CTAS's
+  // own plan reads s), so the precise counter stays at zero.
+  EXPECT_EQ(after.plan_invalidations, 0);
+  // …and both pre-batch plans still serve.
+  ASSERT_TRUE(db.Query("SELECT * FROM QQR(s BY id)").ok());
+  EXPECT_EQ(db.query_cache()->counters().plan_hits - after.plan_hits, 1);
+
+  // Dropping a table a plan *does* read evicts exactly that plan.
+  ASSERT_OK(db.Drop("s"));
+  const QueryCache::Counters dropped = db.query_cache()->counters();
+  EXPECT_GE(dropped.plan_invalidations, 1);
+  ASSERT_TRUE(db.Query("SELECT * FROM QQR(r BY id)").ok());  // still cached
+  EXPECT_EQ(db.query_cache()->counters().plan_hits,
+            dropped.plan_hits + 1);
+}
+
+TEST(ExecuteBatchTest, DisjointDdlSelectChainsRunConcurrently) {
+  // Two CTAS+SELECT chains over disjoint tables plus independent SELECTs:
+  // the waves overlap the chains (asserted deterministically in
+  // ScheduleWavesTest; here the full execution path runs under TSan in CI)
+  // and every result matches its script position.
+  Database db = MakeDb(/*max_threads=*/4);
+  const std::vector<std::string> statements = {
+      "CREATE TABLE ca AS SELECT * FROM QQR(r BY id)",
+      "SELECT COUNT(*) AS n FROM ca",
+      "CREATE TABLE cb AS SELECT * FROM QQR(s BY id)",
+      "SELECT COUNT(*) AS n FROM cb",
+      "SELECT * FROM rating",
+      "DROP TABLE ca",
+      "DROP TABLE cb",
+  };
+  for (int round = 0; round < 3; ++round) {
+    std::vector<Result<Relation>> results = db.ExecuteBatch(statements);
+    ASSERT_EQ(results.size(), statements.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok())
+          << statements[i] << ": " << results[i].status().ToString();
+    }
+    EXPECT_EQ(ValueToDouble(results[1]->Get(0, 0)), 500.0);
+    EXPECT_EQ(ValueToDouble(results[3]->Get(0, 0)), 500.0);
+  }
+  EXPECT_FALSE(db.Has("ca"));
+  EXPECT_FALSE(db.Has("cb"));
+}
+
+TEST(ExecuteScriptTest, CommentsFlowThroughEndToEnd) {
+  // The acceptance path for the comment bugfixes: a script with block
+  // comments, apostrophes inside comments, and comment-adjacent semicolons
+  // splits, parses, normalizes, and executes.
+  Database db = MakeDb();
+  std::vector<Result<Relation>> results = db.ExecuteScript(
+      "-- don't let this apostrophe desync anything; really\n"
+      "CREATE TABLE q AS SELECT * FROM QQR(r BY id); /* q's lifecycle:\n"
+      "   created above; dropped below */\n"
+      "SELECT COUNT(*) AS n FROM q -- trailing comment with ; inside\n;"
+      "DROP TABLE q;");
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(ValueToDouble(results[1]->Get(0, 0)), 500.0);
+  EXPECT_FALSE(db.Has("q"));
+
+  // Comment-only differences share one plan entry: the normalized key
+  // strips comments, so the commented spelling hits the cached plan.
+  Database db2 = MakeDb();
+  ASSERT_TRUE(db2.Query("SELECT * FROM QQR(r BY id)").ok());
+  ASSERT_TRUE(
+      db2.Query("SELECT * /* same plan, don't replan */ FROM QQR(r BY id)")
+          .ok());
+  EXPECT_EQ(db2.query_cache()->counters().plan_hits, 1);
+  EXPECT_EQ(db2.query_cache()->counters().plan_misses, 1);
 }
 
 TEST(ExecuteBatchTest, FailedStatementDoesNotStopTheBatch) {
@@ -215,8 +458,9 @@ TEST(ConcurrencyStressTest, ManyThreadsWithInterleavedInvalidations) {
   }
 
   // Mutator thread: Register/Drop an unrelated table in a loop — every
-  // mutation bumps the catalog version (invalidating cached plans) and
-  // evicts the table's prepared arguments while readers execute.
+  // mutation bumps the catalog version and runs per-table invalidation
+  // (the readers' plans survive by identity, exercising the hit path
+  // against concurrent version churn) while readers execute.
   std::thread mutator([&] {
     Rng rng(99);
     int round = 0;

@@ -168,7 +168,10 @@ TEST(ExplainAnalyzeTest, RegisterBetweenRunsForcesMiss) {
       << text;
 }
 
-TEST(ExplainAnalyzeTest, DropBetweenRunsForcesMiss) {
+TEST(ExplainAnalyzeTest, DropOfUnrelatedTableKeepsThePlan) {
+  // Invalidation is per-table: the cached plan records that it reads only
+  // `big`, so dropping an unrelated table (which still bumps the catalog
+  // version) must not cost it — the identity snapshot still matches.
   Database db = MakeBigDb();
   const std::string q = "EXPLAIN ANALYZE SELECT * FROM QQR(big BY id)";
   ASSERT_TRUE(db.Execute(q).ok());
@@ -176,6 +179,26 @@ TEST(ExplainAnalyzeTest, DropBetweenRunsForcesMiss) {
   auto after_drop = db.Execute(q);
   ASSERT_TRUE(after_drop.ok()) << after_drop.status().ToString();
   const std::string text = PlanText(*after_drop);
+  EXPECT_NE(text.find("plan cache: hit"), std::string::npos) << text;
+  EXPECT_NE(text.find("sort=0.000000s"), std::string::npos)
+      << "surviving plan must keep its prepared arguments too:\n"
+      << text;
+}
+
+TEST(ExplainAnalyzeTest, DropOfTheReadTableForcesMiss) {
+  Database db = MakeBigDb();
+  const std::string q = "EXPLAIN ANALYZE SELECT * FROM QQR(big BY id)";
+  ASSERT_TRUE(db.Execute(q).ok());
+  EXPECT_EQ(db.query_cache()->counters().plan_invalidations, 0);
+  ASSERT_TRUE(db.Execute("DROP TABLE big").ok());
+  // Eager per-table eviction: exactly the one plan reading `big` is gone.
+  EXPECT_EQ(db.query_cache()->counters().plan_invalidations, 1);
+  Rng rng(33);
+  db.Register("big", rma::testing::RandomKeyedRelation(20000, 6, &rng))
+      .Abort();
+  auto after = db.Execute(q);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  const std::string text = PlanText(*after);
   EXPECT_NE(text.find("plan cache: miss"), std::string::npos) << text;
 }
 

@@ -29,10 +29,60 @@ TEST(Lexer, TwoCharSymbolsAndComments) {
   EXPECT_EQ(tokens[5].text, "!=");
 }
 
+TEST(Lexer, BlockComments) {
+  // A block comment is a token separator, exactly like a line comment;
+  // `/` and `*` inside it never lex as operators.
+  const auto tokens =
+      Lex("a /* x * y / z */ <= /* multi\nline -- and line marker */ b")
+          .ValueOrDie();
+  ASSERT_EQ(tokens.size(), 4u);  // a, <=, b, end
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "<=");
+  EXPECT_EQ(tokens[2].text, "b");
+}
+
+TEST(Lexer, BlockCommentWithApostropheDoesNotOpenAString) {
+  const auto tokens =
+      Lex("SELECT a /* don't */ FROM t").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[3].text, "t");
+}
+
+TEST(Lexer, BlockCommentMarkersInsideStringsStayLiteral) {
+  const auto tokens = Lex("'/* not a comment */'").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "/* not a comment */");
+}
+
+TEST(Lexer, DivisionAndMultiplicationStillLex) {
+  const auto tokens = Lex("a / b * c").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[1].text, "/");
+  EXPECT_EQ(tokens[3].text, "*");
+}
+
 TEST(Lexer, Errors) {
   EXPECT_STATUS(kParseError, Lex("'unterminated"));
   EXPECT_STATUS(kParseError, Lex("a ? b"));
   EXPECT_STATUS(kParseError, Lex("1e"));
+  // Unterminated block comments are rejected with a clear error, and the
+  // '*' of the opener cannot double as the '*' of a closer.
+  const Status unterminated = Lex("SELECT a /* comment").status();
+  EXPECT_TRUE(unterminated.IsParseError());
+  EXPECT_NE(unterminated.message().find("block comment"), std::string::npos)
+      << unterminated.ToString();
+  EXPECT_STATUS(kParseError, Lex("a /*/ b"));
+}
+
+TEST(Parser, StatementWithBlockCommentParses) {
+  const auto stmt =
+      Parse("SELECT a /* pick the key */, b FROM t /* base table */ "
+            "WHERE a > 1")
+          .ValueOrDie();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kSelect);
+  EXPECT_EQ(stmt.select->items.size(), 2u);
+  EXPECT_NE(stmt.select->where, nullptr);
 }
 
 TEST(Parser, BasicSelect) {
