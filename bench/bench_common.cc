@@ -7,6 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "core/calibration.h"
+#include "matrix/simd.h"
+
 namespace rma::bench {
 
 namespace {
@@ -39,6 +42,16 @@ std::string JsonEscape(const std::string& s) {
     out += c;
   }
   return out;
+}
+
+/// Cache regime of an entry touching `bytes` bytes, against the machine's
+/// detected L2/L3 sizes — same split the calibration breakpoints use.
+const char* RegimeOfBytes(int64_t bytes) {
+  if (bytes <= 0) return "";
+  static const CacheSizes caches = DetectCacheSizes();
+  if (bytes <= caches.l2_bytes) return "l2";
+  if (bytes <= caches.l3_bytes) return "l3";
+  return "dram";
 }
 
 }  // namespace
@@ -97,16 +110,19 @@ void BenchJson::Flush() {
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %g,\n"
-               "  \"entries\": [\n",
-               JsonEscape(state.bench_name).c_str(), ScaleFactor());
+               "  \"simd\": \"%s\",\n  \"entries\": [\n",
+               JsonEscape(state.bench_name).c_str(), ScaleFactor(),
+               simd::Describe().c_str());
   for (size_t i = 0; i < state.entries.size(); ++i) {
     const auto& e = state.entries[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"op\": \"%s\", \"shape\": \"%s\", "
-                 "\"ns\": %.3f, \"bytes\": %lld, \"kernel\": \"%s\"}%s\n",
+                 "\"ns\": %.3f, \"bytes\": %lld, \"kernel\": \"%s\", "
+                 "\"regime\": \"%s\"}%s\n",
                  JsonEscape(e.name).c_str(), JsonEscape(e.op).c_str(),
                  JsonEscape(e.shape).c_str(), e.ns,
                  static_cast<long long>(e.bytes), JsonEscape(e.kernel).c_str(),
+                 RegimeOfBytes(e.bytes),
                  i + 1 < state.entries.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -136,6 +152,13 @@ double TimeBest(int reps, const std::function<void()>& fn) {
   double best = TimeIt(fn);
   for (int r = 1; r < reps; ++r) best = std::min(best, TimeIt(fn));
   return best;
+}
+
+int BenchReps(int default_reps) {
+  const char* env = std::getenv("RMA_BENCH_REPS");
+  if (env == nullptr || env[0] == '\0') return default_reps;
+  const int v = std::atoi(env);
+  return v > 0 ? v : default_reps;
 }
 
 std::string Secs(double s) {

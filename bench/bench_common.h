@@ -26,6 +26,11 @@ double TimeIt(const std::function<void()>& fn);
 /// single TimeIt cannot (the perf gate diffs these numbers across runs).
 double TimeBest(int reps, const std::function<void()>& fn);
 
+/// Repetition count for best-of-N measurements: RMA_BENCH_REPS when set to
+/// a positive integer, else `default_reps`. Baseline regeneration exports a
+/// higher count to tighten the noise floor without slowing ordinary runs.
+int BenchReps(int default_reps);
+
 /// Formats seconds as "1.23" (fixed, seconds) — paper tables are in sec.
 std::string Secs(double s);
 
@@ -37,9 +42,15 @@ std::string Pct(double fraction);
 /// Record() call collects one entry and the process writes
 /// `BENCH_<bench>.json` to the working directory at Flush() / exit:
 ///
-///   {"bench": "bench_batch", "scale": 1.0, "entries": [
+///   {"bench": "bench_batch", "scale": 1.0, "simd": "avx2x4", "entries": [
 ///     {"name": "...", "op": "...", "shape": "RxC", "ns": 1.2e6,
-///      "bytes": 0, "kernel": "auto"}, ...]}
+///      "bytes": 0, "kernel": "auto", "regime": "l3"}, ...]}
+///
+/// `simd` records the vector ISA the numbers were measured under (rma::simd,
+/// including the RMA_NO_SIMD override), so a baseline diff can flag
+/// apples-to-oranges comparisons. `regime` classifies each entry's touched
+/// bytes against the machine's L2/L3 sizes ("l2"/"l3"/"dram"; "" when bytes
+/// is unknown), mirroring the calibration regimes.
 ///
 /// `scripts/bench_compare.py` diffs two such files with a noise threshold;
 /// `bench/baselines/*.json` holds the checked-in references.

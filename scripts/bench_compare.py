@@ -4,7 +4,7 @@ perf regressions beyond a noise threshold.
 
 Usage:
   bench_compare.py BASELINE.json CURRENT.json [--threshold 0.30]
-                   [--min-ns 50000] [--absolute]
+                   [--min-ns 100000] [--absolute]
 
 Both files hold {"bench": ..., "scale": ..., "entries": [{"name", "ns", ...}]}.
 Entries are matched by name. By default the comparison is *speed-normalized*:
@@ -16,7 +16,8 @@ ratio exceeds the median by more than the threshold — i.e. it got slower
 same-machine A/B runs).
 
 Entries whose baseline time is under --min-ns are skipped: timer granularity
-and allocator noise dominate there. A scale mismatch between the two files is
+and allocator noise dominate there (sub-100µs rows swing tens of percent
+run-to-run even best-of-N). A scale mismatch between the two files is
 an error (ns at different problem sizes are not comparable).
 
 Exit status: 0 = no regressions, 1 = regressions found, 2 = usage/format
@@ -53,7 +54,7 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.30,
                     help="max tolerated slowdown, e.g. 0.30 = +30%% "
                          "(default: %(default)s)")
-    ap.add_argument("--min-ns", type=float, default=50000,
+    ap.add_argument("--min-ns", type=float, default=100000,
                     help="skip entries whose baseline is below this many ns "
                          "(default: %(default)s)")
     ap.add_argument("--absolute", action="store_true",

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Local tier-1 verify: configure + build + ctest in Debug and Release with
 # warnings-as-errors on src/, plus an AddressSanitizer pass over the test
-# suite (the query cache's shared-ownership paths are leak/UAF-checked) and
-# a ThreadSanitizer pass (the concurrent stage scheduler, batched statement
+# suite (the query cache's shared-ownership paths are leak/UAF-checked), a
+# ThreadSanitizer pass (the concurrent stage scheduler, batched statement
 # execution, and the shared query cache are race-checked, including the
-# concurrency stress test) — the same matrix CI runs.
+# concurrency stress test), and a UBSan pass (the SIMD layer's tail-pointer
+# arithmetic and the piecewise cost model) — the same matrix CI runs. The
+# ASan and UBSan suites run twice: vectorized (default dispatch) and with
+# RMA_NO_SIMD=1, so both sides of every kernel stay sanitizer-covered.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +31,8 @@ cmake -B build-check-asan -S . \
   -DRMA_SANITIZE=address
 cmake --build build-check-asan -j "${JOBS}"
 (cd build-check-asan && ctest --output-on-failure -j "${JOBS}")
+(cd build-check-asan && \
+  RMA_NO_SIMD=1 ctest --output-on-failure -j "${JOBS}")
 
 echo "=== ThreadSanitizer ==="
 cmake -B build-check-tsan -S . \
@@ -37,5 +42,18 @@ cmake -B build-check-tsan -S . \
 cmake --build build-check-tsan -j "${JOBS}"
 (cd build-check-tsan && \
   TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure -j "${JOBS}")
+
+echo "=== UndefinedBehaviorSanitizer ==="
+cmake -B build-check-ubsan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DRMA_WERROR=ON \
+  -DRMA_SANITIZE=undefined
+cmake --build build-check-ubsan -j "${JOBS}"
+(cd build-check-ubsan && \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --output-on-failure -j "${JOBS}")
+(cd build-check-ubsan && \
+  RMA_NO_SIMD=1 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --output-on-failure -j "${JOBS}")
 
 echo "All checks passed."

@@ -16,9 +16,14 @@
 
 #include "core/kernels.h"
 #include "core/options.h"
+#include "matrix/simd.h"
 #include "storage/bat.h"
 #include "storage/bat_ops.h"
 #include "util/timer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace rma {
 
@@ -67,6 +72,16 @@ bool CostKernelFromName(const std::string& name, CostKernel* out) {
     }
   }
   return false;
+}
+
+std::string CostRegimeLabel(int regime, int num_regimes) {
+  if (num_regimes <= 1) return "linear";
+  if (num_regimes == 3) {
+    // The canonical cache split the breakpoint probe produces.
+    static const char* kNames[3] = {"l2", "l3", "dram"};
+    if (regime >= 0 && regime < 3) return kNames[regime];
+  }
+  return "r" + std::to_string(regime);
 }
 
 const char* CostSourceName(CostSource s) {
@@ -123,7 +138,14 @@ void CostProfile::Set(CostKernel k, const KernelCost& cost) {
 double CostProfile::Cost(CostKernel k, double elements) const {
   std::lock_guard<std::mutex> lock(mu_);
   const KernelCost& c = costs_[static_cast<int>(k)];
-  return c.fixed + elements * c.per_element;
+  return c.fixed + elements * c.RateFor(elements);
+}
+
+int CostProfile::MaxRegimes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int max = 1;
+  for (const KernelCost& c : costs_) max = std::max(max, c.NumRegimes());
+  return max;
 }
 
 void CostProfile::Refine(CostKernel k, double elements, double seconds) {
@@ -136,7 +158,18 @@ void CostProfile::Refine(CostKernel k, double elements, double seconds) {
   KernelCost& c = costs_[static_cast<int>(k)];
   const double observed = std::max(0.0, seconds - c.fixed) / elements;
   if (observed <= 0) return;
-  c.per_element = (1.0 - kRefineAlpha) * c.per_element + kRefineAlpha * observed;
+  if (c.rates.empty()) {
+    c.per_element =
+        (1.0 - kRefineAlpha) * c.per_element + kRefineAlpha * observed;
+  } else {
+    // Only the regime the observation actually exercised moves; a DRAM-sized
+    // workload says nothing about the L2-resident rate.
+    const int r = c.RegimeOf(elements);
+    c.rates[static_cast<size_t>(r)] =
+        (1.0 - kRefineAlpha) * c.rates[static_cast<size_t>(r)] +
+        kRefineAlpha * observed;
+    if (r == 0) c.per_element = c.rates[0];
+  }
   c.source = CostSource::kRefined;
   ++c.refinements;
 }
@@ -176,6 +209,13 @@ uint64_t CostProfile::Fingerprint() const {
   for (const KernelCost& c : costs_) {
     h = (h ^ quantize(c.per_element)) * kPrime;
     h = (h ^ quantize(c.fixed)) * kPrime;
+    // Piecewise structure is part of the model: a regime rate shifting, a
+    // breakpoint moving, or regimes appearing at all must invalidate plans.
+    h = (h ^ static_cast<uint64_t>(c.rates.size())) * kPrime;
+    for (double r : c.rates) h = (h ^ quantize(r)) * kPrime;
+    for (int64_t b : c.breakpoints) {
+      h = (h ^ static_cast<uint64_t>(b)) * kPrime;
+    }
   }
   return h;
 }
@@ -183,10 +223,14 @@ uint64_t CostProfile::Fingerprint() const {
 // --- JSON serialization -----------------------------------------------------
 //
 // The document is deliberately tiny and self-contained (no third-party JSON
-// dependency):
-//   {"version": 1, "kernels": {"bat_stream":
+// dependency). Version 2 records the SIMD ISA the rates were measured under
+// and, for piecewise entries, the regime breakpoints/rates:
+//   {"version": 2, "simd": "avx2x4", "kernels": {"bat_stream":
 //       {"per_element": 1e-9, "fixed": 2e-7, "source": "probed",
-//        "refinements": 0}, ...}}
+//        "refinements": 0, "breakpoints": [131072], "rates":
+//        [8e-10, 1.9e-9]}, ...}}
+// Version 1 documents (no "simd", no arrays) still load as single-rate
+// entries.
 
 std::string CostProfile::ToJson() const {
   KernelCost copy[kNumCostKernels];
@@ -195,18 +239,31 @@ std::string CostProfile::ToJson() const {
     for (int i = 0; i < kNumCostKernels; ++i) copy[i] = costs_[i];
   }
   std::ostringstream os;
-  os << "{\n  \"version\": 1,\n  \"kernels\": {\n";
+  os << "{\n  \"version\": 2,\n  \"simd\": \"" << simd::Describe()
+     << "\",\n  \"kernels\": {\n";
   for (int i = 0; i < kNumCostKernels; ++i) {
     const KernelCost& c = copy[i];
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "    \"%s\": {\"per_element\": %.12e, \"fixed\": %.12e, "
-                  "\"source\": \"%s\", \"refinements\": %lld}%s\n",
+                  "\"source\": \"%s\", \"refinements\": %lld",
                   CostKernelName(static_cast<CostKernel>(i)), c.per_element,
                   c.fixed, CostSourceName(c.source),
-                  static_cast<long long>(c.refinements),
-                  i + 1 < kNumCostKernels ? "," : "");
+                  static_cast<long long>(c.refinements));
     os << buf;
+    if (!c.rates.empty()) {
+      os << ", \"breakpoints\": [";
+      for (size_t b = 0; b < c.breakpoints.size(); ++b) {
+        os << (b ? ", " : "") << c.breakpoints[b];
+      }
+      os << "], \"rates\": [";
+      for (size_t r = 0; r < c.rates.size(); ++r) {
+        std::snprintf(buf, sizeof(buf), "%s%.12e", r ? ", " : "", c.rates[r]);
+        os << buf;
+      }
+      os << "]";
+    }
+    os << "}" << (i + 1 < kNumCostKernels ? "," : "") << "\n";
   }
   os << "  }\n}\n";
   return os.str();
@@ -256,6 +313,19 @@ struct JsonScanner {
     i += static_cast<size_t>(end - begin);
     return true;
   }
+  bool ReadNumberArray(std::vector<double>* out) {
+    if (!Consume('[')) return false;
+    out->clear();
+    if (Consume(']')) return true;  // empty array
+    while (true) {
+      double v = 0;
+      if (!ReadNumber(&v)) return false;
+      out->push_back(v);
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return false;
+    }
+  }
 };
 
 }  // namespace
@@ -275,7 +345,17 @@ Result<CostProfile> CostProfile::FromJson(const std::string& json) {
     if (key == "version") {
       double v = 0;
       if (!sc.ReadNumber(&v)) return invalid("bad version");
-      if (v != 1) return invalid("unsupported version");
+      if (v != 1 && v != 2) return invalid("unsupported version");
+    } else if (key == "simd") {
+      std::string isa;
+      if (!sc.ReadString(&isa)) return invalid("bad simd");
+      if (isa != simd::Describe()) {
+        std::fprintf(stderr,
+                     "rma: calibration file was measured under simd=%s but "
+                     "this process runs %s; rates may be stale (re-probe by "
+                     "deleting the file)\n",
+                     isa.c_str(), simd::Describe().c_str());
+      }
     } else if (key == "kernels") {
       saw_kernels = true;
       if (!sc.Consume('{')) return invalid("kernels must be an object");
@@ -312,6 +392,15 @@ Result<CostProfile> CostProfile::FromJson(const std::string& json) {
             double n = 0;
             if (!sc.ReadNumber(&n)) return invalid("bad refinements");
             cost.refinements = static_cast<int64_t>(n);
+          } else if (field == "breakpoints") {
+            std::vector<double> raw;
+            if (!sc.ReadNumberArray(&raw)) return invalid("bad breakpoints");
+            cost.breakpoints.clear();
+            for (double b : raw) {
+              cost.breakpoints.push_back(static_cast<int64_t>(b));
+            }
+          } else if (field == "rates") {
+            if (!sc.ReadNumberArray(&cost.rates)) return invalid("bad rates");
           } else {
             return invalid("unknown kernel field");
           }
@@ -322,6 +411,24 @@ Result<CostProfile> CostProfile::FromJson(const std::string& json) {
         if (!(cost.per_element > 0) || !std::isfinite(cost.per_element) ||
             cost.fixed < 0 || !std::isfinite(cost.fixed)) {
           return invalid("non-positive or non-finite cost");
+        }
+        if (!cost.rates.empty()) {
+          if (cost.breakpoints.size() + 1 != cost.rates.size()) {
+            return invalid("breakpoints/rates size mismatch");
+          }
+          for (double r : cost.rates) {
+            if (!(r > 0) || !std::isfinite(r)) {
+              return invalid("non-positive or non-finite regime rate");
+            }
+          }
+          for (size_t b = 0; b < cost.breakpoints.size(); ++b) {
+            if (cost.breakpoints[b] <= 0 ||
+                (b > 0 && cost.breakpoints[b] <= cost.breakpoints[b - 1])) {
+              return invalid("breakpoints must be positive and ascending");
+            }
+          }
+        } else if (!cost.breakpoints.empty()) {
+          return invalid("breakpoints without rates");
         }
         CostKernel k;
         if (CostKernelFromName(name, &k)) profile.Set(k, cost);
@@ -504,16 +611,90 @@ double ProbeOnce(CostKernel k, int64_t elements, int reps) {
 
 }  // namespace
 
+CacheSizes DetectCacheSizes() {
+  CacheSizes sizes;
+  sizes.l2_bytes = int64_t{1} << 20;
+  sizes.l3_bytes = int64_t{8} << 20;
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  if (const long l2 = sysconf(_SC_LEVEL2_CACHE_SIZE); l2 > 0) {
+    sizes.l2_bytes = l2;
+  }
+#endif
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  if (const long l3 = sysconf(_SC_LEVEL3_CACHE_SIZE); l3 > 0) {
+    sizes.l3_bytes = l3;
+  }
+#endif
+  if (sizes.l3_bytes <= sizes.l2_bytes) sizes.l3_bytes = 8 * sizes.l2_bytes;
+  return sizes;
+}
+
 CostProfile ProbeCostProfile(const ProbeOptions& opts) {
   CostProfile profile = CostProfile::Analytic();
   const int64_t n1 = std::max<int64_t>(1024, opts.small_elements);
-  const int64_t n2 = std::max<int64_t>(2 * n1, opts.large_elements);
+  int64_t n2 = std::max<int64_t>(2 * n1, opts.large_elements);
   const int reps = std::max(1, opts.repetitions);
+
+  // Regime boundaries in elements. The streaming probes touch roughly two
+  // double streams per element (~16 bytes), so a family leaves cache level
+  // c once 16n exceeds its capacity. This is approximate for the
+  // flop-counted families (dense_flop, bat_decomp), where elements model
+  // arithmetic rather than footprint — the breakpoints still separate
+  // "small" from "streaming" shapes, which is what the planner needs.
+  std::vector<int64_t> breakpoints;
+  if (opts.cache_breakpoints) {
+    const CacheSizes caches = DetectCacheSizes();
+    for (int64_t bytes : {caches.l2_bytes, caches.l3_bytes}) {
+      const int64_t bp = bytes / 16;
+      if (bp > n1 && (breakpoints.empty() || bp > breakpoints.back())) {
+        breakpoints.push_back(bp);
+      }
+    }
+    // Keep the base two-point fit inside the first regime so rates[0] is
+    // genuinely the cache-resident rate.
+    if (!breakpoints.empty()) {
+      n2 = std::max(2 * n1, std::min(n2, breakpoints.front()));
+    }
+  }
+
   for (int i = 0; i < kNumCostKernels; ++i) {
     const CostKernel k = static_cast<CostKernel>(i);
     const double t1 = ProbeOnce(k, n1, reps);
     const double t2 = ProbeOnce(k, n2, reps);
-    profile.Set(k, FitCost(n1, t1, n2, t2));
+    KernelCost cost = FitCost(n1, t1, n2, t2);
+    if (!breakpoints.empty()) {
+      // Super-linear families stay bounded: a multi-megabyte argsort or QR
+      // probe would dominate the whole pass for little planning signal.
+      const bool super_linear =
+          k == CostKernel::kSort || k == CostKernel::kBatDecomp;
+      const int64_t cap = super_linear
+                              ? std::min(opts.max_probe_elements, int64_t{1}
+                                                                      << 18)
+                              : opts.max_probe_elements;
+      cost.breakpoints = breakpoints;
+      cost.rates.assign(breakpoints.size() + 1, cost.per_element);
+      for (size_t r = 1; r < cost.rates.size(); ++r) {
+        const int64_t lower = breakpoints[r - 1];
+        const int64_t upper =
+            r < breakpoints.size() ? breakpoints[r] : 4 * lower;
+        const int64_t n = std::min(cap, std::min(4 * lower, upper));
+        if (n <= lower) {
+          // The regime starts beyond the probe ceiling: inherit the deepest
+          // measured rate rather than extrapolating.
+          cost.rates[r] = cost.rates[r - 1];
+          continue;
+        }
+        const double t = ProbeOnce(k, n, reps);
+        double rate = std::max(0.0, t - cost.fixed) / static_cast<double>(n);
+        // Deeper memory levels cannot be cheaper per element; letting a
+        // noisy inversion through would teach the planner to prefer huge
+        // working sets.
+        rate = std::max({rate, cost.rates[r - 1], 1e-12});
+        cost.rates[r] = rate;
+      }
+      cost.per_element = cost.rates[0];
+    }
+    profile.Set(k, cost);
   }
   profile.set_refinable(true);
   return profile;

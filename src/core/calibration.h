@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "util/result.h"
 
@@ -47,12 +48,50 @@ const char* CostSourceName(CostSource s);
 /// dimensionless penalty constant and the overhead is zero, so cost ratios
 /// reproduce the pre-calibration model exactly; probed/refined profiles
 /// measure both in seconds.
+///
+/// Piecewise extension: a single rate is a poor fit across cache levels —
+/// streaming kernels run several times faster L2-resident than from DRAM,
+/// which skews BAT-vs-dense choices whenever the probe size and the actual
+/// working set land in different regimes. When `rates` is non-empty the
+/// entry is piecewise-linear: regime r covers element counts up to
+/// breakpoints[r] (the last regime is unbounded), each with its own
+/// per-element rate. `breakpoints.size() == rates.size() - 1`, breakpoints
+/// strictly ascending. Empty `rates` keeps the legacy single-rate model and
+/// `per_element` stays authoritative; with regimes, `per_element` mirrors
+/// rates[0] so code that ignores regimes still sees a sane rate.
 struct KernelCost {
   double per_element = 1.0;
   double fixed = 0.0;
   CostSource source = CostSource::kAnalytic;
   int64_t refinements = 0;  ///< EWMA updates applied to this entry
+  std::vector<int64_t> breakpoints;  ///< regime upper bounds, in elements
+  std::vector<double> rates;         ///< per-regime per-element rates
+
+  /// Number of pricing regimes (1 for the legacy single-rate model).
+  int NumRegimes() const {
+    return rates.empty() ? 1 : static_cast<int>(rates.size());
+  }
+  /// The regime pricing `elements`: first r with elements <= breakpoints[r],
+  /// else the last (unbounded) regime. Always 0 for single-rate entries.
+  int RegimeOf(double elements) const {
+    if (rates.empty()) return 0;
+    for (size_t r = 0; r < breakpoints.size(); ++r) {
+      if (elements <= static_cast<double>(breakpoints[r])) {
+        return static_cast<int>(r);
+      }
+    }
+    return static_cast<int>(rates.size()) - 1;
+  }
+  /// The per-element rate applied to `elements` under this entry.
+  double RateFor(double elements) const {
+    return rates.empty() ? per_element : rates[RegimeOf(elements)];
+  }
 };
+
+/// Human-readable label for regime `regime` of an entry with `num_regimes`
+/// regimes: "linear" for single-rate entries, "l2"/"l3"/"dram" for the
+/// canonical three-regime cache split, "r<N>" otherwise.
+std::string CostRegimeLabel(int regime, int num_regimes);
 
 /// Per-machine cost profile of the planner's kernel families. Thread-safe:
 /// concurrent statements price plans while the execution feedback loop
@@ -76,13 +115,21 @@ class CostProfile {
   void Set(CostKernel k, const KernelCost& cost);
 
   /// Estimated cost of processing `elements` elements with family `k`:
-  /// fixed + elements * per_element. Units are seconds for probed/refined
-  /// profiles and element-operation units for the analytic profile — only
-  /// ratios between families matter to the planner.
+  /// fixed + elements * rate, where the rate is the regime's rate for
+  /// piecewise entries (KernelCost::RateFor) and per_element otherwise.
+  /// Units are seconds for probed/refined profiles and element-operation
+  /// units for the analytic profile — only ratios between families matter
+  /// to the planner.
   double Cost(CostKernel k, double elements) const;
 
+  /// The largest NumRegimes() across entries: 1 means the profile is purely
+  /// single-rate (analytic or legacy v1), >1 means cache breakpoints were
+  /// probed or loaded.
+  int MaxRegimes() const;
+
   /// Online refinement from one measured execution: `seconds` observed for
-  /// `elements` elements. Folds the observation into per_element with an
+  /// `elements` elements. Folds the observation into the rate of the regime
+  /// containing `elements` (per_element for single-rate entries) with an
   /// EWMA (alpha = kRefineAlpha) and marks the entry kRefined. No-ops when
   /// refinement is disabled (the shared analytic default must stay
   /// deterministic) or the observation is too small to be signal.
@@ -98,15 +145,21 @@ class CostProfile {
   CostSource Source() const;
 
   /// Fingerprint over quantized per-element rates (eighth-of-an-octave
-  /// resolution). Plan caches mix it into their options fingerprint, so a
+  /// resolution), including every regime rate and breakpoint of piecewise
+  /// entries. Plan caches mix it into their options fingerprint, so a
   /// materially changed profile invalidates cached plans while per-op EWMA
   /// jitter does not churn the cache.
   uint64_t Fingerprint() const;
 
-  /// Serializes to the calibration JSON document.
+  /// Serializes to the calibration JSON document (version 2: top-level
+  /// "simd" records the ISA the rates were measured under; piecewise
+  /// entries carry "breakpoints"/"rates" arrays).
   std::string ToJson() const;
-  /// Parses a calibration JSON document. Unknown kernel names are ignored;
-  /// malformed documents return Invalid (callers fall back to Analytic()).
+  /// Parses a calibration JSON document, version 1 (single-rate) or 2
+  /// (piecewise). Unknown kernel names are ignored; malformed documents
+  /// return Invalid (callers fall back to Analytic()). A "simd" field that
+  /// does not match the running binary's ISA warns to stderr — the rates
+  /// still load, but a re-probe would be more faithful.
   static Result<CostProfile> FromJson(const std::string& json);
 
   Status SaveFile(const std::string& path) const;
@@ -125,6 +178,14 @@ class CostProfile {
 
 using CostProfilePtr = std::shared_ptr<CostProfile>;
 
+/// L2/L3 data-cache sizes in bytes, from sysconf where the platform exposes
+/// them, with 1 MiB / 8 MiB fallbacks so breakpoints always exist.
+struct CacheSizes {
+  int64_t l2_bytes;
+  int64_t l3_bytes;
+};
+CacheSizes DetectCacheSizes();
+
 /// Options for the startup micro-probes.
 struct ProbeOptions {
   /// Element counts each family is timed at; {fixed, per_element} are fitted
@@ -133,11 +194,21 @@ struct ProbeOptions {
   int64_t small_elements = 1 << 12;
   int64_t large_elements = 1 << 16;
   int repetitions = 3;  ///< best-of-N to shed scheduler noise
+  /// Probe additional sizes bracketing the L2/L3 cache boundaries and fit a
+  /// piecewise rate per regime (KernelCost::rates). Off: the legacy
+  /// two-point single-rate fit.
+  bool cache_breakpoints = true;
+  /// Ceiling on any single probe's element count. Regimes whose sizes lie
+  /// entirely above it inherit the previous regime's rate instead of being
+  /// probed (keeps the probe pass bounded on machines with huge L3).
+  int64_t max_probe_elements = 1 << 22;
 };
 
 /// Times the planner's kernel families (BAT streaming/axpy/decomposition/
 /// fetch, dense flops, gather/scatter strided copies, argsort) at two sizes
-/// and fits a KernelCost per family. The result is refinable.
+/// and fits a KernelCost per family; with `cache_breakpoints` it also times
+/// sizes past the L2/L3 boundaries and fits per-regime rates. The result is
+/// refinable.
 CostProfile ProbeCostProfile(const ProbeOptions& opts = ProbeOptions());
 
 /// The process-wide default profile consulted when RmaOptions carries no

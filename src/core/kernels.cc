@@ -21,16 +21,20 @@ DenseMatrix ColumnsToMatrix(const Columns& c) {
   const int64_t n = NumRows(c);
   const int64_t k = static_cast<int64_t>(c.size());
   DenseMatrix m(n, k);
-  for (int64_t j = 0; j < k; ++j) {
-    bat_ops::CopyDenseToStrided(c[static_cast<size_t>(j)].data(), n,
-                                m.data() + j, k);
-  }
+  std::vector<const double*> ptrs(c.size());
+  for (size_t j = 0; j < c.size(); ++j) ptrs[j] = c[j].data();
+  bat_ops::PackColumnsRowMajor(ptrs.data(), k, /*perm=*/nullptr, n, m.data());
   return m;
 }
 
 Columns MatrixToColumns(const DenseMatrix& m) {
-  Columns c(static_cast<size_t>(m.cols()));
-  for (int64_t j = 0; j < m.cols(); ++j) c[static_cast<size_t>(j)] = m.Col(j);
+  const int64_t n = m.rows();
+  const int64_t k = m.cols();
+  Columns c(static_cast<size_t>(k),
+            std::vector<double>(static_cast<size_t>(n)));
+  std::vector<double*> ptrs(c.size());
+  for (size_t j = 0; j < c.size(); ++j) ptrs[j] = c[j].data();
+  bat_ops::UnpackRowMajorToColumns(m.data(), n, k, ptrs.data());
   return c;
 }
 

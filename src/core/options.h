@@ -32,6 +32,21 @@ enum class SortPolicy : int {
   kOptimized = 1,  ///< skip/relax sorting where the result is unaffected
 };
 
+/// How Database::ExecuteBatch orders statements whose effects conflict
+/// (sql/effects.h). Both schedules honour the same dependency DAG and
+/// produce identical results; they differ in how much concurrency they
+/// extract from it.
+enum class BatchSchedule : int {
+  /// Per-statement readiness: a statement launches the moment its own
+  /// dependencies complete. No wave barriers — a slow statement delays only
+  /// its transitive dependents, not unrelated chains.
+  kReadiness = 0,
+  /// Level-synchronized waves (ScheduleWaves): statements at conflict-chain
+  /// depth d all wait for depth d-1 to finish. Simpler, fully deterministic
+  /// wave numbering; kept for comparison and as a conservative fallback.
+  kWaves = 1,
+};
+
 /// Wall-clock breakdown of one relational matrix operation, filled when
 /// RmaOptions::stats is set. Backs the Fig. 13/14 experiments.
 struct RmaStats {
@@ -107,6 +122,9 @@ struct RmaOptions {
   /// Takes effect only when the effective budget leaves headroom (>= 2);
   /// results and recorded plan order are identical to serial evaluation.
   bool concurrent_subtrees = true;
+
+  /// Statement ordering for batched execution (Database::ExecuteBatch).
+  BatchSchedule batch_schedule = BatchSchedule::kReadiness;
 
   /// Shape floor for offloading a subtree: subtrees whose estimated result
   /// (rows x application columns, from the lowered plan) stays under this

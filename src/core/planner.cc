@@ -135,6 +135,7 @@ std::string OpPlan::DebugString() const {
   }
   os << "] cost(bat)=" << cost_bat << " cost(dense)=" << cost_dense
      << " cost-model=" << CostSourceName(cost_source);
+  if (!cost_regime.empty()) os << " regime=" << cost_regime;
   if (over_budget) os << " over-budget";
   return os.str();
 }
@@ -213,6 +214,18 @@ OpPlan PlanOp(MatrixOp op, const RmaOptions& opts, const ArgShape& left,
       break;
   }
   plan.stages = StagesFor(plan.kernel);
+
+  // Surface which cache regime priced the chosen path (piecewise profiles
+  // only; single-rate profiles leave this empty and EXPLAIN output
+  // unchanged).
+  const bool on_bat = plan.kernel == KernelChoice::kBat;
+  const KernelCost chosen =
+      profile->Get(on_bat ? BatCostFamily(op) : CostKernel::kDenseFlop);
+  if (chosen.NumRegimes() > 1) {
+    const double elements = on_bat ? plan.bat_elements : plan.flops;
+    plan.cost_regime =
+        CostRegimeLabel(chosen.RegimeOf(elements), chosen.NumRegimes());
+  }
   return plan;
 }
 

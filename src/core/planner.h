@@ -76,6 +76,11 @@ struct OpPlan {
   /// or stats-refined) — surfaced by EXPLAIN.
   CostSource cost_source = CostSource::kAnalytic;
 
+  /// Cache regime (CostRegimeLabel) the chosen path's kernel family priced
+  /// its work in. Empty when the profile is single-rate — EXPLAIN omits it
+  /// so analytic-model output is unchanged.
+  std::string cost_regime;
+
   /// Element counts behind the estimates, per priced family. Recorded at
   /// plan time so ExecContext can feed measured per-stage seconds back into
   /// the cost profile (seconds / elements = observed per-element rate).

@@ -230,6 +230,26 @@ DenseMatrix GatherMatrix(const PreparedArg& p) {
   const int64_t n = p.rows;
   const int64_t k = p.app_cols();
   DenseMatrix m(n, k);
+  // All-dense inputs take the tiled multi-column transpose, which fills each
+  // destination cache line while it is resident instead of sweeping the
+  // row-major matrix once per column.
+  std::vector<const double*> ptrs(static_cast<size_t>(k), nullptr);
+  bool all_dense = true;
+  for (int64_t j = 0; j < k; ++j) {
+    const Bat& col = *p.rel.column(p.split.app_idx[static_cast<size_t>(j)]);
+    if (const auto* d = dynamic_cast<const DoubleBat*>(&col)) {
+      ptrs[static_cast<size_t>(j)] = d->data().data();
+    } else {
+      all_dense = false;
+      break;
+    }
+  }
+  if (all_dense) {
+    bat_ops::PackColumnsRowMajor(ptrs.data(), k,
+                                 p.identity() ? nullptr : p.perm.data(), n,
+                                 m.data());
+    return m;
+  }
   static const std::vector<int64_t> kIdentity;
   for (int64_t j = 0; j < k; ++j) {
     const Bat& col = *p.rel.column(p.split.app_idx[static_cast<size_t>(j)]);

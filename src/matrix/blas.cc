@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "matrix/parallel.h"
+#include "matrix/simd.h"
 
 namespace rma {
 namespace blas {
@@ -11,7 +12,9 @@ namespace blas {
 namespace {
 
 // Inner kernel: C[i0:i1) += A[i0:i1) * B with i-k-j loop order so the B row
-// is streamed contiguously and C rows stay hot.
+// is streamed contiguously and C rows stay hot. Four B rows per pass (rank-4
+// update) quarter the C-row load/store traffic; all-zero groups keep the
+// banded-input skip.
 void GemmBand(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
               int64_t i0, int64_t i1) {
   const int64_t k = a.cols();
@@ -19,11 +22,19 @@ void GemmBand(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
   for (int64_t i = i0; i < i1; ++i) {
     double* ci = c->row_ptr(i);
     const double* ai = a.row_ptr(i);
-    for (int64_t p = 0; p < k; ++p) {
+    int64_t p = 0;
+    for (; p + 4 <= k; p += 4) {
+      const double a4[4] = {ai[p], ai[p + 1], ai[p + 2], ai[p + 3]};
+      if (a4[0] == 0.0 && a4[1] == 0.0 && a4[2] == 0.0 && a4[3] == 0.0) {
+        continue;
+      }
+      simd::Axpy4(a4, b.row_ptr(p), b.row_ptr(p + 1), b.row_ptr(p + 2),
+                  b.row_ptr(p + 3), ci, n);
+    }
+    for (; p < k; ++p) {
       const double aip = ai[p];
       if (aip == 0.0) continue;
-      const double* bp = b.row_ptr(p);
-      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+      simd::Axpy(aip, b.row_ptr(p), ci, n);
     }
   }
 }
@@ -52,19 +63,38 @@ Result<DenseMatrix> CrossProd(const DenseMatrix& a, const DenseMatrix& b) {
   const int64_t n = b.cols();
   const int64_t r = a.rows();
   DenseMatrix c(m, n, 0.0);
-  // Accumulate rank-1 updates row by row: C += a_rowᵀ * b_row. Parallelize
-  // over output rows (columns of A) to keep writes disjoint.
+  // Accumulate rank-4 updates: C += Σ a_rowᵀ * b_row over four input rows per
+  // pass, which keeps each C row loaded once per group. Parallelize over
+  // output rows (columns of A) to keep writes disjoint.
   ParallelFor(
       0, m,
       [&](int64_t lo, int64_t hi) {
-        for (int64_t p = 0; p < r; ++p) {
+        int64_t p = 0;
+        for (; p + 4 <= r; p += 4) {
+          const double* ap0 = a.row_ptr(p);
+          const double* ap1 = a.row_ptr(p + 1);
+          const double* ap2 = a.row_ptr(p + 2);
+          const double* ap3 = a.row_ptr(p + 3);
+          const double* bp0 = b.row_ptr(p);
+          const double* bp1 = b.row_ptr(p + 1);
+          const double* bp2 = b.row_ptr(p + 2);
+          const double* bp3 = b.row_ptr(p + 3);
+          for (int64_t i = lo; i < hi; ++i) {
+            const double a4[4] = {ap0[i], ap1[i], ap2[i], ap3[i]};
+            if (a4[0] == 0.0 && a4[1] == 0.0 && a4[2] == 0.0 &&
+                a4[3] == 0.0) {
+              continue;
+            }
+            simd::Axpy4(a4, bp0, bp1, bp2, bp3, c.row_ptr(i), n);
+          }
+        }
+        for (; p < r; ++p) {
           const double* ap = a.row_ptr(p);
           const double* bp = b.row_ptr(p);
           for (int64_t i = lo; i < hi; ++i) {
             const double aip = ap[i];
             if (aip == 0.0) continue;
-            double* ci = c.row_ptr(i);
-            for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+            simd::Axpy(aip, bp, c.row_ptr(i), n);
           }
         }
       },
@@ -79,14 +109,30 @@ DenseMatrix Syrk(const DenseMatrix& a) {
   ParallelFor(
       0, k,
       [&](int64_t lo, int64_t hi) {
-        for (int64_t p = 0; p < r; ++p) {
+        // Only the upper triangle from i on; mirrored after the loop. Four
+        // input rows per pass keep each C row loaded once per group.
+        int64_t p = 0;
+        for (; p + 4 <= r; p += 4) {
+          const double* ap0 = a.row_ptr(p);
+          const double* ap1 = a.row_ptr(p + 1);
+          const double* ap2 = a.row_ptr(p + 2);
+          const double* ap3 = a.row_ptr(p + 3);
+          for (int64_t i = lo; i < hi; ++i) {
+            const double a4[4] = {ap0[i], ap1[i], ap2[i], ap3[i]};
+            if (a4[0] == 0.0 && a4[1] == 0.0 && a4[2] == 0.0 &&
+                a4[3] == 0.0) {
+              continue;
+            }
+            simd::Axpy4(a4, ap0 + i, ap1 + i, ap2 + i, ap3 + i,
+                        c.row_ptr(i) + i, k - i);
+          }
+        }
+        for (; p < r; ++p) {
           const double* ap = a.row_ptr(p);
           for (int64_t i = lo; i < hi; ++i) {
             const double aip = ap[i];
             if (aip == 0.0) continue;
-            double* ci = c.row_ptr(i);
-            // Only the upper triangle from i on; mirrored below.
-            for (int64_t j = i; j < k; ++j) ci[j] += aip * ap[j];
+            simd::Axpy(aip, ap + i, c.row_ptr(i) + i, k - i);
           }
         }
       },
@@ -112,10 +158,7 @@ Result<DenseMatrix> OuterProd(const DenseMatrix& a, const DenseMatrix& b) {
           const double* ai = a.row_ptr(i);
           double* ci = c.row_ptr(i);
           for (int64_t j = 0; j < n; ++j) {
-            const double* bj = b.row_ptr(j);
-            double s = 0.0;
-            for (int64_t p = 0; p < k; ++p) s += ai[p] * bj[p];
-            ci[j] = s;
+            ci[j] = simd::Dot(ai, b.row_ptr(j), k);
           }
         }
       },
@@ -125,32 +168,28 @@ Result<DenseMatrix> OuterProd(const DenseMatrix& a, const DenseMatrix& b) {
 
 namespace {
 
-template <typename F>
+using ZipFn = void (*)(const double*, const double*, double*, int64_t);
+
 Result<DenseMatrix> ZipElementwise(const DenseMatrix& a, const DenseMatrix& b,
-                                   F f, const char* what) {
+                                   ZipFn f, const char* what) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) {
     return Status::Invalid(std::string(what) + ": shapes differ");
   }
   DenseMatrix c(a.rows(), a.cols());
-  const double* pa = a.data();
-  const double* pb = b.data();
-  double* pc = c.data();
-  const int64_t n = a.rows() * a.cols();
-  for (int64_t i = 0; i < n; ++i) pc[i] = f(pa[i], pb[i]);
+  f(a.data(), b.data(), c.data(), a.rows() * a.cols());
   return c;
 }
 
 }  // namespace
 
 Result<DenseMatrix> Add(const DenseMatrix& a, const DenseMatrix& b) {
-  return ZipElementwise(a, b, [](double x, double y) { return x + y; }, "Add");
+  return ZipElementwise(a, b, simd::Add, "Add");
 }
 Result<DenseMatrix> Sub(const DenseMatrix& a, const DenseMatrix& b) {
-  return ZipElementwise(a, b, [](double x, double y) { return x - y; }, "Sub");
+  return ZipElementwise(a, b, simd::Sub, "Sub");
 }
 Result<DenseMatrix> ElemMul(const DenseMatrix& a, const DenseMatrix& b) {
-  return ZipElementwise(a, b, [](double x, double y) { return x * y; },
-                        "ElemMul");
+  return ZipElementwise(a, b, simd::Mul, "ElemMul");
 }
 
 Result<std::vector<double>> MatVec(const DenseMatrix& a,
@@ -159,21 +198,21 @@ Result<std::vector<double>> MatVec(const DenseMatrix& a,
     return Status::Invalid("MatVec: dimension mismatch");
   }
   std::vector<double> y(static_cast<size_t>(a.rows()), 0.0);
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    const double* ai = a.row_ptr(i);
-    double s = 0.0;
-    for (int64_t j = 0; j < a.cols(); ++j) s += ai[j] * x[static_cast<size_t>(j)];
-    y[static_cast<size_t>(i)] = s;
+  const int64_t rows = a.rows();
+  const int64_t cols = a.cols();
+  int64_t i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    simd::Dot4(x.data(), a.row_ptr(i), a.row_ptr(i + 1), a.row_ptr(i + 2),
+               a.row_ptr(i + 3), cols, y.data() + i);
+  }
+  for (; i < rows; ++i) {
+    y[static_cast<size_t>(i)] = simd::Dot(a.row_ptr(i), x.data(), cols);
   }
   return y;
 }
 
 double FrobeniusNorm(const DenseMatrix& a) {
-  double s = 0.0;
-  const double* p = a.data();
-  const int64_t n = a.rows() * a.cols();
-  for (int64_t i = 0; i < n; ++i) s += p[i] * p[i];
-  return std::sqrt(s);
+  return std::sqrt(simd::SumSquares(a.data(), a.rows() * a.cols()));
 }
 
 }  // namespace blas

@@ -4,6 +4,7 @@
 
 #include "matrix/blas.h"
 #include "matrix/qr.h"
+#include "matrix/simd.h"
 
 namespace rma {
 
@@ -35,9 +36,7 @@ Status LuDecompose(DenseMatrix* a, std::vector<int64_t>* piv, int* sign) {
       const double l = m(i, k) / pivot;
       m(i, k) = l;
       if (l == 0.0) continue;
-      double* mi = m.row_ptr(i);
-      const double* mk = m.row_ptr(k);
-      for (int64_t j = k + 1; j < n; ++j) mi[j] -= l * mk[j];
+      simd::Axpy(-l, m.row_ptr(k) + k + 1, m.row_ptr(i) + k + 1, n - k - 1);
     }
   }
   return Status::OK();
@@ -79,19 +78,15 @@ Result<DenseMatrix> Inverse(DenseMatrix a) {
         std::swap(inv(k, j), inv(p, j));
       }
     }
-    const double pivot = a(k, k);
-    for (int64_t j = 0; j < n; ++j) {
-      a(k, j) /= pivot;
-      inv(k, j) /= pivot;
-    }
+    const double inv_pivot = 1.0 / a(k, k);
+    simd::Scale(inv_pivot, a.row_ptr(k), n);
+    simd::Scale(inv_pivot, inv.row_ptr(k), n);
     for (int64_t i = 0; i < n; ++i) {
       if (i == k) continue;
       const double f = a(i, k);
       if (f == 0.0) continue;
-      for (int64_t j = 0; j < n; ++j) {
-        a(i, j) -= f * a(k, j);
-        inv(i, j) -= f * inv(k, j);
-      }
+      simd::Axpy(-f, a.row_ptr(k), a.row_ptr(i), n);
+      simd::Axpy(-f, inv.row_ptr(k), inv.row_ptr(i), n);
     }
   }
   return inv;
@@ -116,7 +111,7 @@ Result<DenseMatrix> SolveSquare(DenseMatrix a, DenseMatrix b) {
     for (int64_t i = k + 1; i < n; ++i) {
       const double l = a(i, k);
       if (l == 0.0) continue;
-      for (int64_t j = 0; j < b.cols(); ++j) b(i, j) -= l * b(k, j);
+      simd::Axpy(-l, b.row_ptr(k), b.row_ptr(i), b.cols());
     }
   }
   // Back substitution (U upper).
@@ -126,7 +121,7 @@ Result<DenseMatrix> SolveSquare(DenseMatrix a, DenseMatrix b) {
     for (int64_t i = 0; i < k; ++i) {
       const double u = a(i, k);
       if (u == 0.0) continue;
-      for (int64_t j = 0; j < b.cols(); ++j) b(i, j) -= u * b(k, j);
+      simd::Axpy(-u, b.row_ptr(k), b.row_ptr(i), b.cols());
     }
   }
   return b;

@@ -1,0 +1,70 @@
+#include "matrix/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace rma {
+namespace simd {
+
+namespace {
+
+// -1 = use detection, 0 = forced scalar (test hook).
+std::atomic<int> g_force_scalar{-1};
+
+bool EnvDisabled() {
+  const char* v = std::getenv("RMA_NO_SIMD");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+int DetectWidth() {
+  if (EnvDisabled()) return 1;
+#if defined(RMA_SIMD_AVX2)
+  // The reduction kernels contract with FMA, so require both. CPUs with AVX2
+  // but no FMA are effectively nonexistent.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return 4;
+  }
+#elif defined(RMA_SIMD_NEON)
+  return 2;
+#endif
+  return 1;
+}
+
+int DetectedWidth() {
+  static const int width = DetectWidth();
+  return width;
+}
+
+}  // namespace
+
+bool Enabled() { return Width() > 1; }
+
+int Width() {
+  if (g_force_scalar.load(std::memory_order_relaxed) == 0) return 1;
+  return DetectedWidth();
+}
+
+const char* IsaName() {
+  if (Width() <= 1) return "scalar";
+#if defined(RMA_SIMD_AVX2)
+  return "avx2";
+#elif defined(RMA_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+std::string Describe() {
+  const int w = Width();
+  if (w <= 1) return "scalar";
+  return std::string(IsaName()) + "x" + std::to_string(w);
+}
+
+void ForceScalar(bool on) {
+  g_force_scalar.store(on ? 0 : -1, std::memory_order_relaxed);
+}
+
+}  // namespace simd
+}  // namespace rma

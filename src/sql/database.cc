@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <mutex>
 #include <utility>
 
@@ -166,6 +169,138 @@ void Database::ExecuteBatchStatement(Statement&& stmt, const std::string& sql,
   }
 }
 
+void Database::ExecuteBatchReadiness(
+    std::vector<Result<Statement>>* parsed,
+    const std::vector<std::string>& statements,
+    const std::vector<StatementEffects>& effects, int budget,
+    std::vector<Result<Relation>>* results) {
+  const size_t n = statements.size();
+  // Completion counters on the conflict edges: statement j waits on every
+  // earlier conflicting i, and launches the moment its counter hits zero —
+  // no wave barrier. Unparseable statements have empty effects (no edges)
+  // and never launch; their result slots already hold the parse error.
+  std::vector<int> dep_count(n, 0);
+  std::vector<std::vector<size_t>> dependents(n);
+  size_t runnable = 0;
+  for (size_t j = 0; j < n; ++j) {
+    if (!(*parsed)[j].ok()) continue;
+    ++runnable;
+    for (size_t i = 0; i < j; ++i) {
+      if (!(*parsed)[i].ok()) continue;
+      if (EffectsConflict(effects[i], effects[j])) {
+        ++dep_count[j];
+        dependents[i].push_back(j);
+      }
+    }
+  }
+  if (runnable == 0) return;
+
+  // One context for the whole batch: concurrent SELECTs share it (it is
+  // internally synchronized and borrows the shared QueryCache), keeping the
+  // plan/prepared caches warm across every statement. Prepared entries are
+  // keyed by column identity, so tables replaced mid-batch cannot serve
+  // stale hits.
+  ExecContext ctx(rma_options, query_cache_);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<size_t> ready;  // dep-free, not yet launched, in index order
+  std::deque<ThreadPool::TaskPtr> joinable;
+  std::vector<std::exception_ptr> errors(n);
+  int in_flight = 0;
+  size_t completed = 0;
+  for (size_t j = 0; j < n; ++j) {
+    if ((*parsed)[j].ok() && dep_count[j] == 0) ready.push_back(j);
+  }
+
+  // Pops ready statements up to the in-flight cap (the pool is sized to the
+  // hardware, not the user's cap). Caller holds mu and submits the admitted
+  // statements after releasing it — Submit wakes pool workers that would
+  // immediately contend on mu.
+  const auto admit_locked = [&](std::vector<size_t>* out) {
+    while (in_flight < budget && !ready.empty()) {
+      out->push_back(ready.front());
+      ready.pop_front();
+      ++in_flight;
+    }
+  };
+
+  std::function<void(size_t)> submit = [&](size_t k) {
+    Statement* stmt = &*(*parsed)[k];
+    const std::string* sql = &statements[k];
+    Result<Relation>* slot = &(*results)[k];
+    ThreadPool::TaskPtr task =
+        ThreadPool::Shared().Submit([&, k, stmt, sql, slot] {
+          {
+            // Split the statement-level thread budget across the statements
+            // in flight right now; each statement's kernels (and its own
+            // subtree forks) inherit the share via the ambient
+            // ScopedThreadBudget.
+            int share;
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              share = std::max(1, budget / std::max(1, in_flight));
+            }
+            ScopedThreadBudget budget_share(share);
+            try {
+              ExecuteBatchStatement(std::move(*stmt), *sql, &ctx, slot);
+            } catch (...) {
+              errors[k] = std::current_exception();
+            }
+          }
+          std::vector<size_t> admitted;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            --in_flight;
+            ++completed;
+            for (size_t j : dependents[k]) {
+              if (--dep_count[j] == 0) ready.push_back(j);
+            }
+            admit_locked(&admitted);
+            cv.notify_all();
+          }
+          // When `admitted` is empty this task touches nothing shared past
+          // the notify above, so the joining thread may safely unwind.
+          for (size_t j : admitted) submit(j);
+        });
+    std::lock_guard<std::mutex> lock(mu);
+    joinable.push_back(std::move(task));
+    cv.notify_all();
+  };
+
+  std::vector<size_t> admitted;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    admit_locked(&admitted);
+  }
+  for (size_t j : admitted) submit(j);
+
+  // Cooperative join: Wait() executes queued tasks on this thread while its
+  // target is pending, so the batch progresses even when every pool worker
+  // is busy. Task bodies capture their own exceptions into `errors` — Wait
+  // itself never throws here.
+  while (true) {
+    ThreadPool::TaskPtr task;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock,
+              [&] { return !joinable.empty() || completed == runnable; });
+      if (!joinable.empty()) {
+        task = std::move(joinable.front());
+        joinable.pop_front();
+      } else {
+        break;
+      }
+    }
+    ThreadPool::Shared().Wait(task);
+  }
+  // Every statement completed; surface the first failure in script order
+  // (matches the waves path, which rethrows the first task error).
+  for (size_t i = 0; i < n; ++i) {
+    if (errors[i] != nullptr) std::rethrow_exception(errors[i]);
+  }
+}
+
 std::vector<Result<Relation>> Database::ExecuteBatch(
     const std::vector<std::string>& statements) {
   const size_t n = statements.size();
@@ -177,14 +312,13 @@ std::vector<Result<Relation>> Database::ExecuteBatch(
   parsed.reserve(n);
   for (const std::string& sql : statements) parsed.push_back(Parse(sql));
 
-  // Per-statement effect analysis → dependency-DAG waves. A statement only
-  // waits on earlier statements whose write set intersects its read/write
-  // sets (RAW/WAW/WAR over table names), so a CTAS fences only statements
+  // Per-statement effect analysis → dependency DAG. A statement only waits
+  // on earlier statements whose write set intersects its read/write sets
+  // (RAW/WAW/WAR over table names), so a CTAS fences only statements
   // touching its table, disjoint DDL+SELECT chains overlap, and read-only
-  // statements (SELECT, EXPLAIN) never fence each other. Statements in one
-  // wave are pairwise independent; waves execute in index order, so every
-  // statement still observes exactly the catalog state its position in the
-  // script implies.
+  // statements (SELECT, EXPLAIN) never fence each other. Conflicting
+  // statements execute in index order, so every statement still observes
+  // exactly the catalog state its position in the script implies.
   std::vector<StatementEffects> effects(n);
   for (size_t i = 0; i < n; ++i) {
     if (parsed[i].ok()) {
@@ -194,14 +328,20 @@ std::vector<Result<Relation>> Database::ExecuteBatch(
       // Unparseable: no effects — it conflicts with nothing and never runs.
     }
   }
+
+  const int budget = rma_options.max_threads > 0 ? rma_options.max_threads
+                                                 : DefaultThreadCount();
+  if (rma_options.batch_schedule == BatchSchedule::kReadiness &&
+      budget >= 2 && n > 1) {
+    ExecuteBatchReadiness(&parsed, statements, effects, budget, &results);
+    return results;
+  }
   const std::vector<int> waves = ScheduleWaves(effects);
   int last_wave = -1;
   for (size_t i = 0; i < n; ++i) {
     if (parsed[i].ok()) last_wave = std::max(last_wave, waves[i]);
   }
 
-  const int budget = rma_options.max_threads > 0 ? rma_options.max_threads
-                                                 : DefaultThreadCount();
   std::vector<size_t> wave_members;
   for (int wave = 0; wave <= last_wave; ++wave) {
     wave_members.clear();

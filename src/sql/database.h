@@ -17,6 +17,8 @@
 
 namespace rma::sql {
 
+struct StatementEffects;
+
 /// A named-relation catalog plus the SQL entry point.
 ///
 /// Example (the paper's introduction):
@@ -88,20 +90,24 @@ class Database {
   /// statements whose write set intersects its read or write sets. A CTAS
   /// fences only statements touching its table; disjoint DDL+SELECT chains
   /// overlap; read-only statements (SELECT and EXPLAIN, plain or ANALYZE
-  /// of a select) never fence each other. The resulting DAG executes as
-  /// waves of pairwise-independent statements on the shared worker pool,
-  /// each wave over one ExecContext borrowing the query cache; the thread
-  /// budget (rma_options.max_threads, 0 = hardware concurrency) is split
-  /// across the in-flight statements so total worker fan-out stays
-  /// bounded. Identical in-flight statements are deduplicated at the plan
-  /// cache (QueryCache::AcquirePlan): one leader plans, the rest wait and
-  /// borrow its plan instead of racing to fill the same entry.
+  /// of a select) never fence each other. Under the default readiness
+  /// schedule (RmaOptions::batch_schedule) each statement launches on the
+  /// shared worker pool the moment its own dependencies complete — a slow
+  /// statement delays only its transitive dependents, never unrelated
+  /// chains; BatchSchedule::kWaves restores the level-synchronized wave
+  /// execution. Either way the batch shares one ExecContext borrowing the
+  /// query cache, and the thread budget (rma_options.max_threads, 0 =
+  /// hardware concurrency) is split across the in-flight statements so
+  /// total worker fan-out stays bounded. Identical in-flight statements
+  /// are deduplicated at the plan cache (QueryCache::AcquirePlan): one
+  /// leader plans, the rest wait and borrow its plan instead of racing to
+  /// fill the same entry.
   ///
   /// Every statement observes exactly the catalog state its script
   /// position implies: a SELECT over a table created earlier in the batch
   /// runs after that CTAS, and one over a table dropped earlier fails —
-  /// the waves only reorder statements whose results cannot depend on each
-  /// other.
+  /// the schedule only reorders statements whose results cannot depend on
+  /// each other.
   std::vector<Result<Relation>> ExecuteBatch(
       const std::vector<std::string>& statements);
 
@@ -133,6 +139,16 @@ class Database {
   Result<Relation> ExecuteParsed(Statement&& stmt, const std::string& sql);
   void ExecuteBatchStatement(Statement&& stmt, const std::string& sql,
                              ExecContext* ctx, Result<Relation>* slot);
+
+  /// Per-statement readiness scheduling for ExecuteBatch: completion
+  /// counters on the conflict edges, admission capped at `budget` in-flight
+  /// statements. Parsed-ok entries of `parsed` are consumed (moved into
+  /// execution); `results` slots are filled in place.
+  void ExecuteBatchReadiness(std::vector<Result<Statement>>* parsed,
+                             const std::vector<std::string>& statements,
+                             const std::vector<StatementEffects>& effects,
+                             int budget,
+                             std::vector<Result<Relation>>* results);
 
   /// Guards tables_; the catalog version is additionally atomic so
   /// statement execution can read it without the lock.

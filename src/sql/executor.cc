@@ -14,6 +14,7 @@
 #include "core/query_cache.h"
 #include "core/rma.h"
 #include "core/scheduler.h"
+#include "matrix/simd.h"
 #include "rel/operators.h"
 #include "sql/database.h"
 #include "sql/effects.h"
@@ -820,7 +821,9 @@ void AppendExecutionSection(const Database& db, const ExecContext& ctx,
   const CostProfilePtr profile = ResolveCostProfile(ctx.options());
   AppendIndented(std::string("cost profile: ") +
                      CostSourceName(profile->Source()) +
-                     (profile->refinable() ? " (refining)" : ""),
+                     (profile->refinable() ? " (refining)" : "") +
+                     ", simd=" + simd::Describe() +
+                     ", regimes=" + std::to_string(profile->MaxRegimes()),
                  1, lines);
   const RmaStats& totals = ctx.totals();
   AppendIndented("prepared cache: " +

@@ -1,5 +1,7 @@
 #include "storage/bat_ops.h"
 
+#include "matrix/simd.h"
+
 #include <algorithm>
 #include <numeric>
 
@@ -204,7 +206,7 @@ BatPtr AddColumns(const BatPtr& a, const BatPtr& b) {
   if (sa != nullptr && sb != nullptr) return SparseAdd(*sa, *sb);
   std::vector<double> x = DenseOf(a);
   const std::vector<double> y = DenseOf(b);
-  for (size_t i = 0; i < x.size(); ++i) x[i] += y[i];
+  simd::Add(x.data(), y.data(), x.data(), static_cast<int64_t>(x.size()));
   return MakeDoubleBat(std::move(x));
 }
 
@@ -212,7 +214,7 @@ BatPtr SubColumns(const BatPtr& a, const BatPtr& b) {
   RMA_DCHECK(a->size() == b->size());
   std::vector<double> x = DenseOf(a);
   const std::vector<double> y = DenseOf(b);
-  for (size_t i = 0; i < x.size(); ++i) x[i] -= y[i];
+  simd::Sub(x.data(), y.data(), x.data(), static_cast<int64_t>(x.size()));
   return MakeDoubleBat(std::move(x));
 }
 
@@ -220,7 +222,7 @@ BatPtr MulColumns(const BatPtr& a, const BatPtr& b) {
   RMA_DCHECK(a->size() == b->size());
   std::vector<double> x = DenseOf(a);
   const std::vector<double> y = DenseOf(b);
-  for (size_t i = 0; i < x.size(); ++i) x[i] *= y[i];
+  simd::Mul(x.data(), y.data(), x.data(), static_cast<int64_t>(x.size()));
   return MakeDoubleBat(std::move(x));
 }
 
@@ -228,7 +230,7 @@ std::vector<double> AddDense(const std::vector<double>& a,
                              const std::vector<double>& b) {
   RMA_DCHECK(a.size() == b.size());
   std::vector<double> out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  simd::Add(a.data(), b.data(), out.data(), static_cast<int64_t>(a.size()));
   return out;
 }
 
@@ -238,7 +240,17 @@ void CopyDenseToStrided(const double* src, int64_t n, double* dst,
     std::copy(src, src + n, dst);
     return;
   }
-  for (int64_t i = 0; i < n; ++i) dst[i * stride] = src[i];
+  // No vector scatter on AVX2/NEON: unroll 4x so the independent strided
+  // stores overlap. Order-preserving, so bit-identical to the plain loop.
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    double* d = dst + i * stride;
+    d[0] = src[i];
+    d[stride] = src[i + 1];
+    d[2 * stride] = src[i + 2];
+    d[3 * stride] = src[i + 3];
+  }
+  for (; i < n; ++i) dst[i * stride] = src[i];
 }
 
 void GatherColumnToStrided(const Bat& col, const std::vector<int64_t>& perm,
@@ -255,9 +267,16 @@ void GatherColumnToStrided(const Bat& col, const std::vector<int64_t>& perm,
   }
   if (const auto* d = dynamic_cast<const DoubleBat*>(&col)) {
     const double* v = d->data().data();
-    for (int64_t i = 0; i < n; ++i) {
-      dst[i * stride] = v[perm[static_cast<size_t>(i)]];
+    const int64_t* p = perm.data();
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      double* out = dst + i * stride;
+      out[0] = v[p[i]];
+      out[stride] = v[p[i + 1]];
+      out[2 * stride] = v[p[i + 2]];
+      out[3 * stride] = v[p[i + 3]];
     }
+    for (; i < n; ++i) dst[i * stride] = v[p[i]];
     return;
   }
   for (int64_t i = 0; i < n; ++i) {
@@ -265,28 +284,93 @@ void GatherColumnToStrided(const Bat& col, const std::vector<int64_t>& perm,
   }
 }
 
+namespace {
+
+// Tile shape for the row-major <-> columnar transposes: 64 rows x 16 columns
+// keeps the strided side of a tile within ~8KB, so its cache lines are
+// finished while still resident instead of being swept once per column.
+constexpr int64_t kTileRows = 64;
+constexpr int64_t kTileCols = 16;
+
+}  // namespace
+
+void PackColumnsRowMajor(const double* const* cols, int64_t k,
+                         const int64_t* perm, int64_t n, double* dst) {
+  if (k == 1) {
+    if (perm == nullptr) {
+      std::copy(cols[0], cols[0] + n, dst);
+    } else {
+      const double* v = cols[0];
+      for (int64_t i = 0; i < n; ++i) dst[i] = v[perm[i]];
+    }
+    return;
+  }
+  for (int64_t i0 = 0; i0 < n; i0 += kTileRows) {
+    const int64_t i1 = std::min(n, i0 + kTileRows);
+    for (int64_t j0 = 0; j0 < k; j0 += kTileCols) {
+      const int64_t j1 = std::min(k, j0 + kTileCols);
+      int64_t j = j0;
+      if (perm == nullptr) {
+        // 4-column groups go through the in-register 4x4 transpose, which
+        // turns the strided stores into full-width vector stores.
+        for (; j + 4 <= j1; j += 4) {
+          simd::Pack4(cols[j] + i0, cols[j + 1] + i0, cols[j + 2] + i0,
+                      cols[j + 3] + i0, dst + i0 * k + j, k, i1 - i0);
+        }
+      }
+      for (; j < j1; ++j) {
+        const double* v = cols[j];
+        double* d = dst + i0 * k + j;
+        if (perm == nullptr) {
+          for (int64_t i = i0; i < i1; ++i, d += k) *d = v[i];
+        } else {
+          for (int64_t i = i0; i < i1; ++i, d += k) *d = v[perm[i]];
+        }
+      }
+    }
+  }
+}
+
+void UnpackRowMajorToColumns(const double* src, int64_t n, int64_t k,
+                             double* const* cols) {
+  if (k == 1) {
+    std::copy(src, src + n, cols[0]);
+    return;
+  }
+  for (int64_t i0 = 0; i0 < n; i0 += kTileRows) {
+    const int64_t i1 = std::min(n, i0 + kTileRows);
+    for (int64_t j0 = 0; j0 < k; j0 += kTileCols) {
+      const int64_t j1 = std::min(k, j0 + kTileCols);
+      int64_t j = j0;
+      for (; j + 4 <= j1; j += 4) {
+        simd::Unpack4(src + i0 * k + j, k, i1 - i0, cols[j] + i0,
+                      cols[j + 1] + i0, cols[j + 2] + i0, cols[j + 3] + i0);
+      }
+      for (; j < j1; ++j) {
+        double* v = cols[j];
+        const double* s = src + i0 * k + j;
+        for (int64_t i = i0; i < i1; ++i, s += k) v[i] = *s;
+      }
+    }
+  }
+}
+
 void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
   RMA_DCHECK(x.size() == y->size());
-  double* yd = y->data();
-  const double* xd = x.data();
-  for (size_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+  simd::Axpy(alpha, x.data(), y->data(), static_cast<int64_t>(x.size()));
 }
 
 void Scale(double alpha, std::vector<double>* x) {
-  for (double& v : *x) v *= alpha;
+  simd::Scale(alpha, x->data(), static_cast<int64_t>(x->size()));
 }
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   RMA_DCHECK(a.size() == b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return simd::Dot(a.data(), b.data(), static_cast<int64_t>(a.size()));
 }
 
 double Sum(const std::vector<double>& a) {
-  double s = 0.0;
-  for (double v : a) s += v;
-  return s;
+  return simd::Sum(a.data(), static_cast<int64_t>(a.size()));
 }
 
 std::vector<int64_t> SelectIndices(

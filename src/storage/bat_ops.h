@@ -80,6 +80,19 @@ void CopyDenseToStrided(const double* src, int64_t n, double* dst,
 void GatherColumnToStrided(const Bat& col, const std::vector<int64_t>& perm,
                            double* dst, int64_t stride);
 
+/// Packs `k` equal-length column arrays into the row-major `dst` (n×k):
+/// dst[i*k + j] = cols[j][perm ? perm[i] : i]. Row/column tiled so each
+/// destination cache line is completed while resident instead of being
+/// refetched once per column — the cache-aware form of k calls to
+/// GatherColumnToStrided.
+void PackColumnsRowMajor(const double* const* cols, int64_t k,
+                         const int64_t* perm, int64_t n, double* dst);
+
+/// Inverse of PackColumnsRowMajor (identity perm): cols[j][i] = src[i*k + j],
+/// with the same tiling applied to the strided reads.
+void UnpackRowMajorToColumns(const double* src, int64_t n, int64_t k,
+                             double* const* cols);
+
 /// y[i] += alpha * x[i]
 void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
 /// x[i] *= alpha

@@ -207,6 +207,157 @@ TEST(ProbeTest, ProducesPositiveRefinableCosts) {
   }
 }
 
+// --- piecewise (cache-breakpoint) cost model ----------------------------------
+
+KernelCost PiecewiseCost() {
+  KernelCost c{1e-9, 0.0, CostSource::kProbed, 0};
+  c.breakpoints = {1 << 10, 1 << 16};       // l2 / l3 regime upper bounds
+  c.rates = {1e-9, 2e-9, 8e-9};             // l2, l3, dram per-element rates
+  return c;
+}
+
+TEST(PiecewiseCostTest, RegimeSelectionAndRates) {
+  const KernelCost c = PiecewiseCost();
+  EXPECT_EQ(c.NumRegimes(), 3);
+  EXPECT_EQ(c.RegimeOf(0), 0);
+  EXPECT_EQ(c.RegimeOf(1 << 10), 0);        // boundary is inclusive
+  EXPECT_EQ(c.RegimeOf((1 << 10) + 1), 1);
+  EXPECT_EQ(c.RegimeOf(1 << 16), 1);
+  EXPECT_EQ(c.RegimeOf(1e12), 2);           // last regime is unbounded
+  EXPECT_DOUBLE_EQ(c.RateFor(100), 1e-9);
+  EXPECT_DOUBLE_EQ(c.RateFor(1 << 14), 2e-9);
+  EXPECT_DOUBLE_EQ(c.RateFor(1e12), 8e-9);
+  // A legacy single-rate entry stays linear.
+  const KernelCost linear{5e-9, 1e-7, CostSource::kProbed, 0};
+  EXPECT_EQ(linear.NumRegimes(), 1);
+  EXPECT_DOUBLE_EQ(linear.RateFor(1e12), 5e-9);
+}
+
+TEST(PiecewiseCostTest, ProfileCostUsesTheContainingRegime) {
+  CostProfile p = CostProfile::Analytic();
+  p.Set(CostKernel::kDenseFlop, PiecewiseCost());
+  EXPECT_DOUBLE_EQ(p.Cost(CostKernel::kDenseFlop, 100), 100 * 1e-9);
+  EXPECT_DOUBLE_EQ(p.Cost(CostKernel::kDenseFlop, 1 << 14),
+                   (1 << 14) * 2e-9);
+  EXPECT_DOUBLE_EQ(p.Cost(CostKernel::kDenseFlop, 1e8), 1e8 * 8e-9);
+  EXPECT_EQ(p.MaxRegimes(), 3);
+  EXPECT_EQ(CostProfile::Analytic().MaxRegimes(), 1);
+}
+
+TEST(PiecewiseCostTest, RegimeLabels) {
+  EXPECT_EQ(CostRegimeLabel(0, 1), "linear");
+  EXPECT_EQ(CostRegimeLabel(0, 3), "l2");
+  EXPECT_EQ(CostRegimeLabel(1, 3), "l3");
+  EXPECT_EQ(CostRegimeLabel(2, 3), "dram");
+  EXPECT_EQ(CostRegimeLabel(1, 2), "r1");  // non-canonical count: positional
+}
+
+TEST(PiecewiseCostTest, RefineMovesOnlyTheContainingRegime) {
+  auto p = std::make_shared<CostProfile>(CostProfile::Analytic());
+  p->Set(CostKernel::kDenseFlop, PiecewiseCost());
+  p->set_refinable(true);
+  // An observation inside the middle (l3) regime: only rates[1] moves.
+  const double elements = 1 << 14;
+  p->Refine(CostKernel::kDenseFlop, elements, elements * 1e-8);
+  const KernelCost c = p->Get(CostKernel::kDenseFlop);
+  EXPECT_DOUBLE_EQ(c.rates[0], 1e-9);
+  EXPECT_DOUBLE_EQ(c.rates[2], 8e-9);
+  const double expected = (1.0 - CostProfile::kRefineAlpha) * 2e-9 +
+                          CostProfile::kRefineAlpha * 1e-8;
+  EXPECT_NEAR(c.rates[1], expected, expected * 1e-9);
+  // per_element mirrors regime 0, which did not move.
+  EXPECT_DOUBLE_EQ(c.per_element, 1e-9);
+
+  // An observation inside regime 0 keeps per_element in sync. 1024 sits at
+  // the regime-0 boundary (inclusive) and at the refinement element floor.
+  p->Refine(CostKernel::kDenseFlop, 1024, 1024 * 4e-9);
+  const KernelCost c2 = p->Get(CostKernel::kDenseFlop);
+  EXPECT_GT(c2.rates[0], 1e-9);
+  EXPECT_DOUBLE_EQ(c2.per_element, c2.rates[0]);
+}
+
+TEST(PiecewiseCostTest, JsonV2RoundTripsBreakpointsAndRates) {
+  CostProfile profile = CostProfile::Analytic();
+  profile.Set(CostKernel::kDenseFlop, PiecewiseCost());
+  const std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"version\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"simd\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"breakpoints\""), std::string::npos) << json;
+  ASSERT_OK_AND_ASSIGN(const CostProfile parsed,
+                       CostProfile::FromJson(json));
+  const KernelCost c = parsed.Get(CostKernel::kDenseFlop);
+  ASSERT_EQ(c.NumRegimes(), 3);
+  EXPECT_EQ(c.breakpoints, PiecewiseCost().breakpoints);
+  EXPECT_DOUBLE_EQ(c.rates[1], 2e-9);
+  EXPECT_EQ(parsed.Fingerprint(), profile.Fingerprint());
+}
+
+TEST(PiecewiseCostTest, RejectsInconsistentPiecewiseDocuments) {
+  const std::string prefix = "{\"version\": 2, \"kernels\": {\"dense_flop\": ";
+  // breakpoints.size() must be rates.size() - 1.
+  EXPECT_FALSE(CostProfile::FromJson(
+                   prefix + "{\"per_element\": 1e-9, \"fixed\": 0, "
+                            "\"breakpoints\": [100, 200], "
+                            "\"rates\": [1e-9, 2e-9]}}}")
+                   .ok());
+  // Breakpoints must be strictly ascending and positive.
+  EXPECT_FALSE(CostProfile::FromJson(
+                   prefix + "{\"per_element\": 1e-9, \"fixed\": 0, "
+                            "\"breakpoints\": [200, 100], "
+                            "\"rates\": [1e-9, 2e-9, 3e-9]}}}")
+                   .ok());
+  // Breakpoints without rates make no sense.
+  EXPECT_FALSE(CostProfile::FromJson(
+                   prefix + "{\"per_element\": 1e-9, \"fixed\": 0, "
+                            "\"breakpoints\": [100]}}}")
+                   .ok());
+  // A non-positive regime rate is as broken as a non-positive per_element.
+  EXPECT_FALSE(CostProfile::FromJson(
+                   prefix + "{\"per_element\": 1e-9, \"fixed\": 0, "
+                            "\"breakpoints\": [100], "
+                            "\"rates\": [1e-9, 0]}}}")
+                   .ok());
+}
+
+TEST(PiecewiseCostTest, ProbeWithBreakpointsYieldsMonotonicRegimeRates) {
+  ProbeOptions opts;
+  opts.small_elements = 1 << 10;
+  opts.large_elements = 1 << 13;
+  opts.repetitions = 1;
+  opts.cache_breakpoints = true;
+  opts.max_probe_elements = 1 << 16;  // keep the deep-regime probes fast
+  const CostProfile probed = ProbeCostProfile(opts);
+  const CacheSizes caches = DetectCacheSizes();
+  EXPECT_GT(caches.l2_bytes, 0);
+  EXPECT_GT(caches.l3_bytes, caches.l2_bytes);
+  for (int i = 0; i < kNumCostKernels; ++i) {
+    const KernelCost c = probed.Get(static_cast<CostKernel>(i));
+    ASSERT_GE(c.NumRegimes(), 1);
+    if (c.rates.empty()) continue;
+    EXPECT_DOUBLE_EQ(c.per_element, c.rates[0]);
+    for (size_t r = 1; r < c.rates.size(); ++r) {
+      // Deeper memory is never priced cheaper: noise must not teach the
+      // planner to prefer DRAM-sized working sets.
+      EXPECT_GE(c.rates[r], c.rates[r - 1])
+          << CostKernelName(static_cast<CostKernel>(i)) << " regime " << r;
+    }
+  }
+  // Disabling breakpoints restores the legacy single-rate shape.
+  opts.cache_breakpoints = false;
+  const CostProfile flat = ProbeCostProfile(opts);
+  EXPECT_EQ(flat.MaxRegimes(), 1);
+}
+
+TEST(PiecewiseCostTest, RegimeRateShiftChangesTheFingerprint) {
+  auto p = std::make_shared<CostProfile>(CostProfile::Analytic());
+  p->Set(CostKernel::kDenseFlop, PiecewiseCost());
+  const uint64_t before = p->Fingerprint();
+  KernelCost shifted = PiecewiseCost();
+  shifted.rates[2] *= 4.0;  // dram regime repriced; regime 0 untouched
+  p->Set(CostKernel::kDenseFlop, shifted);
+  EXPECT_NE(p->Fingerprint(), before);
+}
+
 // --- refinement ---------------------------------------------------------------
 
 TEST(RefineTest, MeasuredStatsOverrideProbeValues) {

@@ -361,6 +361,117 @@ TEST(ExecuteBatchTest, DisjointDdlSelectChainsRunConcurrently) {
   EXPECT_FALSE(db.Has("cb"));
 }
 
+// --- readiness vs. waves ------------------------------------------------------
+
+/// The mixed-script shape from bench_batch: disjoint CTAS → SELECT chains
+/// with independent analytic SELECTs between them. Exercises every edge
+/// type (RAW on the created table, WAR before the drop, WAW on re-create).
+std::vector<std::string> MixedChainScript() {
+  return {
+      "CREATE TABLE ca AS SELECT * FROM QQR(r BY id)",
+      "SELECT * FROM CPD(s BY id, s BY id)",
+      "SELECT COUNT(*) AS n FROM ca",
+      "DROP TABLE ca",
+      "CREATE TABLE cb AS SELECT * FROM QQR(s BY id)",
+      "SELECT COUNT(*) AS n FROM cb",
+      "DROP TABLE cb",
+      "SELECT * FROM rating",
+  };
+}
+
+TEST(BatchScheduleTest, ReadinessAndWavesProduceIdenticalResults) {
+  // Same script, both schedulers, slot-by-slot agreement on ok-ness and
+  // shape. Readiness is the default; waves stays selectable per database.
+  const std::vector<std::string> statements = MixedChainScript();
+  Database readiness_db = MakeDb(/*max_threads=*/4);
+  ASSERT_EQ(readiness_db.rma_options.batch_schedule,
+            BatchSchedule::kReadiness);
+  Database waves_db = MakeDb(/*max_threads=*/4);
+  waves_db.rma_options.batch_schedule = BatchSchedule::kWaves;
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<Result<Relation>> ready = readiness_db.ExecuteBatch(statements);
+    std::vector<Result<Relation>> waves = waves_db.ExecuteBatch(statements);
+    ASSERT_EQ(ready.size(), statements.size());
+    ASSERT_EQ(waves.size(), statements.size());
+    for (size_t i = 0; i < statements.size(); ++i) {
+      ASSERT_TRUE(ready[i].ok())
+          << statements[i] << ": " << ready[i].status().ToString();
+      ASSERT_TRUE(waves[i].ok())
+          << statements[i] << ": " << waves[i].status().ToString();
+      EXPECT_EQ(ready[i]->num_rows(), waves[i]->num_rows()) << statements[i];
+      EXPECT_EQ(ready[i]->num_columns(), waves[i]->num_columns())
+          << statements[i];
+    }
+    EXPECT_EQ(ValueToDouble(ready[2]->Get(0, 0)), 500.0);
+    EXPECT_EQ(ValueToDouble(ready[5]->Get(0, 0)), 500.0);
+  }
+  EXPECT_FALSE(readiness_db.Has("ca"));
+  EXPECT_FALSE(readiness_db.Has("cb"));
+}
+
+TEST(BatchScheduleTest, ReadinessHonorsDependentOrdering) {
+  // The DdlOrderingIsPreserved contract, pinned explicitly to the readiness
+  // scheduler: a consumer launches only when its own producers finished, a
+  // post-drop reader fails, and slots stay aligned with script positions.
+  Database db = MakeDb(/*max_threads=*/4);
+  db.rma_options.batch_schedule = BatchSchedule::kReadiness;
+  const std::vector<std::string> statements = {
+      "CREATE TABLE q AS SELECT * FROM QQR(r BY id)",
+      "SELECT COUNT(*) AS n FROM q",
+      "DROP TABLE q",
+      "SELECT * FROM q",
+  };
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Result<Relation>> results = db.ExecuteBatch(statements);
+    ASSERT_EQ(results.size(), 4u);
+    ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+    ASSERT_TRUE(results[1].ok()) << results[1].status().ToString();
+    EXPECT_EQ(ValueToDouble(results[1]->Get(0, 0)), 500.0);
+    EXPECT_TRUE(results[2].ok());
+    EXPECT_FALSE(results[3].ok());  // reads the post-drop catalog
+    EXPECT_FALSE(db.Has("q"));
+  }
+}
+
+TEST(BatchScheduleTest, ReadinessPreservesParseErrorSlots) {
+  // Unparseable statements hold their error in place; their slots take no
+  // scheduler edges, so surrounding statements still overlap and succeed.
+  Database db = MakeDb(/*max_threads=*/4);
+  const std::vector<std::string> statements = {
+      "SELECT * FROM QQR(r BY id)",
+      "SELECT broken syntax here",
+      "CREATE TABLE q AS SELECT * FROM QQR(s BY id)",
+      "SELECT * FROM no_such_table",
+      "SELECT COUNT(*) AS n FROM q",
+      "DROP TABLE q",
+  };
+  std::vector<Result<Relation>> results = db.ExecuteBatch(statements);
+  ASSERT_EQ(results.size(), 6u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());  // parse error, preserved in its slot
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_FALSE(results[3].ok());  // execution error (unknown table)
+  ASSERT_TRUE(results[4].ok()) << results[4].status().ToString();
+  EXPECT_EQ(ValueToDouble(results[4]->Get(0, 0)), 500.0);
+  EXPECT_TRUE(results[5].ok());
+}
+
+TEST(BatchScheduleTest, SingleThreadBudgetFallsBackSafely) {
+  // budget < 2 cannot overlap anything: the readiness default quietly takes
+  // the serial waves path and the script still honors its ordering.
+  Database db = MakeDb(/*max_threads=*/1);
+  std::vector<Result<Relation>> results =
+      db.ExecuteBatch(MixedChainScript());
+  ASSERT_EQ(results.size(), 8u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+  }
+  EXPECT_EQ(ValueToDouble(results[2]->Get(0, 0)), 500.0);
+  EXPECT_FALSE(db.Has("ca"));
+  EXPECT_FALSE(db.Has("cb"));
+}
+
 TEST(ExecuteScriptTest, CommentsFlowThroughEndToEnd) {
   // The acceptance path for the comment bugfixes: a script with block
   // comments, apostrophes inside comments, and comment-adjacent semicolons
