@@ -11,10 +11,31 @@ namespace blas {
 
 namespace {
 
+// Rank-4 update with the scalar loop's zero-skip semantics: a fully nonzero
+// group takes the fused kernel, a fully zero group is skipped, and a mixed
+// group falls back to per-coefficient Axpy so a zero coefficient never
+// touches its input row — 0 * inf would otherwise inject NaN that the
+// scalar path (and the k % 4 tail) skips.
+void Axpy4ZeroSkip(const double a4[4], const double* x0, const double* x1,
+                   const double* x2, const double* x3, double* y, int64_t n) {
+  const bool nz0 = a4[0] != 0.0;
+  const bool nz1 = a4[1] != 0.0;
+  const bool nz2 = a4[2] != 0.0;
+  const bool nz3 = a4[3] != 0.0;
+  if (nz0 && nz1 && nz2 && nz3) {
+    simd::Axpy4(a4, x0, x1, x2, x3, y, n);
+    return;
+  }
+  if (nz0) simd::Axpy(a4[0], x0, y, n);
+  if (nz1) simd::Axpy(a4[1], x1, y, n);
+  if (nz2) simd::Axpy(a4[2], x2, y, n);
+  if (nz3) simd::Axpy(a4[3], x3, y, n);
+}
+
 // Inner kernel: C[i0:i1) += A[i0:i1) * B with i-k-j loop order so the B row
 // is streamed contiguously and C rows stay hot. Four B rows per pass (rank-4
-// update) quarter the C-row load/store traffic; all-zero groups keep the
-// banded-input skip.
+// update) quarter the C-row load/store traffic; zero coefficients keep the
+// banded-input skip via Axpy4ZeroSkip.
 void GemmBand(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
               int64_t i0, int64_t i1) {
   const int64_t k = a.cols();
@@ -25,11 +46,8 @@ void GemmBand(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
     int64_t p = 0;
     for (; p + 4 <= k; p += 4) {
       const double a4[4] = {ai[p], ai[p + 1], ai[p + 2], ai[p + 3]};
-      if (a4[0] == 0.0 && a4[1] == 0.0 && a4[2] == 0.0 && a4[3] == 0.0) {
-        continue;
-      }
-      simd::Axpy4(a4, b.row_ptr(p), b.row_ptr(p + 1), b.row_ptr(p + 2),
-                  b.row_ptr(p + 3), ci, n);
+      Axpy4ZeroSkip(a4, b.row_ptr(p), b.row_ptr(p + 1), b.row_ptr(p + 2),
+                    b.row_ptr(p + 3), ci, n);
     }
     for (; p < k; ++p) {
       const double aip = ai[p];
@@ -81,11 +99,7 @@ Result<DenseMatrix> CrossProd(const DenseMatrix& a, const DenseMatrix& b) {
           const double* bp3 = b.row_ptr(p + 3);
           for (int64_t i = lo; i < hi; ++i) {
             const double a4[4] = {ap0[i], ap1[i], ap2[i], ap3[i]};
-            if (a4[0] == 0.0 && a4[1] == 0.0 && a4[2] == 0.0 &&
-                a4[3] == 0.0) {
-              continue;
-            }
-            simd::Axpy4(a4, bp0, bp1, bp2, bp3, c.row_ptr(i), n);
+            Axpy4ZeroSkip(a4, bp0, bp1, bp2, bp3, c.row_ptr(i), n);
           }
         }
         for (; p < r; ++p) {
@@ -119,12 +133,8 @@ DenseMatrix Syrk(const DenseMatrix& a) {
           const double* ap3 = a.row_ptr(p + 3);
           for (int64_t i = lo; i < hi; ++i) {
             const double a4[4] = {ap0[i], ap1[i], ap2[i], ap3[i]};
-            if (a4[0] == 0.0 && a4[1] == 0.0 && a4[2] == 0.0 &&
-                a4[3] == 0.0) {
-              continue;
-            }
-            simd::Axpy4(a4, ap0 + i, ap1 + i, ap2 + i, ap3 + i,
-                        c.row_ptr(i) + i, k - i);
+            Axpy4ZeroSkip(a4, ap0 + i, ap1 + i, ap2 + i, ap3 + i,
+                          c.row_ptr(i) + i, k - i);
           }
         }
         for (; p < r; ++p) {

@@ -207,7 +207,9 @@ void Database::ExecuteBatchReadiness(
   std::deque<size_t> ready;  // dep-free, not yet launched, in index order
   std::deque<ThreadPool::TaskPtr> joinable;
   std::vector<std::exception_ptr> errors(n);
+  std::vector<int> shares(n, 1);  // per-statement thread budget, set at admission
   int in_flight = 0;
+  int pending_submits = 0;  // submit() calls whose TaskPtr isn't in joinable yet
   size_t completed = 0;
   for (size_t j = 0; j < n; ++j) {
     if ((*parsed)[j].ok() && dep_count[j] == 0) ready.push_back(j);
@@ -223,25 +225,37 @@ void Database::ExecuteBatchReadiness(
       ready.pop_front();
       ++in_flight;
     }
+    // Split the statement-level thread budget across the admission-time
+    // target concurrency: everything in flight once this round is admitted.
+    // Shares handed out in earlier rounds are not revisited, so aggregate
+    // fan-out can transiently exceed `budget` until those statements retire;
+    // each round on its own sums to at most `budget`, like a wave.
+    for (size_t j : *out) {
+      shares[j] = std::max(1, budget / std::max(1, in_flight));
+    }
   };
 
+  // Submitting is a two-step handoff: the task goes to the pool first, and
+  // only then into `joinable`. In between, the task can already run to
+  // completion on a worker, so `pending_submits` is raised under mu before
+  // Submit and lowered with the push — the join predicate refuses to unwind
+  // while it is nonzero, which is what keeps mu/cv/joinable alive for the
+  // push below even when the task beats it.
   std::function<void(size_t)> submit = [&](size_t k) {
     Statement* stmt = &*(*parsed)[k];
     const std::string* sql = &statements[k];
     Result<Relation>* slot = &(*results)[k];
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++pending_submits;
+    }
     ThreadPool::TaskPtr task =
         ThreadPool::Shared().Submit([&, k, stmt, sql, slot] {
           {
-            // Split the statement-level thread budget across the statements
-            // in flight right now; each statement's kernels (and its own
-            // subtree forks) inherit the share via the ambient
-            // ScopedThreadBudget.
-            int share;
-            {
-              std::lock_guard<std::mutex> lock(mu);
-              share = std::max(1, budget / std::max(1, in_flight));
-            }
-            ScopedThreadBudget budget_share(share);
+            // shares[k] was fixed at admission time (under mu, before this
+            // task was submitted); the statement's kernels and subtree forks
+            // inherit it via the ambient ScopedThreadBudget.
+            ScopedThreadBudget budget_share(shares[k]);
             try {
               ExecuteBatchStatement(std::move(*stmt), *sql, &ctx, slot);
             } catch (...) {
@@ -260,11 +274,16 @@ void Database::ExecuteBatchReadiness(
             cv.notify_all();
           }
           // When `admitted` is empty this task touches nothing shared past
-          // the notify above, so the joining thread may safely unwind.
+          // the notify above, so the joining thread may safely unwind. When
+          // it is non-empty the captured state stays alive: the admitted
+          // statements count toward `runnable` but not `completed`, so the
+          // join predicate cannot pass until the submits below have run and
+          // those statements have retired.
           for (size_t j : admitted) submit(j);
         });
     std::lock_guard<std::mutex> lock(mu);
     joinable.push_back(std::move(task));
+    --pending_submits;
     cv.notify_all();
   };
 
@@ -283,8 +302,10 @@ void Database::ExecuteBatchReadiness(
     ThreadPool::TaskPtr task;
     {
       std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock,
-              [&] { return !joinable.empty() || completed == runnable; });
+      cv.wait(lock, [&] {
+        return !joinable.empty() ||
+               (completed == runnable && pending_submits == 0);
+      });
       if (!joinable.empty()) {
         task = std::move(joinable.front());
         joinable.pop_front();

@@ -2,6 +2,9 @@
 // over randomized shapes.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "matrix/blas.h"
 #include "test_util.h"
 #include "util/random.h"
@@ -77,6 +80,46 @@ TEST(Blas, SyrkMatchesCrossProdWithSelf) {
   for (int64_t i = 0; i < 12; ++i) {
     for (int64_t j = 0; j < 12; ++j) EXPECT_EQ(syrk(i, j), syrk(j, i));
   }
+}
+
+TEST(Blas, ZeroCoefficientSkipsNonFiniteRows) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // k = 6: coefficients 0..3 take the grouped rank-4 path, 4..5 the scalar
+  // tail. A zero coefficient must skip its B row entirely in both, so
+  // inf/NaN parked there never reach the output (0 * inf would be NaN).
+  DenseMatrix a(2, 6, 1.0);
+  a(0, 1) = 0.0;  // inside the rank-4 group
+  a(0, 5) = 0.0;  // in the scalar tail
+  DenseMatrix b(6, 3, 1.0);
+  for (int64_t j = 0; j < 3; ++j) {
+    b(1, j) = inf;
+    b(5, j) = nan;
+  }
+  const DenseMatrix c = blas::MatMul(a, b).ValueOrDie();
+  for (int64_t j = 0; j < 3; ++j) EXPECT_EQ(c(0, j), 4.0);
+  // Nonzero coefficients still see the non-finite rows.
+  EXPECT_TRUE(std::isnan(c(1, 0)));
+
+  // CrossProd groups over rows of A and B: zeros in a column of A must skip
+  // the matching B row.
+  DenseMatrix a2(6, 2, 1.0);
+  a2(1, 0) = 0.0;
+  a2(5, 0) = 0.0;
+  const DenseMatrix cp = blas::CrossProd(a2, b).ValueOrDie();
+  for (int64_t j = 0; j < 3; ++j) EXPECT_EQ(cp(0, j), 4.0);
+  EXPECT_TRUE(std::isnan(cp(1, 0)));
+
+  // Syrk: a zero entry must skip the matching row of A itself, even when
+  // that row holds inf in another column of the same rank-4 group.
+  DenseMatrix a3(6, 2, 1.0);
+  a3(1, 0) = 0.0;
+  a3(1, 1) = inf;
+  const DenseMatrix sy = blas::Syrk(a3);
+  EXPECT_EQ(sy(0, 0), 5.0);
+  EXPECT_EQ(sy(0, 1), 5.0);
+  EXPECT_EQ(sy(1, 0), 5.0);
+  EXPECT_TRUE(std::isinf(sy(1, 1)));
 }
 
 TEST(Blas, DimensionMismatchesRejected) {
