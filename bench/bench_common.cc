@@ -25,6 +25,7 @@ struct BenchJsonState {
     double ns = 0;
     int64_t bytes = 0;
     std::string kernel;
+    int shards = 0;
   };
   std::vector<Entry> entries;
   size_t flushed_entries = 0;  ///< Flush is a no-op until new entries arrive
@@ -87,12 +88,12 @@ bool BenchJson::enabled() {
 
 void BenchJson::Record(const std::string& name, const std::string& op,
                        const std::string& shape, double seconds, int64_t bytes,
-                       const std::string& kernel) {
+                       const std::string& kernel, int shards) {
   BenchJsonState& state = JsonState();
   std::lock_guard<std::mutex> lock(state.mu);
   if (!state.enabled) return;
   state.entries.push_back(
-      {name, op, shape, seconds * 1e9, bytes, kernel});
+      {name, op, shape, seconds * 1e9, bytes, kernel, shards});
 }
 
 void BenchJson::Flush() {
@@ -118,11 +119,11 @@ void BenchJson::Flush() {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"op\": \"%s\", \"shape\": \"%s\", "
                  "\"ns\": %.3f, \"bytes\": %lld, \"kernel\": \"%s\", "
-                 "\"regime\": \"%s\"}%s\n",
+                 "\"regime\": \"%s\", \"shards\": %d}%s\n",
                  JsonEscape(e.name).c_str(), JsonEscape(e.op).c_str(),
                  JsonEscape(e.shape).c_str(), e.ns,
                  static_cast<long long>(e.bytes), JsonEscape(e.kernel).c_str(),
-                 RegimeOfBytes(e.bytes),
+                 RegimeOfBytes(e.bytes), e.shards,
                  i + 1 < state.entries.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -66,10 +66,12 @@ class BenchJson {
   /// Records one measurement: `op` is the operation or phase measured,
   /// `shape` a free-form size ("60000x24"), `seconds` wall time (stored as
   /// ns), `bytes` the touched payload (0 = unknown), `kernel` the kernel
-  /// family or policy chosen ("" = n/a).
+  /// family or policy chosen ("" = n/a), `shards` the shard count the run
+  /// executed under (0 = not a sharded measurement; 1 = explicitly
+  /// unsharded, so baseline diffs can pair the two variants).
   static void Record(const std::string& name, const std::string& op,
                      const std::string& shape, double seconds, int64_t bytes,
-                     const std::string& kernel);
+                     const std::string& kernel, int shards = 0);
 
   /// Writes BENCH_<bench>.json if armed and entries exist. Registered via
   /// atexit by Init; calling it twice is harmless (second write is

@@ -20,6 +20,12 @@ and allocator noise dominate there (sub-100µs rows swing tens of percent
 run-to-run even best-of-N). A scale mismatch between the two files is
 an error (ns at different problem sizes are not comparable).
 
+Entries may carry a cache "regime" ("l2"/"l3"/"dram") and a "shards" count
+(the shard count the recorded plan executed with; 0 = not a sharded
+measurement). Both are shown in the diff table, and a shard-count change
+between baseline and current is flagged inline — a plan that stopped (or
+started) sharding explains a timing shift better than the ratio alone.
+
 Exit status: 0 = no regressions, 1 = regressions found, 2 = usage/format
 error.
 """
@@ -39,12 +45,14 @@ def load_entries(path):
     if "entries" not in doc or not isinstance(doc["entries"], list):
         sys.exit(f"bench_compare: {path}: no entries array")
     entries = {}
+    meta = {}
     for e in doc["entries"]:
         name, ns = e.get("name"), e.get("ns")
         if not isinstance(name, str) or not isinstance(ns, (int, float)):
             sys.exit(f"bench_compare: {path}: malformed entry {e!r}")
         entries[name] = float(ns)
-    return doc.get("scale", 1.0), entries
+        meta[name] = (e.get("regime", ""), int(e.get("shards", 0) or 0))
+    return doc.get("scale", 1.0), entries, meta
 
 
 def main():
@@ -62,8 +70,8 @@ def main():
                          "normalization")
     args = ap.parse_args()
 
-    base_scale, base = load_entries(args.baseline)
-    cur_scale, cur = load_entries(args.current)
+    base_scale, base, base_meta = load_entries(args.baseline)
+    cur_scale, cur, cur_meta = load_entries(args.current)
     if base_scale != cur_scale:
         sys.exit(f"bench_compare: scale mismatch: baseline ran at "
                  f"{base_scale}, current at {cur_scale} — regenerate the "
@@ -88,18 +96,24 @@ def main():
 
     regressions, improvements = [], []
     print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} "
-          f"{'norm ratio':>10}")
+          f"{'norm ratio':>10} {'regime':>6} {'shards':>6}")
     for name in usable:
         norm = ratios[name] / speed
+        regime, shards = cur_meta.get(name, ("", 0))
+        base_shards = base_meta.get(name, ("", 0))[1]
+        shards_cell = "-" if shards == 0 and base_shards == 0 else str(shards)
         flag = ""
+        if shards != base_shards:
+            # The plan changed shape, not just speed.
+            flag = f"  [shards {base_shards}->{shards}]"
         if norm > 1.0 + args.threshold:
             regressions.append((name, norm))
-            flag = "  << REGRESSION"
+            flag += "  << REGRESSION"
         elif norm < 1.0 - args.threshold:
             improvements.append((name, norm))
-            flag = "  (improved)"
+            flag += "  (improved)"
         print(f"{name:<40} {base[name]:>10.0f}ns {cur[name]:>10.0f}ns "
-              f"{norm:>9.2f}x{flag}")
+              f"{norm:>9.2f}x {regime:>6} {shards_cell:>6}{flag}")
 
     print(f"\nmachine-speed factor (median ratio): {speed:.2f}x"
           f"{' (absolute mode)' if args.absolute else ''}")

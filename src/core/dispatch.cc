@@ -209,6 +209,7 @@ Result<std::vector<BatPtr>> DispatchBinary(ExecContext& ctx,
 Result<Relation> RmaUnary(ExecContext* ctx, MatrixOp op, const Relation& r,
                           const std::vector<std::string>& order) {
   RMA_CHECK(ctx != nullptr);
+  RMA_RETURN_NOT_OK(ValidateRmaOptions(ctx->options()));
   const OpInfo& info = GetOpInfo(op);
   if (info.arity != 1) {
     return Status::Invalid(std::string(info.name) + " is a binary operation");
@@ -247,6 +248,7 @@ Result<Relation> RmaBinary(ExecContext* ctx, MatrixOp op, const Relation& r,
                            const Relation& s,
                            const std::vector<std::string>& order_s) {
   RMA_CHECK(ctx != nullptr);
+  RMA_RETURN_NOT_OK(ValidateRmaOptions(ctx->options()));
   const OpInfo& info = GetOpInfo(op);
   if (info.arity != 2) {
     return Status::Invalid(std::string(info.name) + " is a unary operation");
@@ -263,12 +265,17 @@ Result<Relation> RmaBinary(ExecContext* ctx, MatrixOp op, const Relation& r,
   const ArgShape right_shape = ps.Shape();
   const bool self_cross =
       op == MatrixOp::kCpd && internal::SameAppData(pr, ps);
-  const OpPlan plan =
+  OpPlan plan =
       PlanOp(op, ctx->options(), pr.Shape(), &right_shape, self_cross);
+  // The subtree scheduler may have shrunk the thread budget since planning;
+  // clamp the shard count so the recorded plan matches what actually runs.
+  internal::ClampShards(*ctx, &plan);
   ctx->RecordPlan(plan);
   // --- kernel stages ---------------------------------------------------------
-  RMA_ASSIGN_OR_RETURN(std::vector<BatPtr> base,
-                       internal::DispatchBinary(*ctx, plan, pr, ps));
+  RMA_ASSIGN_OR_RETURN(
+      std::vector<BatPtr> base,
+      plan.shards > 1 ? internal::DispatchShardedBinary(*ctx, plan, pr, ps)
+                      : internal::DispatchBinary(*ctx, plan, pr, ps));
   // --- morph + merge ---------------------------------------------------------
   Timer timer;
   Result<Relation> result =

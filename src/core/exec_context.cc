@@ -56,6 +56,9 @@ void AddStage(RmaStats* stats, Stage stage, double seconds) {
     case Stage::kMorph:
       stats->morph_seconds += seconds;
       break;
+    case Stage::kMerge:
+      stats->merge_seconds += seconds;
+      break;
   }
 }
 
@@ -65,6 +68,9 @@ void AddStats(RmaStats* into, const RmaStats& from) {
   into->compute_seconds += from.compute_seconds;
   into->transform_out_seconds += from.transform_out_seconds;
   into->morph_seconds += from.morph_seconds;
+  into->merge_seconds += from.merge_seconds;
+  // shard_seconds stays per-op: shard walls overlap in real time, so summing
+  // them across ops would double-count against the wall-clock totals.
   into->plan_cache_hits += from.plan_cache_hits;
   into->plan_cache_misses += from.plan_cache_misses;
   into->prepared_cache_hits += from.prepared_cache_hits;
@@ -123,6 +129,12 @@ void ExecContext::RecordStage(Stage stage, double seconds) {
   std::lock_guard<std::mutex> lock(mu_);
   AddStage(&totals_, stage, seconds);
   if (opts_.stats != nullptr) AddStage(opts_.stats, stage, seconds);
+}
+
+void ExecContext::RecordShardTimes(const std::vector<double>& shard_walls) {
+  if (OpenOp* op = TopOpenOp(this)) op->stats.shard_seconds = shard_walls;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (opts_.stats != nullptr) opts_.stats->shard_seconds = shard_walls;
 }
 
 void ExecContext::RecordPlan(const OpPlan& plan) {

@@ -101,6 +101,12 @@ class ExecContext {
   /// when set), the open per-op log entry, and the context-wide totals.
   void RecordStage(Stage stage, double seconds);
 
+  /// Attaches per-shard wall times (indexed by shard id) to the operation
+  /// this thread has open — and to the options' stats sink. Called by the
+  /// sharded executor from the bracket-owning thread after the shard join;
+  /// purely diagnostic (EXPLAIN ANALYZE), never folded into totals().
+  void RecordShardTimes(const std::vector<double>& shard_walls);
+
   /// Cumulative per-stage totals across all operations run on this context.
   const RmaStats& totals() const { return totals_; }
 

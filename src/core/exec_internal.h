@@ -71,6 +71,28 @@ Result<std::vector<BatPtr>> DispatchBinary(ExecContext& ctx,
                                            const PreparedArg& pr,
                                            const PreparedArg& ps);
 
+// --- shard_exec.cc ----------------------------------------------------------
+
+/// Clamps plan->shards to the context's effective thread budget at dispatch
+/// time (subtree forking may have shrunk it since planning). Dropping under
+/// two shards reverts the plan to the unsharded shape (merge kind and stage
+/// removed), so the recorded plan always matches what actually ran.
+void ClampShards(const ExecContext& ctx, OpPlan* plan);
+
+/// Kernel-stage execution of a row-range sharded binary operation
+/// (plan.shards > 1): one stage chain per shard on the shared pool under a
+/// split thread budget, then the plan's merge stage — ordered concatenation
+/// for element-wise ops, pairwise tree-reduction of per-shard partials for
+/// cross products. Records summed per-shard stage seconds (CPU-time
+/// semantics, which the cost-model refinement expects), per-shard wall times
+/// via ExecContext::RecordShardTimes, and the merge under Stage::kMerge.
+/// Falls back to DispatchBinary if an input unexpectedly lacks contiguous
+/// double storage.
+Result<std::vector<BatPtr>> DispatchShardedBinary(ExecContext& ctx,
+                                                  const OpPlan& plan,
+                                                  const PreparedArg& pr,
+                                                  const PreparedArg& ps);
+
 // --- assemble.cc ------------------------------------------------------------
 
 /// Morph + merge for unary operations: attaches contextual information

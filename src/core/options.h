@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
+
+#include "util/result.h"
 
 namespace rma {
 
@@ -55,6 +58,13 @@ struct RmaStats {
   double compute_seconds = 0;        ///< the matrix kernel itself
   double transform_out_seconds = 0;  ///< base result -> BATs (scatter)
   double morph_seconds = 0;          ///< contextual-information handling
+  double merge_seconds = 0;          ///< shard merge/reduce barrier
+
+  /// Per-shard wall times of the sharded stage chain (gather+kernel+scatter),
+  /// indexed by shard id; empty when the op ran unsharded. Diagnostic only:
+  /// shard walls overlap in real time, so they are reported per op (EXPLAIN
+  /// ANALYZE) but never folded into aggregate context totals.
+  std::vector<double> shard_seconds;
 
   // Query-cache effectiveness (core/query_cache.h). Plan counters track
   // whole-statement physical-plan reuse; prepared counters track sort-
@@ -71,7 +81,7 @@ struct RmaStats {
   }
   double TotalSeconds() const {
     return sort_seconds + transform_in_seconds + compute_seconds +
-           transform_out_seconds + morph_seconds;
+           transform_out_seconds + morph_seconds + merge_seconds;
   }
 };
 
@@ -132,6 +142,17 @@ struct RmaOptions {
   /// kernel. 0 = offload whenever the tree structure allows.
   int64_t parallel_min_elements = 0;
 
+  /// Upper bound on row-range shards per operation (>= 1). The planner picks
+  /// the actual count from calibrated per-shard costs, capped by this, the
+  /// effective thread budget, and `shard_min_rows`; 1 disables sharding.
+  /// 0 is rejected by ValidateRmaOptions — "no shards" is not a meaningful
+  /// request and silently treating it as 1 has masked config typos.
+  int max_shards = 16;
+
+  /// Minimum rows per shard (>= 1): an op is never split finer than this, so
+  /// tiny inputs keep the single-DAG path regardless of `max_shards`.
+  int64_t shard_min_rows = 4096;
+
   /// Reuse sort permutations across operations sharing an ExecContext:
   /// preparing the same (relation, order schema) twice hits a cache instead
   /// of re-sorting. Covers e.g. the covariance pipeline tra+mmu and the OLS
@@ -162,6 +183,13 @@ struct RmaOptions {
   /// Cross-algebra rewrites applied by plan-level evaluators.
   RewriteRules rewrites;
 };
+
+/// Rejects out-of-range option values with a descriptive Status instead of
+/// letting them silently fall back downstream: max_shards/shard_min_rows of 0
+/// (or negative), negative max_threads / parallel_min_elements, and a
+/// non-positive contiguous budget are all configuration errors. Checked at
+/// every RmaUnary/RmaBinary entry (and therefore by everything above them).
+Status ValidateRmaOptions(const RmaOptions& opts);
 
 }  // namespace rma
 

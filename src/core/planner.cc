@@ -9,6 +9,7 @@
 #include "core/algebra.h"
 #include "core/constructors.h"
 #include "core/kernels.h"
+#include "matrix/parallel.h"
 #include "storage/sparse_bat.h"
 
 namespace rma {
@@ -78,6 +79,84 @@ std::vector<Stage> StagesFor(KernelChoice kernel) {
           Stage::kMorph};
 }
 
+// Element-equivalent price of launching one shard: a pool dispatch, a budget
+// install, and the cold start of a worker's cache working set. Calibrated
+// loosely — it only needs to keep shard counts away from shapes where a
+// task costs more than its slice of the kernel.
+constexpr double kShardForkElements = 32768.0;
+
+/// Picks plan.shards / plan.merge for the already-chosen kernel. Sharding is
+/// considered for two op classes, matching the merge contracts the executor
+/// implements (core/shard_exec.cc):
+///   - element-wise union-compatible ops over fully dense contiguous columns
+///     (ordered concat of disjoint row ranges; bit-exact),
+///   - cross products on the dense/SYRK kernels (per-shard partial Gram
+///     matrices summed pairwise; associative up to FP rounding).
+/// The count is chosen from calibrated per-shard costs: candidate s halves
+/// the per-shard element count, which a piecewise profile prices in the
+/// cache regime that work actually fits in, plus per-shard fork overhead and
+/// the O(cols^2 log s) tree-reduce. Sharding must beat the unsharded estimate
+/// by a margin or the plan stays at shards=1.
+void DecideShards(const OpInfo& info, const RmaOptions& opts,
+                  const ArgShape& left, const ArgShape* right,
+                  const CostProfile& profile, OpPlan* plan) {
+  MergeKind merge = MergeKind::kNone;
+  if (info.union_compatible && right != nullptr && left.contiguous &&
+      right->contiguous && left.density >= 1.0 && right->density >= 1.0) {
+    merge = MergeKind::kConcat;
+  } else if (plan->op == MatrixOp::kCpd && right != nullptr &&
+             left.contiguous && right->contiguous &&
+             plan->kernel != KernelChoice::kBat) {
+    merge = MergeKind::kTreeReduce;
+  } else {
+    return;
+  }
+
+  const int budget =
+      opts.max_threads > 0 ? opts.max_threads : DefaultThreadCount();
+  const int64_t row_cap = left.rows / std::max<int64_t>(1, opts.shard_min_rows);
+  const int cap = static_cast<int>(std::min<int64_t>(
+      std::min<int64_t>(opts.max_shards, budget), row_cap));
+  if (cap < 2) return;
+
+  const bool on_bat = plan->kernel == KernelChoice::kBat;
+  const CostKernel family =
+      on_bat ? BatCostFamily(plan->op) : CostKernel::kDenseFlop;
+  // Chosen-path work; the dense path also splits its gather across shards.
+  const double elements = on_bat ? plan->bat_elements : plan->flops;
+  const double gather = on_bat ? 0.0 : plan->gather_elements;
+  const double out_cols = static_cast<double>(
+      merge == MergeKind::kTreeReduce ? left.cols * left.cols : 0);
+
+  const double unsharded = profile.Cost(family, elements) +
+                           profile.Cost(CostKernel::kGather, gather);
+  double best_cost = unsharded;
+  int best_s = 1;
+  for (int s = 2; s <= cap; s *= 2) {
+    const double ds = static_cast<double>(s);
+    // Shards run concurrently: the modeled wall time is one shard's chain
+    // plus the serial merge and the fork overhead of launching s tasks.
+    double cost = profile.Cost(family, elements / ds) +
+                  profile.Cost(CostKernel::kGather, gather / ds) +
+                  ds * profile.Cost(family, kShardForkElements);
+    if (merge == MergeKind::kTreeReduce) {
+      cost += profile.Cost(CostKernel::kBatStream,
+                           std::log2(ds) * out_cols);
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_s = s;
+    }
+  }
+  // Demand a clear win: sharding perturbs tree-reduced rounding and spends
+  // pool slots, so a marginal estimate is not worth it.
+  if (best_s > 1 && best_cost < 0.75 * unsharded) {
+    plan->shards = best_s;
+    plan->merge = merge;
+    plan->stages.insert(plan->stages.end() - 1, Stage::kMerge);
+  }
+}
+
 }  // namespace
 
 CostKernel BatCostFamily(MatrixOp op) {
@@ -109,6 +188,20 @@ const char* StageName(Stage s) {
       return "scatter";
     case Stage::kMorph:
       return "morph";
+    case Stage::kMerge:
+      return "merge";
+  }
+  return "?";
+}
+
+const char* MergeKindName(MergeKind m) {
+  switch (m) {
+    case MergeKind::kNone:
+      return "none";
+    case MergeKind::kConcat:
+      return "concat";
+    case MergeKind::kTreeReduce:
+      return "tree-reduce";
   }
   return "?";
 }
@@ -136,6 +229,7 @@ std::string OpPlan::DebugString() const {
   os << "] cost(bat)=" << cost_bat << " cost(dense)=" << cost_dense
      << " cost-model=" << CostSourceName(cost_source);
   if (!cost_regime.empty()) os << " regime=" << cost_regime;
+  if (shards > 1) os << " shards=" << shards << " merge=" << MergeKindName(merge);
   if (over_budget) os << " over-budget";
   return os.str();
 }
@@ -214,6 +308,7 @@ OpPlan PlanOp(MatrixOp op, const RmaOptions& opts, const ArgShape& left,
       break;
   }
   plan.stages = StagesFor(plan.kernel);
+  DecideShards(info, opts, left, right, *profile, &plan);
 
   // Surface which cache regime priced the chosen path (piecewise profiles
   // only; single-rate profiles leave this empty and EXPLAIN output
@@ -237,12 +332,13 @@ ArgShape MakeArgShape(const Relation& r, const std::vector<int>& app_idx,
   if (shape.cols > 0 && shape.rows > 0) {
     double density = 0;
     for (int idx : app_idx) {
-      const auto* sparse =
-          dynamic_cast<const SparseDoubleBat*>(r.column(idx).get());
+      const Bat* col = r.column(idx).get();
+      const auto* sparse = dynamic_cast<const SparseDoubleBat*>(col);
       density += sparse == nullptr
                      ? 1.0
                      : static_cast<double>(sparse->NumNonZero()) /
                            static_cast<double>(shape.rows);
+      if (col->ContiguousDoubleData() == nullptr) shape.contiguous = false;
     }
     shape.density = density / static_cast<double>(shape.cols);
   }

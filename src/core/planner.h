@@ -28,9 +28,22 @@ enum class Stage : int {
   kKernel = 2,   ///< the matrix kernel itself (compute_seconds)
   kScatter = 3,  ///< base result -> BATs (transform_out_seconds)
   kMorph = 4,    ///< contextual-information handling (morph_seconds)
+  kMerge = 5,    ///< shard merge/reduce barrier (merge_seconds)
 };
 
 const char* StageName(Stage s);
+
+/// How per-shard partial results combine when an operation is row-range
+/// sharded (see docs/ARCHITECTURE.md, "Sharded stage execution").
+enum class MergeKind : int {
+  kNone = 0,        ///< unsharded: single stage DAG, nothing to merge
+  kConcat = 1,      ///< ordered concatenation of disjoint row ranges
+                    ///< (element-wise ops; bit-exact by construction)
+  kTreeReduce = 2,  ///< pairwise summation of per-shard partials
+                    ///< (Gram/cross products; associative up to FP rounding)
+};
+
+const char* MergeKindName(MergeKind m);
 
 /// Where the kernel stage of an operation runs (Sec. 7.3).
 enum class KernelChoice : int {
@@ -54,6 +67,11 @@ struct ArgShape {
   int64_t cols = 0;       ///< application-schema width
   double density = 1.0;   ///< avg non-zero share of the application columns
                           ///< (sparse columns lower it; dense columns are 1)
+  /// All application columns expose contiguous double storage (dense double
+  /// columns or their slice views) — the precondition for zero-copy row-range
+  /// sharding. Operation results are always dense doubles, so the default is
+  /// true; MakeArgShape clears it for int64/string/sparse columns.
+  bool contiguous = true;
   /// Bytes a contiguous copy of the application part would occupy.
   int64_t ContiguousBytes() const {
     return rows * cols * static_cast<int64_t>(sizeof(double));
@@ -71,6 +89,13 @@ struct OpPlan {
   double cost_bat = 0;    ///< estimated cost of the column-at-a-time path
   double cost_dense = 0;  ///< estimated cost of gather + kernel + scatter
   bool over_budget = false;  ///< contiguous copy exceeded the memory ceiling
+
+  /// Row-range shard count (1 = unsharded) and the merge contract for
+  /// combining per-shard results. Chosen from calibrated per-shard costs:
+  /// shard only when splitting drops the per-shard work into a cheaper cache
+  /// regime and the win beats per-shard fork overhead plus the merge cost.
+  int shards = 1;
+  MergeKind merge = MergeKind::kNone;
 
   /// Which cost model priced this op (analytic constants, startup probes,
   /// or stats-refined) — surfaced by EXPLAIN.

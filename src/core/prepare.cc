@@ -237,8 +237,8 @@ DenseMatrix GatherMatrix(const PreparedArg& p) {
   bool all_dense = true;
   for (int64_t j = 0; j < k; ++j) {
     const Bat& col = *p.rel.column(p.split.app_idx[static_cast<size_t>(j)]);
-    if (const auto* d = dynamic_cast<const DoubleBat*>(&col)) {
-      ptrs[static_cast<size_t>(j)] = d->data().data();
+    if (const double* d = col.ContiguousDoubleData()) {
+      ptrs[static_cast<size_t>(j)] = d;
     } else {
       all_dense = false;
       break;

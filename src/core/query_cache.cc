@@ -129,6 +129,12 @@ uint64_t QueryCache::OptionsFingerprint(const RmaOptions& opts) {
   h = HashMix(h, opts.validate_keys ? 1 : 0);
   h = HashMix(h, static_cast<uint64_t>(opts.contiguous_budget_bytes));
   h = HashMix(h, opts.enable_prepared_cache ? 1 : 0);
+  // The shard decision is plan content (OpPlan::shards/merge): toggling
+  // sharding limits must not serve a stale plan shape. max_threads joined
+  // plan content with sharding — it caps the candidate shard counts.
+  h = HashMix(h, static_cast<uint64_t>(opts.max_shards));
+  h = HashMix(h, static_cast<uint64_t>(opts.shard_min_rows));
+  h = HashMix(h, static_cast<uint64_t>(opts.max_threads));
   const RewriteRules& rw = opts.rewrites;
   uint64_t bits = 0;
   for (bool b : {rw.enabled, rw.mmu_tra_to_cpd, rw.mmu_tra_to_opd,

@@ -1,0 +1,33 @@
+#include "core/shard.h"
+
+#include "util/logging.h"
+
+namespace rma {
+
+std::vector<ShardSpec> MakeShardSpecs(int64_t rows, int shards,
+                                      std::vector<int> columns) {
+  RMA_CHECK(rows >= 0 && shards >= 1);
+  std::vector<ShardSpec> specs(static_cast<size_t>(shards));
+  const int64_t base = rows / shards;
+  const int64_t extra = rows % shards;
+  int64_t begin = 0;
+  for (int s = 0; s < shards; ++s) {
+    ShardSpec& spec = specs[static_cast<size_t>(s)];
+    spec.shard = s;
+    spec.begin = begin;
+    spec.end = begin + base + (s < extra ? 1 : 0);
+    spec.columns = columns;
+    begin = spec.end;
+  }
+  return specs;
+}
+
+std::vector<BatPtr> SliceColumns(const std::vector<BatPtr>& cols,
+                                 const ShardSpec& spec) {
+  std::vector<BatPtr> out;
+  out.reserve(cols.size());
+  for (const auto& c : cols) out.push_back(SliceBat(c, spec.begin, spec.rows()));
+  return out;
+}
+
+}  // namespace rma

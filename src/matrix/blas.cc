@@ -192,6 +192,16 @@ Result<DenseMatrix> ZipElementwise(const DenseMatrix& a, const DenseMatrix& b,
 
 }  // namespace
 
+Status AddInPlace(DenseMatrix* a, const DenseMatrix& b) {
+  if (a->rows() != b.rows() || a->cols() != b.cols()) {
+    return Status::Invalid("AddInPlace: shapes differ");
+  }
+  // simd::Add loads both inputs before storing each lane group, so out == a
+  // aliasing is well-defined on every dispatch path.
+  simd::Add(a->data(), b.data(), a->data(), a->rows() * a->cols());
+  return Status::OK();
+}
+
 Result<DenseMatrix> Add(const DenseMatrix& a, const DenseMatrix& b) {
   return ZipElementwise(a, b, simd::Add, "Add");
 }

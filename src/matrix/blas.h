@@ -24,6 +24,11 @@ DenseMatrix Syrk(const DenseMatrix& a);
 /// C = A * Bᵀ (A: m×k, B: n×k) — the paper's OPD (R %o% on row vectors).
 Result<DenseMatrix> OuterProd(const DenseMatrix& a, const DenseMatrix& b);
 
+/// a += b element-wise (equal shapes) — the partial-reduce primitive of the
+/// sharded executor's tree-reduction merge (per-shard Gram partials summed
+/// pairwise). Rides the SIMD Add form; bit-identical to the scalar loop.
+Status AddInPlace(DenseMatrix* a, const DenseMatrix& b);
+
 /// Element-wise operations (equal shapes).
 Result<DenseMatrix> Add(const DenseMatrix& a, const DenseMatrix& b);
 Result<DenseMatrix> Sub(const DenseMatrix& a, const DenseMatrix& b);

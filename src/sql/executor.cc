@@ -798,8 +798,16 @@ void AppendExecutionSection(const Database& db, const ExecContext& ctx,
        << " gather=" << FormatSecs(stats[i].transform_in_seconds)
        << " kernel=" << FormatSecs(stats[i].compute_seconds)
        << " scatter=" << FormatSecs(stats[i].transform_out_seconds)
-       << " morph=" << FormatSecs(stats[i].morph_seconds) << " prepared: "
-       << stats[i].prepared_cache_hits << " hit, "
+       << " morph=" << FormatSecs(stats[i].morph_seconds);
+    if (plans[i].shards > 1) {
+      os << " merge=" << FormatSecs(stats[i].merge_seconds) << " shards=[";
+      for (size_t s = 0; s < stats[i].shard_seconds.size(); ++s) {
+        if (s > 0) os << ' ';
+        os << FormatSecs(stats[i].shard_seconds[s]);
+      }
+      os << ']';
+    }
+    os << " prepared: " << stats[i].prepared_cache_hits << " hit, "
        << stats[i].prepared_cache_misses << " miss";
     AppendIndented(os.str(), 1, lines);
   }

@@ -65,6 +65,26 @@ template class TypedBat<int64_t>;
 template class TypedBat<double>;
 template class TypedBat<std::string>;
 
+std::string DoubleSliceBat::GetString(int64_t i) const {
+  return FormatDouble(data_[i]);
+}
+
+BatPtr SliceBat(const BatPtr& b, int64_t offset, int64_t count) {
+  RMA_CHECK(b != nullptr);
+  RMA_CHECK(offset >= 0 && count >= 0 && offset + count <= b->size());
+  if (const double* d = b->ContiguousDoubleData()) {
+    // Re-slicing a slice composes offsets against the original owner so view
+    // chains never deepen.
+    if (const auto* view = dynamic_cast<const DoubleSliceBat*>(b.get())) {
+      return std::make_shared<DoubleSliceBat>(view->owner(), d + offset, count);
+    }
+    return std::make_shared<DoubleSliceBat>(b, d + offset, count);
+  }
+  std::vector<int64_t> idx(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) idx[static_cast<size_t>(i)] = offset + i;
+  return b->Take(idx);
+}
+
 BatPtr MakeInt64Bat(std::vector<int64_t> v) {
   return std::make_shared<Int64Bat>(std::move(v));
 }
@@ -92,9 +112,11 @@ BatPtr MakeConstantBat(const Value& v, int64_t n) {
 
 std::vector<double> ToDoubleVector(const Bat& bat) {
   const int64_t n = bat.size();
-  // Fast paths for dense typed columns; sparse and other representations go
-  // through the virtual accessor.
-  if (const auto* d = dynamic_cast<const DoubleBat*>(&bat)) return d->data();
+  // Fast paths for dense typed columns (including slice views); sparse and
+  // other representations go through the virtual accessor.
+  if (const double* d = bat.ContiguousDoubleData()) {
+    return std::vector<double>(d, d + n);
+  }
   std::vector<double> out(static_cast<size_t>(n));
   if (const auto* i64 = dynamic_cast<const Int64Bat*>(&bat)) {
     for (int64_t i = 0; i < n; ++i) {
@@ -109,8 +131,7 @@ std::vector<double> ToDoubleVector(const Bat& bat) {
 std::vector<double> GatherDoubleVector(const Bat& bat,
                                        const std::vector<int64_t>& perm) {
   std::vector<double> out(perm.size());
-  if (const auto* d = dynamic_cast<const DoubleBat*>(&bat)) {
-    const auto& v = d->data();
+  if (const double* v = bat.ContiguousDoubleData()) {
     for (size_t i = 0; i < perm.size(); ++i) out[i] = v[perm[i]];
     return out;
   }

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <sstream>
+#include <tuple>
 
 namespace rma {
 
@@ -36,6 +39,29 @@ Result<Relation> Relation::Make(Schema schema, std::vector<BatPtr> columns,
 Result<BatPtr> Relation::ColumnByName(const std::string& name) const {
   RMA_ASSIGN_OR_RETURN(int idx, schema_.IndexOf(name));
   return columns_[static_cast<size_t>(idx)];
+}
+
+uint64_t Relation::SliceIdentity(uint64_t parent, int64_t begin,
+                                 int64_t count) {
+  // Tokens for slices must be (a) distinct from every whole-relation token and
+  // (b) stable across repeated slicing, or the prepared-argument cache would
+  // either alias a shard with its parent or miss on every run. Memoize fresh
+  // NextIdentity tokens per (parent, range); tokens are never reused, so the
+  // map only grows with distinct shard shapes actually executed.
+  static std::mutex mu;
+  static std::map<std::tuple<uint64_t, int64_t, int64_t>, uint64_t> tokens;
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = tokens.try_emplace({parent, begin, count}, 0);
+  if (inserted) it->second = NextIdentity();
+  return it->second;
+}
+
+Relation Relation::SliceRows(int64_t begin, int64_t count) const {
+  std::vector<BatPtr> cols;
+  cols.reserve(columns_.size());
+  for (const auto& c : columns_) cols.push_back(SliceBat(c, begin, count));
+  return Relation(schema_, std::move(cols), name_,
+                  SliceIdentity(identity_, begin, count));
 }
 
 Relation Relation::TakeRows(const std::vector<int64_t>& indices) const {

@@ -60,6 +60,14 @@ class Relation {
   /// New relation with rows at `indices`, in that order (gather all columns).
   Relation TakeRows(const std::vector<int64_t>& indices) const;
 
+  /// Zero-copy row-range view `[begin, begin + count)` for shard execution
+  /// (double columns become DoubleSliceBat views; other column types are
+  /// materialized). The slice's identity token is stable: slicing the same
+  /// (parent, begin, count) again yields the same token, so prepared-argument
+  /// cache entries keyed on shard views stay valid across repeated runs while
+  /// never colliding with the parent's token or another range's.
+  Relation SliceRows(int64_t begin, int64_t count) const;
+
   /// New relation with only the columns at `col_indices`.
   Relation SelectColumns(const std::vector<int>& col_indices) const;
 
@@ -78,7 +86,15 @@ class Relation {
         columns_(std::move(columns)),
         name_(std::move(name)) {}
 
+  Relation(Schema schema, std::vector<BatPtr> columns, std::string name,
+           uint64_t identity)
+      : schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        name_(std::move(name)),
+        identity_(identity) {}
+
   static uint64_t NextIdentity();
+  static uint64_t SliceIdentity(uint64_t parent, int64_t begin, int64_t count);
 
   Schema schema_;
   std::vector<BatPtr> columns_;
