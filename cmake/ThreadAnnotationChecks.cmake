@@ -1,0 +1,58 @@
+# Configure-time negative-compilation checks for util/thread_annotations.h.
+#
+# Each snippet under tests/util/thread_annotations_compile/ is try_compile'd
+# with the same compiler as the main build; under clang the thread-safety
+# analysis is forced on (-Wthread-safety -Werror) so the VIOLATION snippets
+# must FAIL, while under GCC/MSVC the macros expand to nothing and every
+# snippet must compile. The 0/1 outcomes are baked into a generated header
+# (thread_annotations_check_results.h) asserted by
+# tests/util/thread_annotations_compile_test.cc — so a regression in either
+# direction (analysis silently off under clang, or the no-op fallback
+# breaking other compilers) fails the test suite, not just a CI log grep.
+
+function(rma_try_annotation_snippet result_var snippet)
+  set(flags "")
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    set(flags "-Wthread-safety -Werror")
+  endif()
+  try_compile(snippet_ok
+    ${CMAKE_BINARY_DIR}/thread_annotation_checks/${snippet}
+    SOURCES
+      ${CMAKE_CURRENT_SOURCE_DIR}/tests/util/thread_annotations_compile/${snippet}.cc
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_FLAGS=${flags}"
+    CXX_STANDARD 17
+    CXX_STANDARD_REQUIRED ON
+  )
+  if(snippet_ok)
+    set(${result_var} 1 PARENT_SCOPE)
+  else()
+    set(${result_var} 0 PARENT_SCOPE)
+  endif()
+endfunction()
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  set(RMA_CHECK_COMPILER_IS_CLANG 1)
+else()
+  set(RMA_CHECK_COMPILER_IS_CLANG 0)
+endif()
+
+rma_try_annotation_snippet(RMA_CHECK_OK_LOCKED_COMPILES ok_locked)
+rma_try_annotation_snippet(RMA_CHECK_GUARDED_NO_LOCK_COMPILES guarded_no_lock)
+rma_try_annotation_snippet(RMA_CHECK_REQUIRES_UNLOCKED_COMPILES
+  requires_unlocked)
+rma_try_annotation_snippet(RMA_CHECK_EXCLUDES_VIOLATION_COMPILES
+  excludes_violation)
+
+message(STATUS
+  "Thread-annotation checks (clang=${RMA_CHECK_COMPILER_IS_CLANG}): "
+  "ok_locked=${RMA_CHECK_OK_LOCKED_COMPILES} "
+  "guarded_no_lock=${RMA_CHECK_GUARDED_NO_LOCK_COMPILES} "
+  "requires_unlocked=${RMA_CHECK_REQUIRES_UNLOCKED_COMPILES} "
+  "excludes_violation=${RMA_CHECK_EXCLUDES_VIOLATION_COMPILES}")
+
+configure_file(
+  ${CMAKE_CURRENT_SOURCE_DIR}/cmake/thread_annotations_check_results.h.in
+  ${CMAKE_BINARY_DIR}/generated/thread_annotations_check_results.h
+  @ONLY)

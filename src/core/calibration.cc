@@ -105,7 +105,7 @@ CostProfile::CostProfile() {
 CostProfile CostProfile::Analytic() { return CostProfile(); }
 
 CostProfile::CostProfile(const CostProfile& other) {
-  std::lock_guard<std::mutex> lock(other.mu_);
+  MutexLock lock(other.mu_);
   for (int i = 0; i < kNumCostKernels; ++i) costs_[i] = other.costs_[i];
   refinable_ = other.refinable_;
 }
@@ -115,34 +115,34 @@ CostProfile& CostProfile::operator=(const CostProfile& other) {
   KernelCost copy[kNumCostKernels];
   bool refinable;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(other.mu_);
     for (int i = 0; i < kNumCostKernels; ++i) copy[i] = other.costs_[i];
     refinable = other.refinable_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (int i = 0; i < kNumCostKernels; ++i) costs_[i] = copy[i];
   refinable_ = refinable;
   return *this;
 }
 
 KernelCost CostProfile::Get(CostKernel k) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return costs_[static_cast<int>(k)];
 }
 
 void CostProfile::Set(CostKernel k, const KernelCost& cost) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   costs_[static_cast<int>(k)] = cost;
 }
 
 double CostProfile::Cost(CostKernel k, double elements) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const KernelCost& c = costs_[static_cast<int>(k)];
   return c.fixed + elements * c.RateFor(elements);
 }
 
 int CostProfile::MaxRegimes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int max = 1;
   for (const KernelCost& c : costs_) max = std::max(max, c.NumRegimes());
   return max;
@@ -153,7 +153,7 @@ void CostProfile::Refine(CostKernel k, double elements, double seconds) {
   // bookkeeping, not kernel throughput; folding them in would drag the rate
   // toward noise.
   if (elements < 1024 || seconds <= 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!refinable_) return;
   KernelCost& c = costs_[static_cast<int>(k)];
   const double observed = std::max(0.0, seconds - c.fixed) / elements;
@@ -175,17 +175,17 @@ void CostProfile::Refine(CostKernel k, double elements, double seconds) {
 }
 
 bool CostProfile::refinable() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return refinable_;
 }
 
 void CostProfile::set_refinable(bool on) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   refinable_ = on;
 }
 
 CostSource CostProfile::Source() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CostSource best = CostSource::kAnalytic;
   for (const KernelCost& c : costs_) {
     if (static_cast<int>(c.source) > static_cast<int>(best)) best = c.source;
@@ -194,7 +194,7 @@ CostSource CostProfile::Source() const {
 }
 
 uint64_t CostProfile::Fingerprint() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t h = 14695981039346656037ULL;  // FNV offset basis
   constexpr uint64_t kPrime = 1099511628211ULL;
   // Quantize to eighth-of-an-octave: per-op EWMA jitter keeps the same
@@ -235,7 +235,7 @@ uint64_t CostProfile::Fingerprint() const {
 std::string CostProfile::ToJson() const {
   KernelCost copy[kNumCostKernels];
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (int i = 0; i < kNumCostKernels; ++i) copy[i] = costs_[i];
   }
   std::ostringstream os;
@@ -744,14 +744,26 @@ const CostProfilePtr& DefaultCostProfile() {
   return profile;
 }
 
+namespace {
+
+/// Per-path profile memo: resolution runs on every PlanOp, the file work
+/// must happen once per calibration path. File-scope (not function-local
+/// statics) so the guarded_by relation is visible to the analysis.
+Mutex g_profile_memo_mu;
+std::map<std::string, CostProfilePtr>& ProfileMemo()
+    RMA_REQUIRES(g_profile_memo_mu) {
+  static std::map<std::string, CostProfilePtr>* memo =
+      new std::map<std::string, CostProfilePtr>();
+  return *memo;
+}
+
+}  // namespace
+
 CostProfilePtr ResolveCostProfile(const RmaOptions& opts) {
   if (opts.cost_profile != nullptr) return opts.cost_profile;
   if (!opts.calibration_path.empty()) {
-    // Memoized per path: resolution runs on every PlanOp, the file work
-    // must happen once.
-    static std::mutex mu;
-    static std::map<std::string, CostProfilePtr> by_path;
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(g_profile_memo_mu);
+    std::map<std::string, CostProfilePtr>& by_path = ProfileMemo();
     auto it = by_path.find(opts.calibration_path);
     if (it != by_path.end()) return it->second;
     CostProfilePtr p = LoadOrProbe(opts.calibration_path);

@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace rma {
 
@@ -171,9 +172,9 @@ class CostProfile {
   static constexpr double kRefineAlpha = 0.2;
 
  private:
-  mutable std::mutex mu_;
-  KernelCost costs_[kNumCostKernels];
-  bool refinable_ = false;
+  mutable Mutex mu_;
+  KernelCost costs_[kNumCostKernels] RMA_GUARDED_BY(mu_);
+  bool refinable_ RMA_GUARDED_BY(mu_) = false;
 };
 
 using CostProfilePtr = std::shared_ptr<CostProfile>;

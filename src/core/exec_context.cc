@@ -126,14 +126,14 @@ int ExecContext::effective_thread_budget() const {
 
 void ExecContext::RecordStage(Stage stage, double seconds) {
   if (OpenOp* op = TopOpenOp(this)) AddStage(&op->stats, stage, seconds);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   AddStage(&totals_, stage, seconds);
   if (opts_.stats != nullptr) AddStage(opts_.stats, stage, seconds);
 }
 
 void ExecContext::RecordShardTimes(const std::vector<double>& shard_walls) {
   if (OpenOp* op = TopOpenOp(this)) op->stats.shard_seconds = shard_walls;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (opts_.stats != nullptr) opts_.stats->shard_seconds = shard_walls;
 }
 
@@ -143,7 +143,7 @@ void ExecContext::RecordPlan(const OpPlan& plan) {
     op->has_plan = true;
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   plans_.push_back(plan);
   op_stats_.emplace_back();  // keep plans() and op_stats() aligned
 }
@@ -163,7 +163,7 @@ void ExecContext::EndOp(bool commit) {
     t_open_ops.erase(std::next(it).base());
     if (commit && op.has_plan) {
       RefineCostModel(op.plan, op.stats);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       plans_.push_back(std::move(op.plan));
       op_stats_.push_back(op.stats);
     } else if (!commit && !op.stored_keys.empty()) {
@@ -197,7 +197,7 @@ void ExecContext::RefineCostModel(const OpPlan& plan,
 }
 
 void ExecContext::RecordPlanCache(bool hit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   plan_outcome_ = hit ? PlanCacheOutcome::kHit : PlanCacheOutcome::kMiss;
   auto add = [&](RmaStats* stats) {
     if (hit) {
@@ -211,12 +211,17 @@ void ExecContext::RecordPlanCache(bool hit) {
 }
 
 ExecContext::PlanCacheOutcome ExecContext::plan_cache_outcome() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return plan_outcome_;
 }
 
 void ExecContext::MergeChild(const ExecContext& child) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // The child is quiescent by contract, but its counters were written under
+  // its own mutex — take it so the reads here have a real acquire edge (and
+  // so the analysis can check them). Contexts form a strict parent<-child
+  // tree and only the parent merges, so the two-lock order cannot cycle.
+  MutexLock child_lock(child.mu_);
+  MutexLock lock(mu_);
   AddStats(&totals_, child.totals_);
   if (opts_.stats != nullptr) AddStats(opts_.stats, child.totals_);
   plans_.insert(plans_.end(), child.plans_.begin(), child.plans_.end());
@@ -233,12 +238,12 @@ RmaOptions ExecContext::MakeChildOptions() const {
 }
 
 int64_t ExecContext::cache_hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cache_hits_;
 }
 
 int64_t ExecContext::cache_misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cache_misses_;
 }
 
@@ -250,7 +255,7 @@ void ExecContext::CountPrepared(bool hit) {
       ++op->stats.prepared_cache_misses;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (hit) {
     ++cache_hits_;
     ++totals_.prepared_cache_hits;
@@ -265,7 +270,7 @@ void ExecContext::CountPrepared(bool hit) {
 void ExecContext::CountEvictions(int64_t n) {
   if (n == 0) return;
   if (OpenOp* op = TopOpenOp(this)) op->stats.prepared_cache_evictions += n;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   totals_.prepared_cache_evictions += n;
   if (opts_.stats != nullptr) opts_.stats->prepared_cache_evictions += n;
 }

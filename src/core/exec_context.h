@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,7 +12,9 @@
 #include "core/ops.h"
 #include "core/planner.h"
 #include "storage/relation.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace rma {
 
@@ -108,13 +109,23 @@ class ExecContext {
   void RecordShardTimes(const std::vector<double>& shard_walls);
 
   /// Cumulative per-stage totals across all operations run on this context.
-  const RmaStats& totals() const { return totals_; }
+  /// The returned reference is only stable once concurrent work has joined
+  /// (see the class comment); the lock bracket inside gives that quiescent
+  /// reader an acquire edge against the last writer.
+  const RmaStats& totals() const {
+    MutexLock lock(mu_);
+    return totals_;
+  }
 
   /// Records the physical plan of the operation this thread has open (it is
   /// published to plans() when the op commits), or appends directly when no
   /// op bracket is open.
   void RecordPlan(const OpPlan& plan);
-  const std::vector<OpPlan>& plans() const { return plans_; }
+  /// Quiescent-read accessor; see totals().
+  const std::vector<OpPlan>& plans() const {
+    MutexLock lock(mu_);
+    return plans_;
+  }
 
   /// Brackets one relational matrix operation for the per-op stats log
   /// (EXPLAIN ANALYZE). Stages recorded between BeginOp and EndOp accrue to
@@ -127,7 +138,11 @@ class ExecContext {
   /// (evict-on-error).
   void BeginOp();
   void EndOp(bool commit);
-  const std::vector<RmaStats>& op_stats() const { return op_stats_; }
+  /// Quiescent-read accessor; see totals().
+  const std::vector<RmaStats>& op_stats() const {
+    MutexLock lock(mu_);
+    return op_stats_;
+  }
 
   /// Statement-level plan-cache provenance, recorded by the SQL layer.
   enum class PlanCacheOutcome { kNotConsulted, kHit, kMiss };
@@ -194,18 +209,24 @@ class ExecContext {
   void StoreByKey(std::string key, std::vector<uint64_t> relations,
                   PreparedArgPtr prepared);
 
+  /// opts_ is written only during construction / via mutable_options()
+  /// (whose contract forbids concurrent execution), so reads need no lock;
+  /// writes *through* the opts_.stats sink pointer are guarded by mu_
+  /// (RMA_PT_GUARDED_BY cannot attach to a field of an options struct, so
+  /// that part of the invariant stays prose).
   RmaOptions opts_;
   std::shared_ptr<QueryCache> cache_;
 
   /// Guards totals_, plans_, op_stats_, the cache counters, the plan-cache
   /// outcome, and writes to the opts_.stats sink.
-  mutable std::mutex mu_;
-  RmaStats totals_;
-  std::vector<OpPlan> plans_;
-  std::vector<RmaStats> op_stats_;
-  PlanCacheOutcome plan_outcome_ = PlanCacheOutcome::kNotConsulted;
-  int64_t cache_hits_ = 0;
-  int64_t cache_misses_ = 0;
+  mutable Mutex mu_;
+  RmaStats totals_ RMA_GUARDED_BY(mu_);
+  std::vector<OpPlan> plans_ RMA_GUARDED_BY(mu_);
+  std::vector<RmaStats> op_stats_ RMA_GUARDED_BY(mu_);
+  PlanCacheOutcome plan_outcome_ RMA_GUARDED_BY(mu_) =
+      PlanCacheOutcome::kNotConsulted;
+  int64_t cache_hits_ RMA_GUARDED_BY(mu_) = 0;
+  int64_t cache_misses_ RMA_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII bracket for ExecContext::BeginOp/EndOp. Destruction without

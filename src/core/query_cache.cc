@@ -151,7 +151,7 @@ uint64_t QueryCache::OptionsFingerprint(const RmaOptions& opts) {
 QueryCache::StatementPlanPtr QueryCache::LookupPlan(
     const std::string& normalized, uint64_t catalog_version,
     uint64_t options_fingerprint, const TableSnapshot* tables) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = plans_.find(normalized);
   if (it == plans_.end() ||
       !PlanServes(*it->second.plan, catalog_version, options_fingerprint,
@@ -180,7 +180,7 @@ void QueryCache::StorePlanLocked(const std::string& normalized,
 void QueryCache::StorePlan(const std::string& normalized,
                            StatementPlanPtr plan) {
   if (plan == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StorePlanLocked(normalized, std::move(plan));
 }
 
@@ -189,7 +189,7 @@ QueryCache::PlanTicket QueryCache::AcquirePlan(const std::string& normalized,
                                                uint64_t options_fingerprint,
                                                const TableSnapshot* tables) {
   PlanTicket ticket;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     auto it = plans_.find(normalized);
     if (it != plans_.end() &&
@@ -228,8 +228,17 @@ QueryCache::PlanTicket QueryCache::AcquirePlan(const std::string& normalized,
     }
     const std::shared_ptr<Inflight> entry = inf->second;
     ++counters_.plan_dedup_waits;
-    const bool completed = entry->cv.wait_for(
-        lock, kDedupWait, [&entry] { return entry->done; });
+    // Explicit deadline loop instead of wait_for(pred): entry->done is
+    // guarded by mu_, and the analysis only sees the lock held if the
+    // predicate check stays in this function rather than a lambda.
+    const auto deadline = std::chrono::steady_clock::now() + kDedupWait;
+    bool completed = true;
+    while (!entry->done) {
+      if (entry->cv.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
+        completed = entry->done;
+        break;
+      }
+    }
     if (!completed) {
       // Liveness backstop (leader stuck or starved): plan independently.
       ++counters_.plan_misses;
@@ -265,25 +274,25 @@ void QueryCache::FinishInflightLocked(const std::string& normalized,
   // outlives the map erase; they observe done/plan under mu_ when they wake.
   it->second->done = true;
   it->second->plan = std::move(plan);
-  it->second->cv.notify_all();
+  it->second->cv.NotifyAll();
   inflight_.erase(it);
 }
 
 void QueryCache::PublishPlan(const std::string& normalized,
                              StatementPlanPtr plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (plan != nullptr) StorePlanLocked(normalized, plan);
   FinishInflightLocked(normalized, std::move(plan));
 }
 
 void QueryCache::AbandonPlan(const std::string& normalized) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   FinishInflightLocked(normalized, nullptr);
 }
 
 void QueryCache::InvalidatePlansForTables(
     const std::vector<std::string>& written, uint64_t current_version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = plans_.begin(); it != plans_.end();) {
     const StatementPlan& plan = *it->second.plan;
     bool stale;
@@ -321,7 +330,7 @@ int64_t QueryCache::StorePrepared(const std::string& key,
                                   std::vector<uint64_t> relations,
                                   PreparedArgPtr arg) {
   if (arg == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t evicted = 0;
   if (prepared_.count(key) == 0) evicted = EvictPreparedLruLocked();
   prepared_[key] = PreparedEntry{std::move(arg), std::move(relations), ++tick_};
@@ -329,7 +338,7 @@ int64_t QueryCache::StorePrepared(const std::string& key,
 }
 
 PreparedArgPtr QueryCache::LookupPrepared(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = prepared_.find(key);
   if (it == prepared_.end()) {
     ++counters_.prepared_misses;
@@ -341,7 +350,7 @@ PreparedArgPtr QueryCache::LookupPrepared(const std::string& key) {
 }
 
 void QueryCache::EvictRelation(uint64_t relation_identity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = prepared_.begin(); it != prepared_.end();) {
     const auto& rels = it->second.relations;
     if (std::find(rels.begin(), rels.end(), relation_identity) != rels.end()) {
@@ -354,22 +363,22 @@ void QueryCache::EvictRelation(uint64_t relation_identity) {
 }
 
 void QueryCache::EvictKey(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (prepared_.erase(key) > 0) ++counters_.evictions;
 }
 
 QueryCache::Counters QueryCache::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 
 size_t QueryCache::plan_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return plans_.size();
 }
 
 size_t QueryCache::prepared_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return prepared_.size();
 }
 

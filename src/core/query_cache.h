@@ -1,10 +1,8 @@
 #ifndef RMA_CORE_QUERY_CACHE_H_
 #define RMA_CORE_QUERY_CACHE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +10,8 @@
 #include "core/exec_context.h"
 #include "core/options.h"
 #include "core/planner.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rma {
 
@@ -206,7 +206,10 @@ class QueryCache {
     uint64_t last_used = 0;
   };
   /// One in-flight planning leader; waiters hold the shared_ptr so the
-  /// condition variable outlives the map entry.
+  /// condition variable outlives the map entry. Every field is guarded by
+  /// the owning cache's mu_ (the analysis cannot express a nested struct
+  /// guarded by its container's mutex, so this one stays prose): writers
+  /// and waiters alike only touch an Inflight while holding QueryCache::mu_.
   struct Inflight {
     uint64_t catalog_version = 0;
     uint64_t options_fingerprint = 0;
@@ -214,20 +217,23 @@ class QueryCache {
     bool tables_known = false;
     bool done = false;
     StatementPlanPtr plan;  ///< null after AbandonPlan
-    std::condition_variable cv;
+    CondVar cv;
   };
 
-  int64_t EvictPreparedLruLocked();
-  void StorePlanLocked(const std::string& normalized, StatementPlanPtr plan);
+  int64_t EvictPreparedLruLocked() RMA_REQUIRES(mu_);
+  void StorePlanLocked(const std::string& normalized, StatementPlanPtr plan)
+      RMA_REQUIRES(mu_);
   void FinishInflightLocked(const std::string& normalized,
-                            StatementPlanPtr plan);
+                            StatementPlanPtr plan) RMA_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, PlanEntry> plans_;
-  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
-  std::unordered_map<std::string, PreparedEntry> prepared_;
-  uint64_t tick_ = 0;
-  Counters counters_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, PlanEntry> plans_ RMA_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_
+      RMA_GUARDED_BY(mu_);
+  std::unordered_map<std::string, PreparedEntry> prepared_
+      RMA_GUARDED_BY(mu_);
+  uint64_t tick_ RMA_GUARDED_BY(mu_) = 0;
+  Counters counters_ RMA_GUARDED_BY(mu_);
 };
 
 using QueryCachePtr = std::shared_ptr<QueryCache>;

@@ -45,7 +45,7 @@ void ParallelFor(int64_t begin, int64_t end,
   // bounding total fan-out by `max_threads`.
   const int per_worker = std::max(1, static_cast<int>(max_threads) / threads);
   const int64_t chunk = (n + threads - 1) / threads;
-  std::mutex error_mu;
+  Mutex error_mu;
   std::exception_ptr first_error;
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(threads));
@@ -60,7 +60,7 @@ void ParallelFor(int64_t begin, int64_t end,
       try {
         fn(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(error_mu);
         if (first_error == nullptr) first_error = std::current_exception();
       }
     });
@@ -81,17 +81,17 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& th : workers_) th.join();
   // Mark abandoned tasks done so no waiter can block forever.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const TaskPtr& task : queue_) {
-    std::lock_guard<std::mutex> task_lock(task->mu_);
+    MutexLock task_lock(task->mu_);
     task->done_.store(true, std::memory_order_release);
-    task->cv_.notify_all();
+    task->cv_.NotifyAll();
   }
   queue_.clear();
 }
@@ -101,7 +101,7 @@ ThreadPool::TaskPtr ThreadPool::Submit(std::function<void()> fn) {
   task->fn_ = std::move(fn);
   bool inline_run = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) {
       inline_run = true;  // shutting down: run inline, don't drop the work
     } else {
@@ -111,7 +111,7 @@ ThreadPool::TaskPtr ThreadPool::Submit(std::function<void()> fn) {
   if (inline_run) {
     RunTask(task);
   } else {
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
   return task;
 }
@@ -124,16 +124,16 @@ void ThreadPool::RunTask(const TaskPtr& task) {
   }
   task->fn_ = nullptr;
   {
-    std::lock_guard<std::mutex> lock(task->mu_);
+    MutexLock lock(task->mu_);
     task->done_.store(true, std::memory_order_release);
   }
-  task->cv_.notify_all();
+  task->cv_.NotifyAll();
 }
 
 bool ThreadPool::TryRunOne() {
   TaskPtr task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -149,9 +149,13 @@ void ThreadPool::Wait(const TaskPtr& task) {
     // waiting on its own sub-tasks makes progress even when every worker is
     // occupied by an ancestor.
     if (TryRunOne()) continue;
-    std::unique_lock<std::mutex> lock(task->mu_);
-    task->cv_.wait_for(lock, std::chrono::milliseconds(1),
-                       [&] { return task->done(); });
+    // done_ flips under task->mu_, so checking it while holding the lock
+    // cannot race the notify; the 1ms bound re-polls the queue for new
+    // helpable work either way.
+    MutexLock lock(task->mu_);
+    if (!task->done()) {
+      task->cv_.WaitFor(task->mu_, std::chrono::milliseconds(1));
+    }
   }
   if (task->error_ != nullptr) std::rethrow_exception(task->error_);
 }
@@ -160,8 +164,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     TaskPtr task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      // Explicit predicate loop (not cv.wait(pred)): the guarded reads of
+      // stop_/queue_ stay in this function, where the analysis sees mu_ held.
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (stop_) return;
       task = std::move(queue_.front());
       queue_.pop_front();

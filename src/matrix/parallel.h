@@ -2,15 +2,16 @@
 #define RMA_MATRIX_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rma {
 
@@ -75,11 +76,18 @@ class ThreadPool {
 
    private:
     friend class ThreadPool;
+    /// fn_ and error_ are not lock-guarded: fn_ is written once before the
+    /// task is published to the queue and consumed by the single thread that
+    /// runs it; error_ is written by that thread before the release store to
+    /// done_, and read by waiters only after observing done_ (acquire) — the
+    /// atomic is the synchronization edge, not mu_. mu_ exists solely to
+    /// pair with cv_ so a done_ flip cannot race a waiter between its check
+    /// and its sleep.
     std::function<void()> fn_;
     std::atomic<bool> done_{false};
     std::exception_ptr error_;
-    std::mutex mu_;
-    std::condition_variable cv_;
+    Mutex mu_;
+    CondVar cv_;
   };
   using TaskPtr = std::shared_ptr<Task>;
 
@@ -113,10 +121,12 @@ class ThreadPool {
   void WorkerLoop();
   static void RunTask(const TaskPtr& task);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<TaskPtr> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<TaskPtr> queue_ RMA_GUARDED_BY(mu_);
+  bool stop_ RMA_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor before any concurrency exists; joined
+  /// by the destructor after every worker observed stop_. Not lock-guarded.
   std::vector<std::thread> workers_;
 };
 

@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <utility>
 
 #include "core/exec_context.h"
@@ -13,7 +11,9 @@
 #include "sql/effects.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 
 namespace rma::sql {
 
@@ -21,7 +21,7 @@ namespace rma::sql {
 // assignment below would immediately discard); the shared cache is copied
 // under the source's lock.
 Database::Database(const Database& other) : query_cache_(nullptr) {
-  std::shared_lock<std::shared_mutex> lock(other.catalog_mu_);
+  ReaderMutexLock lock(other.catalog_mu_);
   tables_ = other.tables_;
   query_cache_ = other.query_cache_;
   catalog_version_.store(other.catalog_version(), std::memory_order_release);
@@ -35,13 +35,13 @@ Database& Database::operator=(const Database& other) {
   uint64_t version;
   RmaOptions opts;
   {
-    std::shared_lock<std::shared_mutex> lock(other.catalog_mu_);
+    ReaderMutexLock lock(other.catalog_mu_);
     tables = other.tables_;
     cache = other.query_cache_;
     version = other.catalog_version();
     opts = other.rma_options;
   }
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  WriterMutexLock lock(catalog_mu_);
   tables_ = std::move(tables);
   query_cache_ = std::move(cache);
   catalog_version_.store(version, std::memory_order_release);
@@ -71,7 +71,7 @@ void Database::BumpCatalogVersionLocked(const std::string& written_table) {
 Status Database::Register(const std::string& name, Relation rel) {
   rel.set_name(name);
   const std::string key = ToLower(name);
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  WriterMutexLock lock(catalog_mu_);
   auto it = tables_.find(key);
   if (it != tables_.end()) {
     query_cache_->EvictRelation(it->second.identity());
@@ -82,7 +82,7 @@ Status Database::Register(const std::string& name, Relation rel) {
 }
 
 Result<Relation> Database::Get(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderMutexLock lock(catalog_mu_);
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) {
     return Status::KeyError("unknown table: " + name);
@@ -91,7 +91,7 @@ Result<Relation> Database::Get(const std::string& name) const {
 }
 
 Status Database::Drop(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  WriterMutexLock lock(catalog_mu_);
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) {
     return Status::NotFound("table not found: " + name);
@@ -104,7 +104,7 @@ Status Database::Drop(const std::string& name) {
 }
 
 std::vector<std::string> Database::TableNames() const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderMutexLock lock(catalog_mu_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [name, rel] : tables_) out.push_back(rel.name());
@@ -169,57 +169,37 @@ void Database::ExecuteBatchStatement(Statement&& stmt, const std::string& sql,
   }
 }
 
-void Database::ExecuteBatchReadiness(
-    std::vector<Result<Statement>>* parsed,
-    const std::vector<std::string>& statements,
-    const std::vector<StatementEffects>& effects, int budget,
-    std::vector<Result<Relation>>* results) {
-  const size_t n = statements.size();
-  // Completion counters on the conflict edges: statement j waits on every
-  // earlier conflicting i, and launches the moment its counter hits zero —
-  // no wave barrier. Unparseable statements have empty effects (no edges)
-  // and never launch; their result slots already hold the parse error.
-  std::vector<int> dep_count(n, 0);
-  std::vector<std::vector<size_t>> dependents(n);
-  size_t runnable = 0;
-  for (size_t j = 0; j < n; ++j) {
-    if (!(*parsed)[j].ok()) continue;
-    ++runnable;
-    for (size_t i = 0; i < j; ++i) {
-      if (!(*parsed)[i].ok()) continue;
-      if (EffectsConflict(effects[i], effects[j])) {
-        ++dep_count[j];
-        dependents[i].push_back(j);
-      }
-    }
-  }
-  if (runnable == 0) return;
+namespace {
 
-  // One context for the whole batch: concurrent SELECTs share it (it is
-  // internally synchronized and borrows the shared QueryCache), keeping the
-  // plan/prepared caches warm across every statement. Prepared entries are
-  // keyed by column identity, so tables replaced mid-batch cannot serve
-  // stale hits.
-  ExecContext ctx(rma_options, query_cache_);
+/// Shared scheduler state of one readiness batch (ExecuteBatchReadiness).
+/// The completion handlers of concurrently retiring statements race on this,
+/// so everything they touch sits behind `mu` with analysis-visible
+/// annotations; AdmitLocked is the RMA_REQUIRES helper both admission sites
+/// (initial launch, completion handler) share.
+struct ReadinessState {
+  explicit ReadinessState(size_t n) : shares(n, 1), dep_count(n, 0) {}
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<size_t> ready;  // dep-free, not yet launched, in index order
-  std::deque<ThreadPool::TaskPtr> joinable;
-  std::vector<std::exception_ptr> errors(n);
-  std::vector<int> shares(n, 1);  // per-statement thread budget, set at admission
-  int in_flight = 0;
-  int pending_submits = 0;  // submit() calls whose TaskPtr isn't in joinable yet
-  size_t completed = 0;
-  for (size_t j = 0; j < n; ++j) {
-    if ((*parsed)[j].ok() && dep_count[j] == 0) ready.push_back(j);
-  }
+  Mutex mu;
+  CondVar cv;
+  /// Dep-free, not yet launched, in index order.
+  std::deque<size_t> ready RMA_GUARDED_BY(mu);
+  std::deque<ThreadPool::TaskPtr> joinable RMA_GUARDED_BY(mu);
+  /// Per-statement thread budget, fixed at admission.
+  std::vector<int> shares RMA_GUARDED_BY(mu);
+  /// Completion counters on the conflict edges: statement j waits on every
+  /// earlier conflicting i, and launches the moment its counter hits zero —
+  /// no wave barrier.
+  std::vector<int> dep_count RMA_GUARDED_BY(mu);
+  int in_flight RMA_GUARDED_BY(mu) = 0;
+  /// submit() calls whose TaskPtr isn't in `joinable` yet.
+  int pending_submits RMA_GUARDED_BY(mu) = 0;
+  size_t completed RMA_GUARDED_BY(mu) = 0;
 
-  // Pops ready statements up to the in-flight cap (the pool is sized to the
-  // hardware, not the user's cap). Caller holds mu and submits the admitted
-  // statements after releasing it — Submit wakes pool workers that would
-  // immediately contend on mu.
-  const auto admit_locked = [&](std::vector<size_t>* out) {
+  /// Pops ready statements up to the in-flight cap (the pool is sized to
+  /// the hardware, not the user's cap). The caller submits the admitted
+  /// statements after releasing mu — Submit wakes pool workers that would
+  /// immediately contend on it.
+  void AdmitLocked(int budget, std::vector<size_t>* out) RMA_REQUIRES(mu) {
     while (in_flight < budget && !ready.empty()) {
       out->push_back(ready.front());
       ready.pop_front();
@@ -233,29 +213,81 @@ void Database::ExecuteBatchReadiness(
     for (size_t j : *out) {
       shares[j] = std::max(1, budget / std::max(1, in_flight));
     }
-  };
+  }
+};
+
+}  // namespace
+
+void Database::ExecuteBatchReadiness(
+    std::vector<Result<Statement>>* parsed,
+    const std::vector<std::string>& statements,
+    const std::vector<StatementEffects>& effects, int budget,
+    std::vector<Result<Relation>>* results) {
+  const size_t n = statements.size();
+  // `dependents` is built before any task launches and read-only afterwards;
+  // the mutable completion counters live in ReadinessState under its mutex.
+  // Unparseable statements have empty effects (no edges) and never launch;
+  // their result slots already hold the parse error.
+  ReadinessState state(n);
+  std::vector<std::vector<size_t>> dependents(n);
+  size_t runnable = 0;
+  {
+    MutexLock lock(state.mu);
+    for (size_t j = 0; j < n; ++j) {
+      if (!(*parsed)[j].ok()) continue;
+      ++runnable;
+      for (size_t i = 0; i < j; ++i) {
+        if (!(*parsed)[i].ok()) continue;
+        if (EffectsConflict(effects[i], effects[j])) {
+          ++state.dep_count[j];
+          dependents[i].push_back(j);
+        }
+      }
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if ((*parsed)[j].ok() && state.dep_count[j] == 0) {
+        state.ready.push_back(j);
+      }
+    }
+  }
+  if (runnable == 0) return;
+
+  // One context for the whole batch: concurrent SELECTs share it (it is
+  // internally synchronized and borrows the shared QueryCache), keeping the
+  // plan/prepared caches warm across every statement. Prepared entries are
+  // keyed by column identity, so tables replaced mid-batch cannot serve
+  // stale hits.
+  ExecContext ctx(rma_options, query_cache_);
+
+  /// Per-slot: only statement k's task writes errors[k], strictly before its
+  /// completion handler's release of state.mu; the join below reads it only
+  /// after observing completed == runnable under the same mutex.
+  std::vector<std::exception_ptr> errors(n);
 
   // Submitting is a two-step handoff: the task goes to the pool first, and
   // only then into `joinable`. In between, the task can already run to
   // completion on a worker, so `pending_submits` is raised under mu before
   // Submit and lowered with the push — the join predicate refuses to unwind
-  // while it is nonzero, which is what keeps mu/cv/joinable alive for the
-  // push below even when the task beats it.
+  // while it is nonzero, which is what keeps the state alive for the push
+  // below even when the task beats it.
   std::function<void(size_t)> submit = [&](size_t k) {
     Statement* stmt = &*(*parsed)[k];
     const std::string* sql = &statements[k];
     Result<Relation>* slot = &(*results)[k];
+    int share = 1;
     {
-      std::lock_guard<std::mutex> lock(mu);
-      ++pending_submits;
+      MutexLock lock(state.mu);
+      ++state.pending_submits;
+      // The share was fixed by AdmitLocked before this submit ran; capture
+      // it by value so the task body never reads guarded state unlocked.
+      share = state.shares[k];
     }
     ThreadPool::TaskPtr task =
-        ThreadPool::Shared().Submit([&, k, stmt, sql, slot] {
+        ThreadPool::Shared().Submit([&, k, stmt, sql, slot, share] {
           {
-            // shares[k] was fixed at admission time (under mu, before this
-            // task was submitted); the statement's kernels and subtree forks
-            // inherit it via the ambient ScopedThreadBudget.
-            ScopedThreadBudget budget_share(shares[k]);
+            // The statement's kernels and subtree forks inherit the
+            // admission-time share via the ambient ScopedThreadBudget.
+            ScopedThreadBudget budget_share(share);
             try {
               ExecuteBatchStatement(std::move(*stmt), *sql, &ctx, slot);
             } catch (...) {
@@ -264,14 +296,14 @@ void Database::ExecuteBatchReadiness(
           }
           std::vector<size_t> admitted;
           {
-            std::lock_guard<std::mutex> lock(mu);
-            --in_flight;
-            ++completed;
+            MutexLock lock(state.mu);
+            --state.in_flight;
+            ++state.completed;
             for (size_t j : dependents[k]) {
-              if (--dep_count[j] == 0) ready.push_back(j);
+              if (--state.dep_count[j] == 0) state.ready.push_back(j);
             }
-            admit_locked(&admitted);
-            cv.notify_all();
+            state.AdmitLocked(budget, &admitted);
+            state.cv.NotifyAll();
           }
           // When `admitted` is empty this task touches nothing shared past
           // the notify above, so the joining thread may safely unwind. When
@@ -281,34 +313,35 @@ void Database::ExecuteBatchReadiness(
           // those statements have retired.
           for (size_t j : admitted) submit(j);
         });
-    std::lock_guard<std::mutex> lock(mu);
-    joinable.push_back(std::move(task));
-    --pending_submits;
-    cv.notify_all();
+    MutexLock lock(state.mu);
+    state.joinable.push_back(std::move(task));
+    --state.pending_submits;
+    state.cv.NotifyAll();
   };
 
   std::vector<size_t> admitted;
   {
-    std::lock_guard<std::mutex> lock(mu);
-    admit_locked(&admitted);
+    MutexLock lock(state.mu);
+    state.AdmitLocked(budget, &admitted);
   }
   for (size_t j : admitted) submit(j);
 
   // Cooperative join: Wait() executes queued tasks on this thread while its
   // target is pending, so the batch progresses even when every pool worker
   // is busy. Task bodies capture their own exceptions into `errors` — Wait
-  // itself never throws here.
+  // itself never throws here. The join predicate is an explicit loop so the
+  // guarded reads stay where the analysis sees state.mu held.
   while (true) {
     ThreadPool::TaskPtr task;
     {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] {
-        return !joinable.empty() ||
-               (completed == runnable && pending_submits == 0);
-      });
-      if (!joinable.empty()) {
-        task = std::move(joinable.front());
-        joinable.pop_front();
+      MutexLock lock(state.mu);
+      while (state.joinable.empty() &&
+             !(state.completed == runnable && state.pending_submits == 0)) {
+        state.cv.Wait(state.mu);
+      }
+      if (!state.joinable.empty()) {
+        task = std::move(state.joinable.front());
+        state.joinable.pop_front();
       } else {
         break;
       }

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -13,7 +12,9 @@
 #include "core/query_cache.h"
 #include "sql/ast.h"
 #include "storage/relation.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace rma::sql {
 
@@ -135,7 +136,8 @@ class Database {
  private:
   /// Bumps the catalog version and evicts the cached plans reading
   /// `written_table` (lower-cased). Caller holds catalog_mu_ exclusively.
-  void BumpCatalogVersionLocked(const std::string& written_table);
+  void BumpCatalogVersionLocked(const std::string& written_table)
+      RMA_REQUIRES(catalog_mu_);
   Result<Relation> ExecuteParsed(Statement&& stmt, const std::string& sql);
   void ExecuteBatchStatement(Statement&& stmt, const std::string& sql,
                              ExecContext* ctx, Result<Relation>* slot);
@@ -152,8 +154,14 @@ class Database {
 
   /// Guards tables_; the catalog version is additionally atomic so
   /// statement execution can read it without the lock.
-  mutable std::shared_mutex catalog_mu_;
-  std::map<std::string, Relation> tables_;  // keyed by lower-cased name
+  mutable SharedMutex catalog_mu_;
+  /// Keyed by lower-cased name.
+  std::map<std::string, Relation> tables_ RMA_GUARDED_BY(catalog_mu_);
+  /// Not lock-guarded: set at construction and reassigned only by the copy
+  /// operations, which require external quiescence (no concurrent
+  /// statements — the same contract rma_options carries). Statement
+  /// execution reads the pointer freely; the QueryCache it points at is
+  /// internally synchronized.
   QueryCachePtr query_cache_ = std::make_shared<QueryCache>();
   std::atomic<uint64_t> catalog_version_{0};
 };

@@ -4,11 +4,27 @@
 #include <atomic>
 #include <cmath>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <tuple>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace rma {
+
+namespace {
+
+/// Slice-identity memo (see Relation::SliceIdentity). File-scope so the
+/// guarded_by relation is analysis-visible; the map is leaked on purpose
+/// (identity tokens may be minted during static teardown of cached plans).
+using SliceKey = std::tuple<uint64_t, int64_t, int64_t>;
+Mutex g_slice_memo_mu;
+std::map<SliceKey, uint64_t>& SliceMemo() RMA_REQUIRES(g_slice_memo_mu) {
+  static std::map<SliceKey, uint64_t>* memo = new std::map<SliceKey, uint64_t>();
+  return *memo;
+}
+
+}  // namespace
 
 uint64_t Relation::NextIdentity() {
   static std::atomic<uint64_t> counter{0};
@@ -48,9 +64,8 @@ uint64_t Relation::SliceIdentity(uint64_t parent, int64_t begin,
   // either alias a shard with its parent or miss on every run. Memoize fresh
   // NextIdentity tokens per (parent, range); tokens are never reused, so the
   // map only grows with distinct shard shapes actually executed.
-  static std::mutex mu;
-  static std::map<std::tuple<uint64_t, int64_t, int64_t>, uint64_t> tokens;
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(g_slice_memo_mu);
+  std::map<SliceKey, uint64_t>& tokens = SliceMemo();
   auto [it, inserted] = tokens.try_emplace({parent, begin, count}, 0);
   if (inserted) it->second = NextIdentity();
   return it->second;

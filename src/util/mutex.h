@@ -1,0 +1,151 @@
+#ifndef RMA_UTIL_MUTEX_H_
+#define RMA_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace rma {
+
+class CondVar;
+
+/// Capability-annotated wrapper over std::mutex. libstdc++'s std types carry
+/// no thread-safety attributes, so clang's analysis cannot reason about
+/// them; every mutex in src/ whose guarded state should be machine-checked
+/// is one of these instead. Zero overhead: the wrapper is a std::mutex plus
+/// attributes that compile to nothing.
+class RMA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RMA_ACQUIRE() { mu_.lock(); }
+  void Unlock() RMA_RELEASE() { mu_.unlock(); }
+  bool TryLock() RMA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Capability-annotated wrapper over std::shared_mutex (reader/writer).
+class RMA_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() RMA_ACQUIRE() { mu_.lock(); }
+  void Unlock() RMA_RELEASE() { mu_.unlock(); }
+  void LockShared() RMA_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RMA_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex (std::lock_guard shape).
+class RMA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RMA_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RMA_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock over SharedMutex.
+class RMA_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) RMA_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RMA_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class RMA_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) RMA_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  // Generic release: the scoped capability is held *shared*, and clang
+  // rejects releasing a shared hold with the exclusive release attribute.
+  ~ReaderMutexLock() RMA_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with rma::Mutex. The Wait family takes the
+/// Mutex itself and is annotated RMA_REQUIRES(mu): the caller must hold the
+/// lock, and the analysis treats it as held across the wait (the internal
+/// release/re-acquire is invisible — the standard fiction every annotated
+/// condvar uses, cf. absl::CondVar).
+///
+/// The analysis checks a lambda body as its own function, so it cannot see
+/// that a predicate lambda passed into a wait runs under the lock. Callers
+/// therefore write the predicate loop out explicitly —
+///
+///   MutexLock lock(mu_);
+///   while (!stop_ && queue_.empty()) cv_.Wait(mu_);
+///
+/// — which keeps every guarded read inside the function that holds the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) RMA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scoped lock still owns the mutex
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      RMA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      RMA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rma
+
+#endif  // RMA_UTIL_MUTEX_H_

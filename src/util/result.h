@@ -15,8 +15,10 @@ namespace rma {
 ///   Result<Relation> r = Inv(rel, {"User"});
 ///   if (!r.ok()) return r.status();
 ///   const Relation& rel = *r;
+/// [[nodiscard]]: dropping a Result discards both the value and the error;
+/// see the Status class comment for the discipline.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit conversion from a value.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

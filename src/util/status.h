@@ -28,7 +28,12 @@ enum class StatusCode : int {
 ///
 /// The library does not use exceptions: every fallible public entry point
 /// returns `Status` or `Result<T>` (see result.h).
-class Status {
+///
+/// The class is [[nodiscard]]: a dropped return is a compile warning
+/// (-Werror in CI), because a silently ignored error from Register/Drop/
+/// batch internals is a corruption vector once callers retry on failure.
+/// Intentional discards must be explicit: `st.IgnoreError()`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -96,6 +101,11 @@ class Status {
 
   /// Aborts the process if the status is not OK. Use in tests/examples only.
   void Abort() const;
+
+  /// Explicitly discards the status. The only sanctioned way to drop a
+  /// Status on the floor — it makes "this error is deliberately ignored"
+  /// grep-able and keeps [[nodiscard]] clean at the call site.
+  void IgnoreError() const {}
 
  private:
   struct State {

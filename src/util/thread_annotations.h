@@ -1,0 +1,105 @@
+#ifndef RMA_UTIL_THREAD_ANNOTATIONS_H_
+#define RMA_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Portable wrappers over Clang's thread-safety (capability) analysis
+/// attributes. Under clang with `-Wthread-safety` the annotations turn lock
+/// discipline into compile-time checking: a field marked RMA_GUARDED_BY(mu)
+/// may only be touched while `mu` is held, a function marked
+/// RMA_REQUIRES(mu) may only be called with `mu` held, and the analysis
+/// verifies *every* call path — not just the interleavings a test happens to
+/// execute. On GCC/MSVC every macro expands to nothing, so the annotations
+/// cost nothing where they cannot be checked.
+///
+/// The analysis only understands capability-annotated lock types, and
+/// libstdc++'s std::mutex carries no annotations — use the annotated
+/// wrappers in util/mutex.h (rma::Mutex, rma::SharedMutex, rma::MutexLock,
+/// rma::CondVar) instead of the std types for any mutex whose guarded state
+/// should be machine-checked.
+///
+/// See docs/STATIC_ANALYSIS.md for how to read the diagnostics and when
+/// RMA_NO_THREAD_SAFETY_ANALYSIS is acceptable.
+
+#if defined(__clang__)
+#define RMA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RMA_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a capability (a lock type). The string names the
+/// capability kind in diagnostics, e.g. RMA_CAPABILITY("mutex").
+#define RMA_CAPABILITY(x) RMA_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (std::lock_guard shape).
+#define RMA_SCOPED_CAPABILITY RMA_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated field may only be accessed while the given capability is
+/// held: `int hits_ RMA_GUARDED_BY(mu_);`.
+#define RMA_GUARDED_BY(x) RMA_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer variant: the *pointee* is guarded (the pointer itself is not).
+#define RMA_PT_GUARDED_BY(x) RMA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-ordering documentation: this capability must be acquired before /
+/// after the listed ones; the analysis reports inversions.
+#define RMA_ACQUIRED_BEFORE(...) \
+  RMA_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define RMA_ACQUIRED_AFTER(...) \
+  RMA_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the listed capabilities
+/// (exclusively / shared). The convention in this codebase: helpers named
+/// `*Locked` carry RMA_REQUIRES on the mutex they expect held.
+#define RMA_REQUIRES(...) \
+  RMA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define RMA_REQUIRES_SHARED(...) \
+  RMA_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities (exclusively / shared) and
+/// does not release them before returning.
+#define RMA_ACQUIRE(...) \
+  RMA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define RMA_ACQUIRE_SHARED(...) \
+  RMA_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (which must be held on
+/// entry). RMA_RELEASE expects an exclusive hold, RMA_RELEASE_SHARED a
+/// shared one; RMA_RELEASE_GENERIC releases either mode (what a scoped
+/// lock whose hold may be shared must use in its destructor).
+#define RMA_RELEASE(...) \
+  RMA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RMA_RELEASE_SHARED(...) \
+  RMA_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define RMA_RELEASE_GENERIC(...) \
+  RMA_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability and returns `ret` on
+/// success: `bool TryLock() RMA_TRY_ACQUIRE(true);`.
+#define RMA_TRY_ACQUIRE(...) \
+  RMA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define RMA_TRY_ACQUIRE_SHARED(...) \
+  RMA_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must be called *without* the listed capabilities held
+/// (non-reentrant public entry points of a class whose methods self-lock).
+#define RMA_EXCLUDES(...) RMA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (injects the fact into the
+/// analysis without acquiring).
+#define RMA_ASSERT_CAPABILITY(x) \
+  RMA_THREAD_ANNOTATION_(assert_capability(x))
+#define RMA_ASSERT_SHARED_CAPABILITY(x) \
+  RMA_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability (accessors).
+#define RMA_RETURN_CAPABILITY(x) RMA_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Last resort: prefer
+/// restructuring into RMA_REQUIRES-annotated `*Locked` helpers; any use must
+/// carry a comment naming the invariant the analysis cannot express, and
+/// none are permitted in core/ or sql/ (enforced by review + the
+/// STATIC_ANALYSIS.md contract).
+#define RMA_NO_THREAD_SAFETY_ANALYSIS \
+  RMA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // RMA_UTIL_THREAD_ANNOTATIONS_H_

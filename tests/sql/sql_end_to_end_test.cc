@@ -212,6 +212,44 @@ TEST(SqlEndToEnd, DropMissingTableIsNotFoundWithName) {
   EXPECT_STATUS(kNotFound, db.Execute("DROP TABLE also_missing"));
 }
 
+// Status discipline end-to-end: [[nodiscard]] keeps a Status from being
+// dropped at compile time, and this pins the runtime half — a failing DROP
+// inside a script must land in its own result slot (not vanish, not abort
+// the batch), with the statements around it unaffected.
+TEST(SqlEndToEnd, ScriptSurfacesFailedDropInItsSlot) {
+  sql::Database db = ExampleDb();
+  std::vector<Result<Relation>> results = db.ExecuteScript(
+      "CREATE TABLE t AS SELECT * FROM u;"
+      "DROP TABLE no_such_table;"
+      "SELECT * FROM t");
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_OK(results[0].status());
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[1].status().IsNotFound())
+      << results[1].status().ToString();
+  EXPECT_NE(results[1].status().message().find("no_such_table"),
+            std::string::npos)
+      << results[1].status().ToString();
+  ASSERT_OK(results[2].status());
+}
+
+// Same discipline on the dependency-ordered path: a failed DROP of a real
+// table fences later statements reading it. The drop succeeds, so the
+// following SELECT must fail with the table gone — proof the error slot and
+// the schedule agree on statement order.
+TEST(SqlEndToEnd, ScriptDropFencesLaterReaders) {
+  sql::Database db = ExampleDb();
+  std::vector<Result<Relation>> results = db.ExecuteScript(
+      "DROP TABLE u;"
+      "SELECT * FROM u");
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_OK(results[0].status());
+  // Binding a vanished table in a SELECT is a KeyError (same as
+  // CreateDropLifecycle above) — the point here is only that the read runs
+  // strictly after the drop.
+  EXPECT_STATUS(kKeyError, results[1]);
+}
+
 TEST(SqlEndToEnd, CachedQueryDoesNotServeStaleDataAfterReRegister) {
   // The invalidation contract: a cached query re-run after DROP +
   // re-Register with different data must reflect the new data — neither a

@@ -1,0 +1,24 @@
+// VIOLATION: calls an RMA_EXCLUDES (self-locking) function while already
+// holding the excluded mutex — a guaranteed self-deadlock on std::mutex.
+// Under clang with -Wthread-safety -Werror this must fail to compile. The
+// snippet is only ever compiled, never run.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+rma::Mutex g_mu;
+
+void SelfLocking() RMA_EXCLUDES(g_mu) { rma::MutexLock lock(g_mu); }
+
+void Caller() {
+  rma::MutexLock lock(g_mu);
+  SelfLocking();  // g_mu already held
+}
+
+}  // namespace
+
+int main() {
+  Caller();
+  return 0;
+}

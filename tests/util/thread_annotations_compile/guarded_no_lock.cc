@@ -1,0 +1,25 @@
+// VIOLATION: writes an RMA_GUARDED_BY member without holding its mutex.
+// Under clang with -Wthread-safety -Werror this must fail to compile; where
+// the annotations expand to nothing (GCC, MSVC) it compiles — and would be
+// a genuine data race if two threads ever called Increment.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { ++value_; }  // mu_ not held
+
+ private:
+  rma::Mutex mu_;
+  int value_ RMA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Correct locking discipline: must compile under every supported compiler,
+// including clang with -Wthread-safety -Werror. If this snippet stops
+// building, the wrapper types in util/mutex.h broke, not the analysis.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    rma::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Value() const {
+    rma::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable rma::Mutex mu_;
+  int value_ RMA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Value() == 1 ? 0 : 1;
+}

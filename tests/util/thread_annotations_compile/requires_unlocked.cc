@@ -1,0 +1,20 @@
+// VIOLATION: calls an RMA_REQUIRES function without holding the required
+// mutex. Under clang with -Wthread-safety -Werror this must fail to
+// compile; the *Locked-helper convention across src/ relies on exactly this
+// check to keep lock contracts enforced at call sites.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+rma::Mutex g_mu;
+int g_value RMA_GUARDED_BY(g_mu) = 0;
+
+void BumpLocked() RMA_REQUIRES(g_mu) { ++g_value; }
+
+}  // namespace
+
+int main() {
+  BumpLocked();  // g_mu not held
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Asserts the configure-time negative-compilation results for
+// util/thread_annotations.h (cmake/ThreadAnnotationChecks.cmake compiles
+// the snippets under tests/util/thread_annotations_compile/ and bakes the
+// outcomes into the generated header).
+//
+// Two regressions this guards against:
+//  - clang builds where the analysis silently stopped firing (a macro
+//    definition typo, a dropped -Wthread-safety): the VIOLATION snippets
+//    would start compiling;
+//  - non-clang builds where the no-op fallback broke (a macro expanding to
+//    something GCC rejects): every snippet would stop compiling.
+#include <gtest/gtest.h>
+
+#include "thread_annotations_check_results.h"
+
+namespace {
+
+TEST(ThreadAnnotationsCompile, CorrectUsageCompilesEverywhere) {
+  EXPECT_EQ(RMA_CHECK_OK_LOCKED_COMPILES, 1)
+      << "util/mutex.h wrappers failed to compile in a well-locked snippet";
+}
+
+TEST(ThreadAnnotationsCompile, GuardedByViolationRejectedUnderClang) {
+#if RMA_CHECK_COMPILER_IS_CLANG
+  EXPECT_EQ(RMA_CHECK_GUARDED_NO_LOCK_COMPILES, 0)
+      << "clang accepted an unlocked write to an RMA_GUARDED_BY member — "
+         "is -Wthread-safety still wired up?";
+#else
+  EXPECT_EQ(RMA_CHECK_GUARDED_NO_LOCK_COMPILES, 1)
+      << "no-op annotation macros must not reject code on this compiler";
+#endif
+}
+
+TEST(ThreadAnnotationsCompile, RequiresViolationRejectedUnderClang) {
+#if RMA_CHECK_COMPILER_IS_CLANG
+  EXPECT_EQ(RMA_CHECK_REQUIRES_UNLOCKED_COMPILES, 0)
+      << "clang accepted a call to an RMA_REQUIRES function without the "
+         "lock held";
+#else
+  EXPECT_EQ(RMA_CHECK_REQUIRES_UNLOCKED_COMPILES, 1)
+      << "no-op annotation macros must not reject code on this compiler";
+#endif
+}
+
+TEST(ThreadAnnotationsCompile, ExcludesViolationRejectedUnderClang) {
+#if RMA_CHECK_COMPILER_IS_CLANG
+  EXPECT_EQ(RMA_CHECK_EXCLUDES_VIOLATION_COMPILES, 0)
+      << "clang accepted re-acquiring a mutex through an RMA_EXCLUDES "
+         "function (self-deadlock)";
+#else
+  EXPECT_EQ(RMA_CHECK_EXCLUDES_VIOLATION_COMPILES, 1)
+      << "no-op annotation macros must not reject code on this compiler";
+#endif
+}
+
+}  // namespace
