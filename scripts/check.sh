@@ -43,6 +43,9 @@ run_matrix() {
     (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}")
   done
 
+  echo "=== server smoke (Release) ==="
+  scripts/server_smoke.sh build-check-release
+
   echo "=== AddressSanitizer ==="
   cmake -B build-check-asan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
@@ -118,6 +121,8 @@ run_lint() {
 run_format() {
   echo "=== clang-format (touched files) ==="
   scripts/check_format.sh "${FORMAT_BASE}"
+  echo "=== markdown cross-references ==="
+  python3 scripts/check_doc_links.py
 }
 
 case "${MODE}" in

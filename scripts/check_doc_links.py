@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown files resolve.
+
+Walks every tracked-directory *.md, extracts inline markdown links
+[text](target), and verifies that each relative target exists on disk
+(anchors are stripped; absolute URLs and mailto: are skipped). This is the
+doc-link gate wired into scripts/check.sh format and the format-check CI
+job: a rename or file move that strands a cross-reference fails fast
+instead of rotting.
+
+Usage: scripts/check_doc_links.py [root]     # default: repo root
+"""
+import os
+import re
+import sys
+
+# Inline links only; reference-style links are rare here and the regex
+# deliberately ignores fenced code blocks' ](...) lookalikes by requiring
+# the [...] part.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", ".claude", "third_party"}
+
+
+def iter_markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def strip_code_blocks(text):
+    """Drops fenced code blocks so example links don't get checked."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    broken = []
+    checked = 0
+    for path in sorted(iter_markdown_files(root)):
+        with open(path, encoding="utf-8") as f:
+            text = strip_code_blocks(f.read())
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target_path))
+            checked += 1
+            if not os.path.exists(resolved):
+                broken.append((path, target))
+    for path, target in broken:
+        print(f"{path}: broken link -> {target}")
+    print(f"doc links: {checked} checked, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the server front-end: starts rma_server on an
+# ephemeral port, drives the Fig. 13 and Fig. 15 workloads through
+# rma_client, asserts the streamed row counts and plan-cache reuse, checks
+# statement-level error isolation, then SIGTERMs the server and asserts the
+# drain summary. CI runs this against the Release build
+# (.github/workflows/ci.yml, job server-smoke); locally:
+#
+#   scripts/server_smoke.sh [build-dir]    # default: build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+SERVER="${BUILD}/tools/rma_server"
+CLIENT="${BUILD}/tools/rma_client"
+ROWS=4000
+
+if [[ ! -x "${SERVER}" || ! -x "${CLIENT}" ]]; then
+  echo "error: ${SERVER} / ${CLIENT} not built (cmake --build ${BUILD})" >&2
+  exit 2
+fi
+
+LOG="$(mktemp)"
+"${SERVER}" --port 0 --rows "${ROWS}" --cols 4 > "${LOG}" 2>&1 &
+SERVER_PID=$!
+cleanup() {
+  kill -9 "${SERVER_PID}" 2>/dev/null || true
+  rm -f "${LOG}"
+}
+trap cleanup EXIT
+
+# The server prints "rma_server listening on HOST:PORT" once bound.
+PORT=""
+for _ in $(seq 100); do
+  PORT="$(sed -n 's/^rma_server listening on .*:\([0-9][0-9]*\)$/\1/p' "${LOG}")"
+  [[ -n "${PORT}" ]] && break
+  sleep 0.1
+done
+if [[ -z "${PORT}" ]]; then
+  echo "error: server never printed its listening line" >&2
+  cat "${LOG}" >&2
+  exit 1
+fi
+echo "server up on port ${PORT}"
+
+echo "--- fig13 workload (2 reps) ---"
+FIG13="$("${CLIENT}" --port "${PORT}" --workload fig13 --reps 2 --counts)"
+echo "${FIG13}"
+# Per rep: MMU(TRA(m),m) -> 4 rows, CPD(m,m) -> 4 rows, QQR(m) -> ROWS rows.
+[[ "$(grep -c '^rows=4 ' <<<"${FIG13}")" -eq 4 ]] \
+  || { echo "FAIL: expected 4 Gram-matrix results of 4 rows" >&2; exit 1; }
+[[ "$(grep -c "^rows=${ROWS} " <<<"${FIG13}")" -eq 2 ]] \
+  || { echo "FAIL: expected 2 QQR results of ${ROWS} rows" >&2; exit 1; }
+# The second rep replays identical statements: the shared plan cache must hit.
+grep -q "^rows=${ROWS} .*cache=hit" <<<"${FIG13}" \
+  || { echo "FAIL: second QQR rep missed the plan cache" >&2; exit 1; }
+
+echo "--- fig15 workload (prepared) ---"
+FIG15="$("${CLIENT}" --port "${PORT}" --workload fig15 --counts --prepare)"
+echo "${FIG15}"
+grep -q '^rows=4 ' <<<"${FIG15}" \
+  || { echo "FAIL: OLS result should have one row per regressor" >&2; exit 1; }
+
+echo "--- statement error isolation ---"
+# A bad statement must answer with an error yet leave the session usable:
+# the client exits non-zero (it saw a failure) but still runs the second
+# statement on the same connection.
+set +e
+ISOLATION="$("${CLIENT}" --port "${PORT}" \
+  -e "SELECT * FROM no_such_table;" -e "SELECT * FROM u;" --counts 2>&1)"
+ISOLATION_EXIT=$?
+set -e
+echo "${ISOLATION}"
+[[ "${ISOLATION_EXIT}" -ne 0 ]] \
+  || { echo "FAIL: client should report the failed statement" >&2; exit 1; }
+grep -q 'unknown table' <<<"${ISOLATION}" \
+  || { echo "FAIL: server error did not reach the client" >&2; exit 1; }
+grep -q '^rows=3 ' <<<"${ISOLATION}" \
+  || { echo "FAIL: session did not survive the failed statement" >&2; exit 1; }
+
+echo "--- graceful shutdown ---"
+kill -TERM "${SERVER_PID}"
+for _ in $(seq 100); do
+  kill -0 "${SERVER_PID}" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "${SERVER_PID}" 2>/dev/null; then
+  echo "FAIL: server did not exit after SIGTERM" >&2
+  exit 1
+fi
+wait "${SERVER_PID}" 2>/dev/null || true
+grep -q 'statements: .* executed' "${LOG}" \
+  || { echo "FAIL: no drain summary in server log" >&2; cat "${LOG}" >&2; exit 1; }
+grep -q 'sessions: [0-9]* accepted' "${LOG}" \
+  || { echo "FAIL: no session summary in server log" >&2; exit 1; }
+
+echo "server smoke: OK"

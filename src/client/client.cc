@@ -1,0 +1,222 @@
+#include "client/client.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace rma::client {
+
+using server::Frame;
+using server::MessageType;
+using server::RecvFrame;
+using server::SendFrame;
+using server::WireReader;
+using server::WireWriter;
+
+namespace {
+
+/// Stitches the streamed batches back into one relation, column by column.
+/// Decoded batches hold plain TypedBat columns (DecodeRowBatch builds
+/// them), so each result column is one typed gather over the batch tails —
+/// the client-side mirror of the server's columnar batch encoding.
+Result<Relation> ConcatBatches(const Schema& schema,
+                               const std::vector<Relation>& batches) {
+  int64_t total = 0;
+  for (const Relation& b : batches) total += b.num_rows();
+  std::vector<BatPtr> columns;
+  const int ncols = schema.num_attributes();
+  columns.reserve(static_cast<size_t>(ncols));
+  for (int col = 0; col < ncols; ++col) {
+    switch (schema.attribute(col).type) {
+      case DataType::kInt64: {
+        std::vector<int64_t> data;
+        data.reserve(static_cast<size_t>(total));
+        for (const Relation& b : batches) {
+          const auto* bat = dynamic_cast<const Int64Bat*>(b.column(col).get());
+          if (bat == nullptr) return Status::Invalid("batch column not typed");
+          data.insert(data.end(), bat->data().begin(), bat->data().end());
+        }
+        columns.push_back(MakeInt64Bat(std::move(data)));
+        break;
+      }
+      case DataType::kDouble: {
+        std::vector<double> data;
+        data.reserve(static_cast<size_t>(total));
+        for (const Relation& b : batches) {
+          const auto* bat = dynamic_cast<const DoubleBat*>(b.column(col).get());
+          if (bat == nullptr) return Status::Invalid("batch column not typed");
+          data.insert(data.end(), bat->data().begin(), bat->data().end());
+        }
+        columns.push_back(MakeDoubleBat(std::move(data)));
+        break;
+      }
+      case DataType::kString: {
+        std::vector<std::string> data;
+        data.reserve(static_cast<size_t>(total));
+        for (const Relation& b : batches) {
+          const auto* bat = dynamic_cast<const StringBat*>(b.column(col).get());
+          if (bat == nullptr) return Status::Invalid("batch column not typed");
+          data.insert(data.end(), bat->data().begin(), bat->data().end());
+        }
+        columns.push_back(MakeStringBat(std::move(data)));
+        break;
+      }
+    }
+  }
+  return Relation::Make(schema, std::move(columns), "result");
+}
+
+}  // namespace
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  Client c;
+  RMA_ASSIGN_OR_RETURN(c.sock_, ConnectSocket(host, port));
+  WireWriter hello;
+  hello.PutU32(server::kProtocolVersion);
+  RMA_RETURN_NOT_OK(SendFrame(c.sock_, MessageType::kHello, hello.str()));
+  RMA_ASSIGN_OR_RETURN(Frame frame, RecvFrame(c.sock_));
+  if (frame.type == MessageType::kError) {
+    return server::DecodeError(frame.payload);
+  }
+  if (frame.type != MessageType::kWelcome) {
+    return Status::IoError("handshake: expected WELCOME, got frame type " +
+                           std::to_string(static_cast<int>(frame.type)));
+  }
+  WireReader reader(frame.payload);
+  RMA_ASSIGN_OR_RETURN(uint32_t version, reader.GetU32());
+  if (version != server::kProtocolVersion) {
+    return Status::IoError("handshake: server answered with protocol v" +
+                           std::to_string(version));
+  }
+  RMA_ASSIGN_OR_RETURN(c.session_id_, reader.GetU64());
+  return c;
+}
+
+Status Client::SetOption(const std::string& key, const std::string& value) {
+  if (!connected()) return Status::IoError("not connected");
+  WireWriter w;
+  w.PutString(key);
+  w.PutString(value);
+  RMA_RETURN_NOT_OK(SendFrame(sock_, MessageType::kSetOption, w.str()));
+  RMA_ASSIGN_OR_RETURN(Frame frame, RecvFrame(sock_));
+  if (frame.type == MessageType::kError) {
+    return server::DecodeError(frame.payload);
+  }
+  if (frame.type != MessageType::kOptionAck) {
+    return Status::IoError("expected OPTION_ACK, got frame type " +
+                           std::to_string(static_cast<int>(frame.type)));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Client::Prepare(const std::string& sql) {
+  if (!connected()) return Status::IoError("not connected");
+  WireWriter w;
+  w.PutString(sql);
+  RMA_RETURN_NOT_OK(SendFrame(sock_, MessageType::kPrepare, w.str()));
+  RMA_ASSIGN_OR_RETURN(Frame frame, RecvFrame(sock_));
+  if (frame.type == MessageType::kError) {
+    return server::DecodeError(frame.payload);
+  }
+  if (frame.type != MessageType::kPrepareAck) {
+    return Status::IoError("expected PREPARE_ACK, got frame type " +
+                           std::to_string(static_cast<int>(frame.type)));
+  }
+  WireReader reader(frame.payload);
+  return reader.GetU64();
+}
+
+Result<ExecResult> Client::Execute(const std::string& sql) {
+  WireWriter w;
+  w.PutString(sql);
+  return RunStatement(MessageType::kExecute, w.str(), nullptr);
+}
+
+Result<ExecResult> Client::ExecutePrepared(uint64_t handle) {
+  WireWriter w;
+  w.PutU64(handle);
+  return RunStatement(MessageType::kExecutePrepared, w.str(), nullptr);
+}
+
+Result<ExecResult> Client::ExecuteStreaming(const std::string& sql,
+                                            const BatchCallback& on_batch) {
+  WireWriter w;
+  w.PutString(sql);
+  return RunStatement(MessageType::kExecute, w.str(), &on_batch);
+}
+
+Result<Relation> Client::Query(const std::string& sql) {
+  RMA_ASSIGN_OR_RETURN(ExecResult result, Execute(sql));
+  return std::move(result.relation);
+}
+
+Result<ExecResult> Client::RunStatement(MessageType type,
+                                        const std::string& payload,
+                                        const BatchCallback* on_batch) {
+  if (!connected()) return Status::IoError("not connected");
+  RMA_RETURN_NOT_OK(SendFrame(sock_, type, payload));
+
+  ExecResult out;
+  bool have_header = false;
+  Schema schema;
+  // Accumulation path: collect the batches, stitch columns at COMPLETE.
+  std::vector<Relation> collected;
+  while (true) {
+    RMA_ASSIGN_OR_RETURN(Frame frame, RecvFrame(sock_));
+    switch (frame.type) {
+      case MessageType::kError:
+        // Statement-level failure; the session stays usable.
+        return server::DecodeError(frame.payload);
+      case MessageType::kResultHeader: {
+        RMA_ASSIGN_OR_RETURN(schema, server::DecodeResultHeader(frame.payload));
+        have_header = true;
+        break;
+      }
+      case MessageType::kRowBatch: {
+        if (!have_header) {
+          return Status::IoError("ROW_BATCH before RESULT_HEADER");
+        }
+        RMA_ASSIGN_OR_RETURN(Relation batch,
+                             server::DecodeRowBatch(schema, frame.payload));
+        ++out.batches;
+        if (on_batch != nullptr) {
+          Status st = (*on_batch)(batch);
+          if (!st.ok()) {
+            // Deliberate mid-stream hang-up: the server notices the broken
+            // socket on its next send and abandons the stream.
+            sock_.Close();
+            return st;
+          }
+        } else {
+          collected.push_back(std::move(batch));
+        }
+        break;
+      }
+      case MessageType::kComplete: {
+        if (!have_header) {
+          return Status::IoError("COMPLETE before RESULT_HEADER");
+        }
+        WireReader reader(frame.payload);
+        RMA_ASSIGN_OR_RETURN(out.rows, reader.GetU64());
+        RMA_ASSIGN_OR_RETURN(out.server_seconds, reader.GetF64());
+        RMA_ASSIGN_OR_RETURN(out.plan_cache, reader.GetU8());
+        if (on_batch == nullptr) {
+          RMA_ASSIGN_OR_RETURN(out.relation, ConcatBatches(schema, collected));
+        }
+        return out;
+      }
+      default:
+        return Status::IoError("unexpected frame type " +
+                               std::to_string(static_cast<int>(frame.type)) +
+                               " in result stream");
+    }
+  }
+}
+
+void Client::Close() {
+  if (!connected()) return;
+  SendFrame(sock_, MessageType::kGoodbye, "").IgnoreError();
+  sock_.Close();
+}
+
+}  // namespace rma::client

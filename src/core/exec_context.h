@@ -86,6 +86,14 @@ class ExecContext {
   const RmaOptions& options() const { return opts_; }
   RmaOptions& mutable_options() { return opts_; }
 
+  /// Free-form owner label for stats attribution ("session-7", "batch", ...).
+  /// A long-lived context — a server session's, which accumulates totals()
+  /// and op_stats() across every statement of that session — carries the
+  /// name its numbers should be reported under. Same write discipline as
+  /// mutable_options(): set while no statements execute on the context.
+  void set_attribution(std::string label) { attribution_ = std::move(label); }
+  const std::string& attribution() const { return attribution_; }
+
   /// The cache this context borrows from (never null).
   const std::shared_ptr<QueryCache>& cache() const { return cache_; }
 
@@ -215,6 +223,7 @@ class ExecContext {
   /// (RMA_PT_GUARDED_BY cannot attach to a field of an options struct, so
   /// that part of the invariant stays prose).
   RmaOptions opts_;
+  std::string attribution_;
   std::shared_ptr<QueryCache> cache_;
 
   /// Guards totals_, plans_, op_stats_, the cache counters, the plan-cache

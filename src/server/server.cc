@@ -1,0 +1,184 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "matrix/parallel.h"
+#include "server/session.h"
+#include "server/wire.h"
+
+namespace rma::server {
+
+namespace {
+/// How long a refused connection may take to send its HELLO before the
+/// server gives up on delivering the capacity error and just closes.
+constexpr int kRefusalHelloTimeoutMs = 5000;
+}  // namespace
+
+Server::Server(sql::Database* db, ServerOptions opts)
+    : db_(db), opts_(std::move(opts)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_) return Status::Invalid("server already started");
+  thread_budget_ = db_->rma_options.max_threads > 0
+                       ? db_->rma_options.max_threads
+                       : DefaultThreadCount();
+  capacity_ = opts_.max_inflight_statements > 0
+                  ? opts_.max_inflight_statements
+                  : thread_budget_;
+  if (opts_.max_sessions < 1) {
+    return Status::Invalid("max_sessions must be >= 1");
+  }
+  RMA_ASSIGN_OR_RETURN(
+      listener_,
+      ListenSocket::Listen(opts_.host, opts_.port, opts_.listen_backlog));
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    Result<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) return;  // listener closed by Stop(), or fatal
+    uint64_t id = 0;
+    bool refuse_stopping = false;
+    bool refuse_capacity = false;
+    {
+      MutexLock lock(mu_);
+      if (stopping_) {
+        refuse_stopping = true;
+      } else if (stats_.active_sessions >= opts_.max_sessions) {
+        refuse_capacity = true;
+        ++stats_.sessions_refused;
+      } else {
+        id = ++next_session_id_;
+        ++stats_.sessions_accepted;
+        ++stats_.active_sessions;
+      }
+    }
+    if (refuse_stopping) continue;  // socket closes; client sees EOF
+    if (refuse_capacity) {
+      // Answer with a reason instead of a bare EOF — but only after the
+      // client's HELLO arrives, otherwise closing right after the send
+      // races the client's own write and it sees EPIPE, not the error.
+      // (No WELCOME is sent; the client's handshake surfaces this error.)
+      std::thread refuser([max_sessions = opts_.max_sessions,
+                           sock = std::move(*accepted)]() mutable {
+        Result<bool> readable = sock.WaitReadable(kRefusalHelloTimeoutMs);
+        if (readable.ok() && *readable) (void)RecvFrame(sock);
+        SendFrame(sock, MessageType::kError,
+                  EncodeError(Status::ResourceExhausted(
+                      "server at session capacity (" +
+                      std::to_string(max_sessions) + ")")))
+            .IgnoreError();
+      });
+      MutexLock lock(mu_);
+      session_threads_.push_back(std::move(refuser));
+      continue;
+    }
+    std::thread worker([this, id, sock = std::move(*accepted)]() mutable {
+      Session session(id, std::move(sock), this);
+      session.Serve();
+      MutexLock lock(mu_);
+      --stats_.active_sessions;
+      cv_.NotifyAll();
+    });
+    MutexLock lock(mu_);
+    session_threads_.push_back(std::move(worker));
+  }
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+    cv_.NotifyAll();  // wake admission waiters so they refuse promptly
+  }
+  // Shut the listener down (unblocks AcceptLoop's accept(2) without
+  // touching the descriptor under it), join the acceptor, then close —
+  // closing first would race Accept's read of the fd and could recycle
+  // the descriptor under a concurrent accept(2).
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  // Sessions notice the drain flag within their poll interval (idle ones)
+  // or after finishing and streaming their in-flight statement (busy ones).
+  std::vector<std::thread> workers;
+  {
+    MutexLock lock(mu_);
+    workers.swap(session_threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  started_ = false;
+}
+
+ServerStats Server::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+int Server::AdmitStatement() {
+  MutexLock lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  bool waited = false;
+  // FIFO: a ticket is only considered once every earlier ticket has been
+  // served (or the server started draining), so a burst from one session
+  // cannot leapfrog older waiters from others.
+  while (!stopping_ && (ticket != serving_ || in_flight_ >= capacity_)) {
+    waited = true;
+    cv_.Wait(mu_);
+  }
+  if (stopping_) {
+    // Keep the serving counter moving so concurrently refused waiters
+    // behind this ticket also get to observe the drain and return.
+    if (ticket == serving_) {
+      ++serving_;
+      cv_.NotifyAll();
+    }
+    return 0;
+  }
+  ++serving_;
+  ++in_flight_;
+  if (waited) ++stats_.admission_waits;
+  stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_);
+  cv_.NotifyAll();
+  // The same admission-time split ExecuteBatch applies: the budget divided
+  // across everything in flight once this statement is admitted.
+  return std::max(1, thread_budget_ / in_flight_);
+}
+
+void Server::FinishStatement() {
+  MutexLock lock(mu_);
+  --in_flight_;
+  cv_.NotifyAll();
+}
+
+bool Server::draining() const {
+  MutexLock lock(mu_);
+  return stopping_;
+}
+
+void Server::CountStatementResult(bool ok) {
+  MutexLock lock(mu_);
+  ++stats_.statements_executed;
+  if (!ok) ++stats_.statements_failed;
+}
+
+void Server::CountStreamed(int64_t rows, int64_t batches) {
+  MutexLock lock(mu_);
+  stats_.rows_streamed += rows;
+  stats_.batches_streamed += batches;
+}
+
+void Server::CountRefusedStatement() {
+  MutexLock lock(mu_);
+  ++stats_.statements_refused;
+}
+
+}  // namespace rma::server

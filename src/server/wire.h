@@ -1,0 +1,136 @@
+#ifndef RMA_SERVER_WIRE_H_
+#define RMA_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "util/result.h"
+#include "util/socket.h"
+
+namespace rma::server {
+
+/// Protocol version spoken by this build. The client sends its version in
+/// HELLO; the server refuses a different *major* (the whole u32 today —
+/// split into major/minor when a compatible extension first ships) with an
+/// ERROR frame before any other traffic. See docs/PROTOCOL.md for the
+/// normative spec; this header is its implementation.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Frames larger than this are refused on receive — a corrupt or hostile
+/// length prefix must not become a 4 GiB allocation. Row batches are sized
+/// by the server well below this.
+inline constexpr uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+/// Message types. The type byte leads every frame body. Requests flow
+/// client → server, responses server → client; see docs/PROTOCOL.md for the
+/// per-type payload layouts and the worked byte-level example.
+enum class MessageType : uint8_t {
+  kHello = 1,         ///< c→s: u32 protocol version
+  kWelcome = 2,       ///< s→c: u32 protocol version, u64 session id
+  kSetOption = 3,     ///< c→s: str key, str value (session-scoped RmaOptions)
+  kOptionAck = 4,     ///< s→c: empty
+  kPrepare = 5,       ///< c→s: str sql
+  kPrepareAck = 6,    ///< s→c: u64 statement handle
+  kExecute = 7,       ///< c→s: str sql
+  kExecutePrepared = 8,  ///< c→s: u64 statement handle
+  kResultHeader = 9,  ///< s→c: u32 ncols, then per column: str name, u8 type
+  kRowBatch = 10,     ///< s→c: u32 nrows, then columns in header order
+  kComplete = 11,     ///< s→c: u64 rows, f64 seconds, u8 plan-cache outcome
+  kError = 12,        ///< s→c: u32 status code, str message
+  kGoodbye = 13,      ///< c→s: empty; server closes after in-flight work
+};
+
+/// One decoded frame: the type byte plus the raw payload after it.
+struct Frame {
+  MessageType type;
+  std::string payload;
+};
+
+/// Sends one frame: u32 little-endian length (type byte + payload), the
+/// type byte, the payload. Blocking; partial writes are looped internally.
+Status SendFrame(Socket& sock, MessageType type, const std::string& payload);
+
+/// Receives one frame. IoError whose message starts with "connection
+/// closed" means the peer hung up cleanly between frames.
+Result<Frame> RecvFrame(Socket& sock);
+
+/// Append-only little-endian payload builder. All multi-byte integers on
+/// the wire are little-endian; doubles travel as their IEEE-754 bit
+/// patterns in a u64.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF64(double v);
+  /// u32 byte length + raw bytes (no terminator).
+  void PutString(const std::string& s);
+  /// Raw bytes, appended verbatim (caller guarantees wire byte order).
+  void PutRaw(const void* p, size_t n);
+
+  void Reserve(size_t n) { out_.reserve(out_.size() + n); }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over a received payload. Every getter fails with
+/// IoError("truncated frame ...") instead of reading past the end, so a
+/// torn or malicious payload cannot walk off the buffer.
+class WireReader {
+ public:
+  explicit WireReader(const std::string& data) : data_(data) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetF64();
+  Result<std::string> GetString();
+  /// Copies `n` raw bytes into `out` (caller interprets wire byte order).
+  Status GetRaw(void* out, size_t n);
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n) const;
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+// --- result-set encoding (server side) / decoding (client side) -------------
+
+/// RESULT_HEADER payload for `schema`.
+std::string EncodeResultHeader(const Schema& schema);
+
+/// ROW_BATCH payload for rows [begin, begin+count) of `rel`: u32 row count,
+/// then one column at a time in schema order — i64/f64 columns as `count`
+/// 8-byte little-endian values back to back, string columns as `count`
+/// (u32 length + bytes) entries. Column-major within the batch keeps the
+/// column store's contiguous tails intact: fixed-width columns encode and
+/// decode as single memcpys instead of per-cell boxed values.
+std::string EncodeRowBatch(const Relation& rel, int64_t begin, int64_t count);
+
+/// Decodes a RESULT_HEADER payload back into a schema.
+Result<Schema> DecodeResultHeader(const std::string& payload);
+
+/// Decodes a ROW_BATCH payload against `schema` into a standalone relation
+/// (the streaming unit handed to client callbacks).
+Result<Relation> DecodeRowBatch(const Schema& schema,
+                                const std::string& payload);
+
+/// ERROR payload round-trip: the status code travels as its numeric value
+/// so a client-side Status carries the same code the server-side one did.
+std::string EncodeError(const Status& status);
+Status DecodeError(const std::string& payload);
+
+}  // namespace rma::server
+
+#endif  // RMA_SERVER_WIRE_H_

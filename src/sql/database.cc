@@ -123,6 +123,31 @@ Result<Relation> Database::Execute(const std::string& sql) {
   return ExecuteParsed(std::move(stmt), sql);
 }
 
+Result<Relation> Database::ExecuteOn(const std::string& sql,
+                                     ExecContext* ctx) {
+  RMA_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      return ExecuteSelectCached(*this, *stmt.select,
+                                 QueryCache::NormalizeStatement(sql), ctx);
+    case Statement::Kind::kCreateTableAs: {
+      RMA_ASSIGN_OR_RETURN(
+          Relation rel,
+          ExecuteSelectCached(*this, *stmt.select,
+                              QueryCache::NormalizeStatement(sql), ctx));
+      RMA_RETURN_NOT_OK(Register(stmt.table_name, rel));
+      return rel;
+    }
+    case Statement::Kind::kDropTable: {
+      RMA_RETURN_NOT_OK(Drop(stmt.table_name));
+      return Relation();
+    }
+    case Statement::Kind::kExplain:
+      return ExplainStatement(*this, stmt, sql, &ctx->options());
+  }
+  return Status::Invalid("unreachable statement kind");
+}
+
 Result<Relation> Database::ExecuteParsed(Statement&& stmt,
                                          const std::string& sql) {
   switch (stmt.kind) {

@@ -82,6 +82,20 @@ class Database {
   /// plan rendering.
   Result<Relation> Execute(const std::string& sql);
 
+  /// Session-scoped execution: runs one statement on a caller-provided
+  /// context instead of a fresh per-statement one. The context carries the
+  /// caller's options (a server session's per-session RmaOptions /
+  /// calibration profile) and should borrow this database's query cache
+  /// (`ExecContext(opts, db.query_cache())`) so cached plans and prepared
+  /// arguments are shared across sessions while stats accumulate per
+  /// session. SELECT and CREATE TABLE AS consult the plan cache exactly as
+  /// Execute does; EXPLAIN [ANALYZE] honours the context's options but
+  /// renders on a scratch context (its execution section reports the one
+  /// statement, not the session's cumulative totals). Statements on one
+  /// context must be serial (the server runs each session's statements in
+  /// order); different contexts may call this concurrently.
+  Result<Relation> ExecuteOn(const std::string& sql, ExecContext* ctx);
+
   /// Executes `statements`, returning one Result per statement (aligned
   /// with the input; a failed statement does not stop the batch).
   ///

@@ -856,10 +856,13 @@ Result<Relation> ExplainSelect(const Database& db, const SelectStmt& stmt,
 }
 
 Result<Relation> ExplainStatement(Database& db, const Statement& stmt,
-                                  const std::string& sql) {
+                                  const std::string& sql,
+                                  const RmaOptions* session_opts) {
   if (stmt.select == nullptr) {
     return Status::Invalid("EXPLAIN requires a SELECT or CREATE TABLE AS");
   }
+  const RmaOptions& opts =
+      session_opts != nullptr ? *session_opts : db.rma_options;
   std::vector<std::string> lines;
   if (!stmt.analyze) {
     // Plain EXPLAIN: render the full relational pipeline without executing
@@ -872,7 +875,7 @@ Result<Relation> ExplainStatement(Database& db, const Statement& stmt,
       lines.push_back("create table " + stmt.table_name +
                       " as [not executed]");
     }
-    ExecContext plan_ctx(db.rma_options);
+    ExecContext plan_ctx(opts);
     RMA_RETURN_NOT_OK(
         ExplainSelectLines(db, *stmt.select, &plan_ctx, depth, &lines));
     return PlanRelation(std::move(lines));
@@ -888,7 +891,7 @@ Result<Relation> ExplainStatement(Database& db, const Statement& stmt,
   if (stmt.explain_create) {
     lines.push_back("create table " + stmt.table_name + " as");
   }
-  ExecContext ctx(db.rma_options, db.query_cache());
+  ExecContext ctx(opts, db.query_cache());
   const std::string normalized = QueryCache::NormalizeStatement(sql);
   QueryCache::StatementPlanPtr plan_used;
   Timer timer;

@@ -63,9 +63,13 @@ Result<Relation> ExplainSelect(const Database& db, const SelectStmt& stmt,
 /// execution) and consults the plan cache like any statement —
 /// invalidation is per-table, so its own registration only evicts the
 /// stored plan when the select reads the replaced table. `sql` is the
-/// original statement text (plan-cache key material).
+/// original statement text (plan-cache key material). `session_opts`, when
+/// non-null, overrides the database's options (server sessions route their
+/// per-session RmaOptions through it); the explain still runs on a scratch
+/// context so its execution section reports exactly this statement.
 Result<Relation> ExplainStatement(Database& db, const Statement& stmt,
-                                  const std::string& sql);
+                                  const std::string& sql,
+                                  const RmaOptions* session_opts = nullptr);
 
 }  // namespace rma::sql
 

@@ -1,0 +1,110 @@
+#ifndef RMA_UTIL_SOCKET_H_
+#define RMA_UTIL_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace rma {
+
+/// RAII wrapper over a connected TCP socket (POSIX). Move-only; the
+/// descriptor is closed on destruction. All transfer methods are blocking
+/// and loop over partial reads/writes, so a frame either transfers whole or
+/// fails with IoError — the framing layer (server/wire.h) never sees a
+/// short count. Writes use MSG_NOSIGNAL: a peer that disconnected
+/// mid-stream surfaces as IoError("connection reset"), never SIGPIPE.
+///
+/// Thread-safety: one thread may Send while another Recvs (the two
+/// directions are independent), but each direction belongs to one thread at
+/// a time. Shutdown() is safe to call from any thread while another is
+/// blocked in Recv/Send — that blocked call then fails with IoError, which
+/// is exactly how Server::Stop unblocks idle session readers.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends exactly `len` bytes (looping over partial writes).
+  Status SendAll(const void* data, size_t len);
+
+  /// Receives exactly `len` bytes. A peer close mid-message is IoError;
+  /// a clean close *before the first byte* is IoError whose message starts
+  /// with "connection closed" (callers use this to tell an orderly
+  /// disconnect from a torn frame).
+  Status RecvAll(void* data, size_t len);
+
+  /// Waits up to `timeout_ms` for the socket to become readable (data or
+  /// EOF). Ok(true) = readable, Ok(false) = timed out. Lets a server
+  /// session poll for the next request while periodically checking the
+  /// drain flag, without tearing frames the way a receive timeout would.
+  Result<bool> WaitReadable(int timeout_ms);
+
+  /// Shuts down both directions without closing the descriptor: any thread
+  /// blocked in Recv/Send fails promptly. Idempotent.
+  void Shutdown();
+
+  /// Closes the descriptor. Idempotent.
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to `host`:`port`. Port 0 binds an ephemeral
+/// port; `port()` reports the actual one (tests and the smoke script bind 0
+/// and parse the server's startup line).
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { Close(); }
+
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  /// Binds and listens. SO_REUSEADDR is set so a restarted server can
+  /// rebind its port while old connections linger in TIME_WAIT.
+  static Result<ListenSocket> Listen(const std::string& host, uint16_t port,
+                                     int backlog = 64);
+
+  /// Blocks for the next connection. Fails with IoError after Shutdown()
+  /// from another thread — the accept-loop exit path.
+  Result<Socket> Accept();
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  /// Unblocks a concurrent Accept (it fails with IoError) without closing
+  /// or invalidating the descriptor. Safe to call from any thread while
+  /// another is blocked in Accept; idempotent.
+  void Shutdown();
+
+  /// Closes the descriptor. NOT safe against a concurrent Accept — call
+  /// Shutdown() first and join the accepting thread (Server::Stop does
+  /// exactly this), so the descriptor can't be recycled under a racing
+  /// accept(2). Idempotent.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Connects to `host`:`port` (numeric IPv4 or a resolvable name).
+Result<Socket> ConnectSocket(const std::string& host, uint16_t port);
+
+}  // namespace rma
+
+#endif  // RMA_UTIL_SOCKET_H_

@@ -1,0 +1,128 @@
+#include "server/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "test_util.h"
+
+namespace rma::server {
+namespace {
+
+using ::rma::testing::MakeRelation;
+
+TEST(WireWriterReader, ScalarRoundTrip) {
+  WireWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-42);
+  w.PutF64(3.25);
+  w.PutString("hello");
+  w.PutString("");
+
+  WireReader r(w.str());
+  ASSERT_OK_AND_ASSIGN(uint8_t u8, r.GetU8());
+  EXPECT_EQ(u8, 0xAB);
+  ASSERT_OK_AND_ASSIGN(uint32_t u32, r.GetU32());
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  ASSERT_OK_AND_ASSIGN(uint64_t u64, r.GetU64());
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  ASSERT_OK_AND_ASSIGN(int64_t i64, r.GetI64());
+  EXPECT_EQ(i64, -42);
+  ASSERT_OK_AND_ASSIGN(double f64, r.GetF64());
+  EXPECT_EQ(f64, 3.25);
+  ASSERT_OK_AND_ASSIGN(std::string s, r.GetString());
+  EXPECT_EQ(s, "hello");
+  ASSERT_OK_AND_ASSIGN(std::string empty, r.GetString());
+  EXPECT_EQ(empty, "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireWriterReader, LittleEndianLayout) {
+  WireWriter w;
+  w.PutU32(0x01020304);
+  const std::string bytes = w.str();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x01);
+}
+
+TEST(WireWriterReader, TruncatedReadsFail) {
+  WireWriter w;
+  w.PutU32(7);
+  WireReader r(w.str());
+  EXPECT_FALSE(r.GetU64().ok());  // only 4 bytes available
+
+  WireWriter w2;
+  w2.PutU32(100);  // string length prefix promising 100 bytes
+  WireReader r2(w2.str());
+  EXPECT_FALSE(r2.GetString().ok());
+}
+
+TEST(ResultHeader, RoundTrip) {
+  const Relation rel = MakeRelation({{"id", DataType::kInt64},
+                                     {"name", DataType::kString},
+                                     {"score", DataType::kDouble}},
+                                    {});
+  ASSERT_OK_AND_ASSIGN(Schema schema,
+                       DecodeResultHeader(EncodeResultHeader(rel.schema())));
+  ASSERT_EQ(schema.num_attributes(), 3);
+  EXPECT_EQ(schema.attribute(0).name, "id");
+  EXPECT_EQ(schema.attribute(0).type, DataType::kInt64);
+  EXPECT_EQ(schema.attribute(1).name, "name");
+  EXPECT_EQ(schema.attribute(1).type, DataType::kString);
+  EXPECT_EQ(schema.attribute(2).name, "score");
+  EXPECT_EQ(schema.attribute(2).type, DataType::kDouble);
+}
+
+TEST(RowBatch, RoundTripAllTypes) {
+  const Relation rel = MakeRelation(
+      {{"id", DataType::kInt64},
+       {"name", DataType::kString},
+       {"score", DataType::kDouble}},
+      {{int64_t{1}, std::string("ann"), 0.5},
+       {int64_t{-7}, std::string(""), -2.25},
+       {int64_t{1} << 40, std::string("a longer string value"), 1e300}});
+  ASSERT_OK_AND_ASSIGN(
+      Relation decoded,
+      DecodeRowBatch(rel.schema(), EncodeRowBatch(rel, 0, rel.num_rows())));
+  ASSERT_EQ(decoded.num_rows(), rel.num_rows());
+  ASSERT_EQ(decoded.num_columns(), rel.num_columns());
+  for (int64_t r = 0; r < rel.num_rows(); ++r) {
+    for (int c = 0; c < rel.num_columns(); ++c) {
+      EXPECT_EQ(decoded.Get(r, c), rel.Get(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(RowBatch, SliceEncodesOnlyRequestedRows) {
+  const Relation rel = MakeRelation({{"id", DataType::kInt64}},
+                                    {{int64_t{10}}, {int64_t{20}},
+                                     {int64_t{30}}, {int64_t{40}}});
+  ASSERT_OK_AND_ASSIGN(Relation decoded,
+                       DecodeRowBatch(rel.schema(), EncodeRowBatch(rel, 1, 2)));
+  ASSERT_EQ(decoded.num_rows(), 2);
+  EXPECT_EQ(decoded.Get(0, 0), Value(int64_t{20}));
+  EXPECT_EQ(decoded.Get(1, 0), Value(int64_t{30}));
+}
+
+TEST(RowBatch, TrailingBytesRejected) {
+  const Relation rel =
+      MakeRelation({{"id", DataType::kInt64}}, {{int64_t{1}}});
+  std::string payload = EncodeRowBatch(rel, 0, 1);
+  payload.push_back('\0');
+  EXPECT_FALSE(DecodeRowBatch(rel.schema(), payload).ok());
+}
+
+TEST(ErrorFrame, StatusRoundTrip) {
+  const Status original = Status::KeyError("unknown table: nope");
+  const Status decoded = DecodeError(EncodeError(original));
+  EXPECT_TRUE(decoded.code() == original.code());
+  EXPECT_EQ(decoded.message(), original.message());
+}
+
+}  // namespace
+}  // namespace rma::server
