@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "matrix/parallel.h"
@@ -13,6 +14,9 @@ namespace {
 /// How long a refused connection may take to send its HELLO before the
 /// server gives up on delivering the capacity error and just closes.
 constexpr int kRefusalHelloTimeoutMs = 5000;
+/// Poll granularity while a refuser waits for the HELLO: it re-checks the
+/// drain flag this often so shutdown is never held up by a stalled client.
+constexpr int kRefuserPollMs = 100;
 }  // namespace
 
 Server::Server(sql::Database* db, ServerOptions opts)
@@ -42,12 +46,18 @@ Status Server::Start() {
 void Server::AcceptLoop() {
   while (true) {
     Result<Socket> accepted = listener_.Accept();
+    // Each accept also sweeps up threads of sessions that have since ended,
+    // so a long-running server under connection churn holds O(live
+    // connections) thread handles, not one per connection ever accepted.
+    ReapFinishedThreads();
     if (!accepted.ok()) return;  // listener closed by Stop(), or fatal
     uint64_t id = 0;
+    uint64_t token = 0;
     bool refuse_stopping = false;
     bool refuse_capacity = false;
     {
       MutexLock lock(mu_);
+      token = ++next_token_;
       if (stopping_) {
         refuse_stopping = true;
       } else if (stats_.active_sessions >= opts_.max_sessions) {
@@ -65,30 +75,98 @@ void Server::AcceptLoop() {
       // client's HELLO arrives, otherwise closing right after the send
       // races the client's own write and it sees EPIPE, not the error.
       // (No WELCOME is sent; the client's handshake surfaces this error.)
-      std::thread refuser([max_sessions = opts_.max_sessions,
+      std::thread refuser([this, token, max_sessions = opts_.max_sessions,
                            sock = std::move(*accepted)]() mutable {
-        Result<bool> readable = sock.WaitReadable(kRefusalHelloTimeoutMs);
-        if (readable.ok() && *readable) (void)RecvFrame(sock);
+        const uint64_t sock_token = RegisterSocket(&sock);
+        // Poll for the HELLO so neither a drain nor Stop() is held up by a
+        // client that connected and went silent; a half-sent frame that
+        // wedges RecvFrame is broken by Stop()'s socket Shutdown().
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(kRefusalHelloTimeoutMs);
+        while (!draining() && std::chrono::steady_clock::now() < deadline) {
+          Result<bool> readable = sock.WaitReadable(kRefuserPollMs);
+          if (!readable.ok()) break;
+          if (!*readable) continue;
+          (void)RecvFrame(sock);
+          break;
+        }
         SendFrame(sock, MessageType::kError,
                   EncodeError(Status::ResourceExhausted(
                       "server at session capacity (" +
                       std::to_string(max_sessions) + ")")))
             .IgnoreError();
+        UnregisterSocket(sock_token);
+        NoteThreadFinished(token);
       });
       MutexLock lock(mu_);
-      session_threads_.push_back(std::move(refuser));
+      session_threads_.emplace(token, std::move(refuser));
       continue;
     }
-    std::thread worker([this, id, sock = std::move(*accepted)]() mutable {
+    std::thread worker([this, id, token,
+                        sock = std::move(*accepted)]() mutable {
       Session session(id, std::move(sock), this);
       session.Serve();
-      MutexLock lock(mu_);
-      --stats_.active_sessions;
-      cv_.NotifyAll();
+      {
+        MutexLock lock(mu_);
+        --stats_.active_sessions;
+        cv_.NotifyAll();
+      }
+      NoteThreadFinished(token);
     });
     MutexLock lock(mu_);
-    session_threads_.push_back(std::move(worker));
+    session_threads_.emplace(token, std::move(worker));
   }
+}
+
+void Server::ReapFinishedThreads() {
+  std::vector<std::thread> done;
+  {
+    MutexLock lock(mu_);
+    std::vector<uint64_t> unmatched;
+    for (const uint64_t token : finished_tokens_) {
+      auto it = session_threads_.find(token);
+      if (it == session_threads_.end()) {
+        // The worker announced itself before its spawner inserted the
+        // handle; keep the token for the next sweep (Stop() joins the
+        // handle regardless).
+        unmatched.push_back(token);
+        continue;
+      }
+      done.push_back(std::move(it->second));
+      session_threads_.erase(it);
+    }
+    finished_tokens_.swap(unmatched);
+  }
+  // Join outside the lock: the thread's last act was NoteThreadFinished,
+  // so these joins are near-instant — but never block others on mu_.
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+uint64_t Server::RegisterSocket(Socket* sock) {
+  MutexLock lock(mu_);
+  const uint64_t token = ++next_token_;
+  live_sockets_.emplace(token, sock);
+  if (stopping_) sock->Shutdown();  // too late: fail its I/O immediately
+  return token;
+}
+
+void Server::UnregisterSocket(uint64_t token) {
+  MutexLock lock(mu_);
+  live_sockets_.erase(token);
+  cv_.NotifyAll();  // Stop()'s drain wait watches live_sockets_
+}
+
+void Server::NoteThreadFinished(uint64_t token) {
+  MutexLock lock(mu_);
+  finished_tokens_.push_back(token);
+}
+
+int Server::tracked_session_threads() const {
+  MutexLock lock(mu_);
+  return static_cast<int>(session_threads_.size());
 }
 
 void Server::Stop() {
@@ -105,15 +183,37 @@ void Server::Stop() {
   listener_.Shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();
-  // Sessions notice the drain flag within their poll interval (idle ones)
-  // or after finishing and streaming their in-flight statement (busy ones).
-  std::vector<std::thread> workers;
+  // Drain phase: sessions notice the drain flag within their poll interval
+  // (idle ones) or after finishing and streaming their in-flight statement
+  // (busy ones). A stalled or hostile peer — half-sent frame, reader that
+  // stopped consuming its stream — never notices, so the wait is bounded:
+  // past the deadline every still-registered socket is Shutdown(), which
+  // fails the blocked Recv/Send and lets its thread reach the join below.
+  {
+    MutexLock lock(mu_);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(std::max(0, opts_.drain_timeout_ms));
+    while (!live_sockets_.empty()) {
+      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+    }
+    for (auto& [token, sock] : live_sockets_) {
+      sock->Shutdown();
+    }
+  }
+  std::map<uint64_t, std::thread> workers;
   {
     MutexLock lock(mu_);
     workers.swap(session_threads_);
   }
-  for (std::thread& t : workers) {
+  for (auto& [token, t] : workers) {
     if (t.joinable()) t.join();
+  }
+  {
+    // All threads are joined; tokens they announced while we swapped the
+    // map out have no handle left to reap.
+    MutexLock lock(mu_);
+    finished_tokens_.clear();
   }
   started_ = false;
 }

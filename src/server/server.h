@@ -2,6 +2,7 @@
 #define RMA_SERVER_SERVER_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +36,20 @@ struct ServerOptions {
   int64_t row_batch_rows = 256;
   /// listen(2) backlog.
   int listen_backlog = 64;
+  /// How long Stop() waits for live sessions to finish their in-flight
+  /// statement and notice the drain flag before it forcibly shuts their
+  /// sockets down. Bounds shutdown against a stalled or hostile client
+  /// (half-sent frame, reader that stopped consuming its stream); a healthy
+  /// drain finishes well inside it and never waits the full timeout.
+  int drain_timeout_ms = 5000;
+  /// Directory the `calibration_path` session option may name files in.
+  /// Empty (the default) disables the option over the wire entirely: the
+  /// protocol is unauthenticated, so a network-supplied path must never
+  /// reach the filesystem outside an explicit operator-configured
+  /// allowlist. Values are bare file names resolved against this directory
+  /// and loaded read-only — the load-or-probe-and-save lifecycle of
+  /// in-process RmaOptions does not apply to sessions.
+  std::string calibration_dir;
 };
 
 /// Monitoring counters (Server::stats(); a consistent snapshot).
@@ -72,8 +87,11 @@ struct ServerStats {
 /// released when execution finishes, before streaming), so backpressure
 /// lands on the connection, never on the worker pool.
 ///
-/// Shutdown is a drain: Stop() refuses new connections and new statements,
-/// lets in-flight statements finish and stream their results, then joins
+/// Shutdown is a drain with a deadline: Stop() refuses new connections and
+/// new statements, gives live sessions `drain_timeout_ms` to finish their
+/// in-flight statement and stream its result, then calls Socket::Shutdown()
+/// on every session socket still open — unwedging threads blocked in a
+/// half-sent frame or a send to a reader that stopped consuming — and joins
 /// every session thread. One session's failure (parse error, unknown
 /// table, protocol violation) is answered on that session alone; no other
 /// session's stream is disturbed.
@@ -114,11 +132,31 @@ class Server {
   void CountStreamed(int64_t rows, int64_t batches);
   void CountRefusedStatement();
 
+  /// Registers a live session socket so Stop() can Shutdown() it if the
+  /// drain deadline passes. Returns a token for UnregisterSocket; the
+  /// caller must keep `sock` alive until it unregisters. A socket
+  /// registered after Stop() began is shut down immediately.
+  uint64_t RegisterSocket(Socket* sock);
+  void UnregisterSocket(uint64_t token);
+
+  /// Session/refuser threads call this (with the token their spawner gave
+  /// them) as their last act, making the thread reapable by the accept
+  /// loop's next sweep instead of accumulating until Stop().
+  void NoteThreadFinished(uint64_t token);
+
   sql::Database* database() const { return db_; }
   const ServerOptions& options() const { return opts_; }
 
+  /// Session threads still tracked (live plus finished-but-unreaped);
+  /// monitoring/tests observe reaping through this staying bounded under
+  /// connection churn.
+  int tracked_session_threads() const;
+
  private:
   void AcceptLoop();
+  /// Joins threads that announced NoteThreadFinished (near-instant: they
+  /// are past their last statement). Must be called without mu_ held.
+  void ReapFinishedThreads();
 
   sql::Database* db_;
   ServerOptions opts_;
@@ -141,7 +179,17 @@ class Server {
   uint64_t serving_ RMA_GUARDED_BY(mu_) = 0;
   int in_flight_ RMA_GUARDED_BY(mu_) = 0;
   uint64_t next_session_id_ RMA_GUARDED_BY(mu_) = 0;
-  std::vector<std::thread> session_threads_ RMA_GUARDED_BY(mu_);
+  /// Session and refuser threads keyed by token. Workers announce
+  /// themselves in finished_tokens_ when done; the accept loop reaps those
+  /// entries so the map tracks roughly the live connection count, not every
+  /// connection ever accepted.
+  uint64_t next_token_ RMA_GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, std::thread> session_threads_ RMA_GUARDED_BY(mu_);
+  std::vector<uint64_t> finished_tokens_ RMA_GUARDED_BY(mu_);
+  /// Sockets of live sessions (and refusers), for Stop()'s post-deadline
+  /// Shutdown(). Entries stay valid because owners unregister before
+  /// destroying the socket.
+  std::map<uint64_t, Socket*> live_sockets_ RMA_GUARDED_BY(mu_);
   ServerStats stats_ RMA_GUARDED_BY(mu_);
 };
 

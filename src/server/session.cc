@@ -39,9 +39,11 @@ Result<int64_t> ParseInt(const std::string& v) {
 
 /// Applies one session option. The key set mirrors docs/OPERATIONS.md;
 /// unknown keys are errors (a typo silently ignored is a misconfigured
-/// session that looks configured).
+/// session that looks configured). `calibration_dir` is the server's
+/// allowlist for the calibration_path key.
 Status ApplyOption(RmaOptions* opts, const std::string& key,
-                   const std::string& value) {
+                   const std::string& value,
+                   const std::string& calibration_dir) {
   const std::string k = ToLower(key);
   if (k == "kernel") {
     const std::string v = ToLower(value);
@@ -120,10 +122,29 @@ Status ApplyOption(RmaOptions* opts, const std::string& key,
     return Status::OK();
   }
   if (k == "calibration_path") {
-    // Per-session calibration profile: resolution (load-or-probe, memoized
-    // per path) happens inside execution, exactly as for in-process options.
-    opts->calibration_path = value;
-    opts->cost_profile = nullptr;
+    // The protocol is unauthenticated, so a network-supplied path must not
+    // become a filesystem primitive: values are confined to the server's
+    // configured calibration directory (empty = option disabled) and the
+    // profile is loaded eagerly, read-only — never the in-process
+    // load-or-probe-and-save lifecycle, which would let a client make the
+    // server write to an arbitrary path.
+    if (calibration_dir.empty()) {
+      return Status::Invalid(
+          "calibration_path is disabled on this server "
+          "(no calibration directory configured)");
+    }
+    if (value.empty() || value.front() == '.' ||
+        value.find('/') != std::string::npos ||
+        value.find('\\') != std::string::npos) {
+      return Status::Invalid(
+          "calibration_path must be a plain file name inside the server's "
+          "calibration directory, got '" + value + "'");
+    }
+    RMA_ASSIGN_OR_RETURN(
+        CostProfile profile,
+        CostProfile::LoadFile(calibration_dir + "/" + value));
+    opts->cost_profile = std::make_shared<CostProfile>(std::move(profile));
+    opts->calibration_path.clear();
     return Status::OK();
   }
   return Status::Invalid("unknown session option: '" + key + "'");
@@ -157,6 +178,18 @@ Session::Session(uint64_t id, Socket sock, Server* server)
 }
 
 Status Session::Handshake() {
+  // Pre-HELLO wait uses the same drain poll as the request loop: a client
+  // that connects and never speaks must not pin this thread past a drain.
+  // (A half-sent HELLO can still wedge RecvFrame below; Server::Stop
+  // breaks that by shutting the registered socket down after its drain
+  // deadline.)
+  while (true) {
+    if (server_->draining()) {
+      return Status::ResourceExhausted("server draining: handshake refused");
+    }
+    RMA_ASSIGN_OR_RETURN(bool readable, sock_.WaitReadable(kDrainPollMs));
+    if (readable) break;
+  }
   RMA_ASSIGN_OR_RETURN(Frame frame, RecvFrame(sock_));
   if (frame.type != MessageType::kHello) {
     const Status err = Status::Invalid("expected HELLO as the first frame");
@@ -180,6 +213,11 @@ Status Session::Handshake() {
 }
 
 void Session::Serve() {
+  // Registered for the lifetime of the frame loop: Server::Stop shuts the
+  // socket down past its drain deadline, failing any blocked Recv/Send
+  // here. Unregister strictly before Close() so Stop never touches a
+  // dying descriptor.
+  const uint64_t sock_token = server_->RegisterSocket(&sock_);
   if (Handshake().ok()) {
     bool done = false;
     while (!done) {
@@ -192,6 +230,7 @@ void Session::Serve() {
       if (!HandleFrame(*frame, &done).ok()) break;
     }
   }
+  server_->UnregisterSocket(sock_token);
   sock_.Close();
 }
 
@@ -241,7 +280,8 @@ Status Session::HandleSetOption(const std::string& payload) {
   if (!value.ok()) return value.status();
 
   RmaOptions updated = options_;
-  Status st = ApplyOption(&updated, *key, *value);
+  Status st = ApplyOption(&updated, *key, *value,
+                          server_->options().calibration_dir);
   if (st.ok()) st = ValidateRmaOptions(updated);
   if (!st.ok()) return SendError(st);  // options unchanged
   options_ = std::move(updated);

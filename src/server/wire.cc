@@ -211,6 +211,14 @@ std::string EncodeRowBatch(const Relation& rel, int64_t begin, int64_t count) {
 Result<Schema> DecodeResultHeader(const std::string& payload) {
   WireReader r(payload);
   RMA_ASSIGN_OR_RETURN(uint32_t ncols, r.GetU32());
+  // Each column needs at least a length-prefixed name (4 bytes) and a type
+  // tag; a claimed count the payload cannot possibly hold is rejected before
+  // it sizes an allocation.
+  if (static_cast<uint64_t>(ncols) * 5 > r.Remaining()) {
+    return Status::IoError("result header claims " + std::to_string(ncols) +
+                           " columns but only " +
+                           std::to_string(r.Remaining()) + " bytes follow");
+  }
   std::vector<Attribute> attrs;
   attrs.reserve(ncols);
   for (uint32_t i = 0; i < ncols; ++i) {
@@ -232,11 +240,25 @@ Result<Relation> DecodeRowBatch(const Schema& schema,
   RMA_ASSIGN_OR_RETURN(uint32_t nrows, r.GetU32());
   const int ncols = schema.num_attributes();
   const bool le_host = LittleEndianHost();
+  // The row count is untrusted: bound it by what the payload can actually
+  // hold before sizing any allocation (8 bytes per fixed-width cell, at
+  // least a 4-byte length prefix per string cell). A corrupt or hostile
+  // count then fails as a clean IoError instead of a ~34 GB bad_alloc.
+  auto check_claimed = [&r, nrows](size_t min_bytes_per_row) -> Status {
+    if (static_cast<uint64_t>(nrows) * min_bytes_per_row > r.Remaining()) {
+      return Status::IoError("row batch claims " + std::to_string(nrows) +
+                             " rows but only " +
+                             std::to_string(r.Remaining()) +
+                             " payload bytes remain");
+    }
+    return Status::OK();
+  };
   std::vector<BatPtr> columns;
   columns.reserve(static_cast<size_t>(ncols));
   for (int col = 0; col < ncols; ++col) {
     switch (schema.attribute(col).type) {
       case DataType::kInt64: {
+        RMA_RETURN_NOT_OK(check_claimed(sizeof(int64_t)));
         std::vector<int64_t> data(nrows);
         if (le_host) {
           RMA_RETURN_NOT_OK(
@@ -250,6 +272,7 @@ Result<Relation> DecodeRowBatch(const Schema& schema,
         break;
       }
       case DataType::kDouble: {
+        RMA_RETURN_NOT_OK(check_claimed(sizeof(double)));
         std::vector<double> data(nrows);
         if (le_host) {
           RMA_RETURN_NOT_OK(
@@ -263,6 +286,7 @@ Result<Relation> DecodeRowBatch(const Schema& schema,
         break;
       }
       case DataType::kString: {
+        RMA_RETURN_NOT_OK(check_claimed(/*length prefix*/ 4));
         std::vector<std::string> data(nrows);
         for (auto& v : data) {
           RMA_ASSIGN_OR_RETURN(v, r.GetString());

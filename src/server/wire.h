@@ -98,6 +98,10 @@ class WireReader {
   Status GetRaw(void* out, size_t n);
 
   bool AtEnd() const { return pos_ == data_.size(); }
+  /// Bytes not yet consumed. Decoders check claimed element counts against
+  /// this before sizing allocations, so a hostile count in a small frame
+  /// fails with IoError instead of attempting a multi-gigabyte allocation.
+  size_t Remaining() const { return data_.size() - pos_; }
 
  private:
   Status Need(size_t n) const;

@@ -20,7 +20,9 @@ namespace rma {
 /// directions are independent), but each direction belongs to one thread at
 /// a time. Shutdown() is safe to call from any thread while another is
 /// blocked in Recv/Send — that blocked call then fails with IoError, which
-/// is exactly how Server::Stop unblocks idle session readers.
+/// is exactly how Server::Stop (past its drain deadline) unblocks session
+/// threads stalled in a half-received frame or a send to a reader that
+/// stopped consuming.
 class Socket {
  public:
   Socket() = default;

@@ -13,7 +13,10 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "client/client.h"
+#include "core/calibration.h"
 #include "server/wire.h"
 #include "sql/database.h"
 #include "test_util.h"
@@ -352,6 +355,96 @@ TEST_F(ServerTest, ProtocolVersionMismatchIsRefused) {
   const Status err = DecodeError(frame.payload);
   EXPECT_TRUE(err.code() == StatusCode::kInvalidArgument) << err.ToString();
   EXPECT_NE(err.message().find("version"), std::string::npos);
+}
+
+TEST_F(ServerTest, StopReturnsDespiteStalledConnections) {
+  ServerOptions opts;
+  opts.drain_timeout_ms = 200;
+  StartServer(opts);
+  // A client that connects and never sends a byte: the session's pre-HELLO
+  // drain poll notices Stop() within its poll interval.
+  ASSERT_OK_AND_ASSIGN(Socket silent,
+                       ConnectSocket("127.0.0.1", server_->port()));
+  // A client that sends half a frame: the header promises 64 bytes that
+  // never arrive, so after WaitReadable fires the session wedges inside
+  // RecvFrame — only Stop()'s post-deadline socket Shutdown() can free it.
+  ASSERT_OK_AND_ASSIGN(Socket torn,
+                       ConnectSocket("127.0.0.1", server_->port()));
+  const char partial_header[4] = {64, 0, 0, 0};
+  ASSERT_OK(torn.SendAll(partial_header, sizeof(partial_header)));
+  // Let both sessions reach their blocked states, and a healthy client
+  // keep working alongside them.
+  Client healthy = Connect();
+  ASSERT_OK_AND_ASSIGN(ExecResult ok, healthy.Execute("SELECT * FROM m;"));
+  EXPECT_EQ(ok.rows, 600u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server_->Stop();  // must not hang on either stalled connection
+  const auto stop_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(stop_ms, 4000) << "Stop() hung on a stalled connection";
+}
+
+TEST_F(ServerTest, FinishedSessionThreadsAreReaped) {
+  StartServer();
+  constexpr int kChurn = 20;
+  for (int i = 0; i < kChurn; ++i) {
+    Client c = Connect();
+    ASSERT_OK_AND_ASSIGN(ExecResult r, c.Execute("SELECT * FROM weather;"));
+    EXPECT_EQ(r.rows, 4u);
+  }
+  // Each accept sweeps threads of sessions that have since finished, so the
+  // tracked set must settle near the live connection count, never the
+  // churn total. Sessions end asynchronously after the GOODBYE; each probe
+  // connection triggers another sweep.
+  int tracked = kChurn;
+  for (int attempt = 0; attempt < 100 && tracked > 3; ++attempt) {
+    Client probe = Connect();
+    tracked = server_->tracked_session_threads();
+    probe.Close();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_LE(tracked, 3) << "finished session threads accumulate";
+}
+
+TEST_F(ServerTest, CalibrationPathRefusedWithoutConfiguredDir) {
+  StartServer();
+  Client c = Connect();
+  EXPECT_FALSE(c.SetOption("calibration_path", "profile.json").ok());
+  // The refusal is an option-level error; the session lives on.
+  ASSERT_OK_AND_ASSIGN(ExecResult ok, c.Execute("SELECT * FROM weather;"));
+  EXPECT_EQ(ok.rows, 4u);
+}
+
+TEST_F(ServerTest, CalibrationPathConfinedToConfiguredDir) {
+  ServerOptions opts;
+  opts.calibration_dir = ::testing::TempDir();
+  StartServer(opts);
+  const std::string name = "rma_server_session_profile.json";
+  ASSERT_OK(CostProfile::Analytic().SaveFile(opts.calibration_dir + "/" +
+                                             name));
+  Client c = Connect();
+  ASSERT_OK(c.SetOption("calibration_path", name));
+  ASSERT_OK_AND_ASSIGN(ExecResult ok, c.Execute("SELECT * FROM m;"));
+  EXPECT_EQ(ok.rows, 600u);
+
+  // Anything but a bare file name inside the allowlist is refused: path
+  // separators, traversal, hidden files, absolute paths.
+  EXPECT_FALSE(c.SetOption("calibration_path", "../" + name).ok());
+  EXPECT_FALSE(c.SetOption("calibration_path", "/etc/hostname").ok());
+  EXPECT_FALSE(c.SetOption("calibration_path", "sub/" + name).ok());
+  EXPECT_FALSE(c.SetOption("calibration_path", ".hidden.json").ok());
+  EXPECT_FALSE(c.SetOption("calibration_path", "").ok());
+
+  // A missing profile is an error, never a server-side probe-and-save —
+  // the in-process LoadOrProbe lifecycle would have written this file.
+  const std::string missing = "rma_server_no_such_profile.json";
+  EXPECT_FALSE(c.SetOption("calibration_path", missing).ok());
+  std::ifstream probe(opts.calibration_dir + "/" + missing);
+  EXPECT_FALSE(probe.good())
+      << "refused calibration_path still wrote a probe profile";
 }
 
 TEST_F(ServerTest, GracefulShutdownDrainsInFlightStatements) {

@@ -117,6 +117,31 @@ TEST(RowBatch, TrailingBytesRejected) {
   EXPECT_FALSE(DecodeRowBatch(rel.schema(), payload).ok());
 }
 
+TEST(RowBatch, HostileRowCountRejectedBeforeAllocation) {
+  // A tiny frame claiming 2^32-1 rows must fail as IoError, not attempt a
+  // ~34 GB allocation sized by the untrusted count.
+  for (const DataType type :
+       {DataType::kInt64, DataType::kDouble, DataType::kString}) {
+    const Relation rel = MakeRelation({{"c", type}}, {});
+    WireWriter w;
+    w.PutU32(0xFFFFFFFFu);
+    w.PutI64(1);  // far too few payload bytes for the claimed count
+    auto result = DecodeRowBatch(rel.schema(), w.str());
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().code() == StatusCode::kIoError)
+        << result.status().ToString();
+  }
+}
+
+TEST(ResultHeader, HostileColumnCountRejectedBeforeAllocation) {
+  WireWriter w;
+  w.PutU32(0xFFFFFFFFu);
+  auto result = DecodeResultHeader(w.str());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().code() == StatusCode::kIoError)
+      << result.status().ToString();
+}
+
 TEST(ErrorFrame, StatusRoundTrip) {
   const Status original = Status::KeyError("unknown table: nope");
   const Status decoded = DecodeError(EncodeError(original));
