@@ -46,6 +46,9 @@ run_matrix() {
   echo "=== server smoke (Release) ==="
   scripts/server_smoke.sh build-check-release
 
+  echo "=== storage smoke (Release) ==="
+  scripts/storage_smoke.sh build-check-release
+
   echo "=== AddressSanitizer ==="
   cmake -B build-check-asan -S . \
     -DCMAKE_BUILD_TYPE=Debug \

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke of the durable storage tier: bulk-load a table,
+# SIGKILL a second load mid-save (a --sleep-per-column hook widens the
+# window between column writes), reopen the store, and assert that the
+# first table still verifies with an identical content fingerprint and
+# that the torn save either fully committed or is entirely absent — never
+# half-visible. Finishes with a CSV round trip through the same store.
+# CI runs this against the Release build (.github/workflows/ci.yml, job
+# storage-smoke); locally:
+#
+#   scripts/storage_smoke.sh [build-dir]    # default: build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+LOAD="${BUILD}/tools/rma_load"
+
+if [[ ! -x "${LOAD}" ]]; then
+  echo "error: ${LOAD} not built (cmake --build ${BUILD})" >&2
+  exit 2
+fi
+
+DIR="$(mktemp -d)"
+cleanup() { rm -rf "${DIR}"; }
+trap cleanup EXIT
+
+echo "--- initial load ---"
+"${LOAD}" --data-dir "${DIR}" --synthetic base --rows 20000 --cols 4
+BEFORE="$("${LOAD}" --data-dir "${DIR}" --verify base)"
+echo "${BEFORE}"
+
+echo "--- SIGKILL mid-save ---"
+# The victim load sleeps between column writes, giving the kill a window
+# while some of its files are written and the manifest is not yet swung.
+"${LOAD}" --data-dir "${DIR}" --synthetic victim --rows 20000 --cols 8 \
+  --sleep-per-column 200 &
+VICTIM_PID=$!
+sleep 0.5
+kill -9 "${VICTIM_PID}" 2>/dev/null || true
+wait "${VICTIM_PID}" 2>/dev/null || true
+
+echo "--- recovery ---"
+CATALOG="$("${LOAD}" --data-dir "${DIR}" --list)"
+echo "${CATALOG}"
+grep -q '^base: 20000 rows' <<<"${CATALOG}" \
+  || { echo "FAIL: pre-existing table lost after crash" >&2; exit 1; }
+# Atomicity: the victim is either fully there (kill raced the commit) or
+# entirely absent. Half a table must never be visible.
+if grep -q '^victim:' <<<"${CATALOG}"; then
+  grep -q '^victim: 20000 rows, 9 cols$' <<<"${CATALOG}" \
+    || { echo "FAIL: victim table is half-visible" >&2; exit 1; }
+  echo "victim committed before the kill (ok)"
+else
+  echo "victim absent after the kill (ok)"
+fi
+
+AFTER="$("${LOAD}" --data-dir "${DIR}" --verify base)"
+echo "${AFTER}"
+[[ "${BEFORE}" == "${AFTER}" ]] \
+  || { echo "FAIL: fingerprint changed across crash/recovery" >&2; exit 1; }
+
+echo "--- csv round trip ---"
+CSV="${DIR}/trips.csv"
+printf 'id,dist\n1,2.5\n2,3.25\n3,10.125\n' > "${CSV}"
+"${LOAD}" --data-dir "${DIR}" --csv "${CSV}" --table trips \
+  --schema "id:INT64,dist:DOUBLE"
+"${LOAD}" --data-dir "${DIR}" --verify trips \
+  | grep -q '^trips: 3 rows, 2 cols' \
+  || { echo "FAIL: csv table did not verify" >&2; exit 1; }
+# A bad row must be rejected with the 1-based line number.
+printf 'id,dist\n1,2.5\nbad,3.0\n' > "${CSV}"
+set +e
+ERR="$("${LOAD}" --data-dir "${DIR}" --csv "${CSV}" --table trips2 \
+  --schema "id:INT64,dist:DOUBLE" 2>&1)"
+ERR_EXIT=$?
+set -e
+[[ "${ERR_EXIT}" -ne 0 ]] \
+  || { echo "FAIL: bad csv row was accepted" >&2; exit 1; }
+grep -q 'line 3' <<<"${ERR}" \
+  || { echo "FAIL: csv error did not cite the line: ${ERR}" >&2; exit 1; }
+
+echo "storage smoke: OK"

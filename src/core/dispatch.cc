@@ -5,6 +5,7 @@
 #include "matrix/blas.h"
 #include "matrix/parallel.h"
 #include "storage/bat_ops.h"
+#include "storage/paged_bat.h"
 #include "util/timer.h"
 
 namespace rma {
@@ -215,6 +216,13 @@ Result<Relation> RmaUnary(ExecContext* ctx, MatrixOp op, const Relation& r,
     return Status::Invalid(std::string(info.name) + " is a binary operation");
   }
   ScopedOpStats op_stats(ctx);
+  // Residency bracket: paged columns stay pinned (contiguous, fault-free)
+  // from the prepare-stage gather through the assemble-stage scatter, so
+  // every raw-pointer fast path below sees stable data; pin failures (torn
+  // pages) surface here as the operation's Status. Malloc-backed columns
+  // make this a no-op.
+  PinnedRelations residency;
+  RMA_RETURN_NOT_OK(residency.Pin(r));
   // --- prepare ---------------------------------------------------------------
   RMA_ASSIGN_OR_RETURN(PreparedArgPtr p,
                        internal::PrepareArgument(*ctx, r, order, info,
@@ -254,6 +262,10 @@ Result<Relation> RmaBinary(ExecContext* ctx, MatrixOp op, const Relation& r,
     return Status::Invalid(std::string(info.name) + " is a unary operation");
   }
   ScopedOpStats op_stats(ctx);
+  // Residency bracket for both arguments (see RmaUnary).
+  PinnedRelations residency;
+  RMA_RETURN_NOT_OK(residency.Pin(r));
+  RMA_RETURN_NOT_OK(residency.Pin(s));
   // --- prepare ---------------------------------------------------------------
   RMA_ASSIGN_OR_RETURN(
       internal::BinaryArgs args,

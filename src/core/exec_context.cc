@@ -76,6 +76,10 @@ void AddStats(RmaStats* into, const RmaStats& from) {
   into->prepared_cache_hits += from.prepared_cache_hits;
   into->prepared_cache_misses += from.prepared_cache_misses;
   into->prepared_cache_evictions += from.prepared_cache_evictions;
+  into->pool_hits += from.pool_hits;
+  into->pool_misses += from.pool_misses;
+  into->pool_evictions += from.pool_evictions;
+  into->pool_writebacks += from.pool_writebacks;
 }
 
 }  // namespace
@@ -273,6 +277,26 @@ void ExecContext::CountEvictions(int64_t n) {
   MutexLock lock(mu_);
   totals_.prepared_cache_evictions += n;
   if (opts_.stats != nullptr) opts_.stats->prepared_cache_evictions += n;
+}
+
+void ExecContext::RecordPoolDelta(int64_t hits, int64_t misses,
+                                  int64_t evictions, int64_t writebacks) {
+  if (hits == 0 && misses == 0 && evictions == 0 && writebacks == 0) return;
+  if (OpenOp* op = TopOpenOp(this)) {
+    op->stats.pool_hits += hits;
+    op->stats.pool_misses += misses;
+    op->stats.pool_evictions += evictions;
+    op->stats.pool_writebacks += writebacks;
+  }
+  MutexLock lock(mu_);
+  auto add = [&](RmaStats* stats) {
+    stats->pool_hits += hits;
+    stats->pool_misses += misses;
+    stats->pool_evictions += evictions;
+    stats->pool_writebacks += writebacks;
+  };
+  add(&totals_);
+  if (opts_.stats != nullptr) add(opts_.stats);
 }
 
 std::string ExecContext::PreparedKey(const Relation& r,

@@ -157,6 +157,14 @@ class ExecContext {
   void RecordPlanCache(bool hit);
   PlanCacheOutcome plan_cache_outcome() const;
 
+  /// Buffer-pool activity attributed to the statement this context just ran:
+  /// the SQL layer snapshots the store's pool counters around a statement
+  /// and records the delta here (totals, stats sink, and the open op entry
+  /// when one exists). All-zero deltas are dropped, so purely in-memory
+  /// databases never touch the pool fields.
+  void RecordPoolDelta(int64_t hits, int64_t misses, int64_t evictions,
+                       int64_t writebacks);
+
   /// Absorbs a quiescent child context (same borrowed cache) created for a
   /// concurrently evaluated subtree: appends its plans/op_stats in order and
   /// accumulates its totals and cache counters (also into this context's

@@ -76,6 +76,14 @@ struct RmaStats {
   int64_t prepared_cache_misses = 0;
   int64_t prepared_cache_evictions = 0;
 
+  // Buffer-pool activity attributed to this context's statements (zero for
+  // purely in-memory databases). Recorded as statement-level deltas of the
+  // store's pool counters (storage/buffer_pool.h).
+  int64_t pool_hits = 0;
+  int64_t pool_misses = 0;
+  int64_t pool_evictions = 0;
+  int64_t pool_writebacks = 0;
+
   double TransformSeconds() const {
     return transform_in_seconds + transform_out_seconds;
   }

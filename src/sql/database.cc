@@ -26,6 +26,7 @@ Database::Database(const Database& other) : query_cache_(nullptr) {
   query_cache_ = other.query_cache_;
   catalog_version_.store(other.catalog_version(), std::memory_order_release);
   rma_options = other.rma_options;
+  store_ = other.store_;
 }
 
 Database& Database::operator=(const Database& other) {
@@ -34,19 +35,42 @@ Database& Database::operator=(const Database& other) {
   QueryCachePtr cache;
   uint64_t version;
   RmaOptions opts;
+  std::shared_ptr<PagedStore> store;
   {
     ReaderMutexLock lock(other.catalog_mu_);
     tables = other.tables_;
     cache = other.query_cache_;
     version = other.catalog_version();
     opts = other.rma_options;
+    store = other.store_;
   }
   WriterMutexLock lock(catalog_mu_);
   tables_ = std::move(tables);
   query_cache_ = std::move(cache);
   catalog_version_.store(version, std::memory_order_release);
   rma_options = opts;
+  store_ = std::move(store);
   return *this;
+}
+
+Result<Database> Database::Open(const std::string& dir,
+                                const PagedStoreOptions& opts) {
+  RMA_ASSIGN_OR_RETURN(std::shared_ptr<PagedStore> store,
+                       PagedStore::Open(dir, opts));
+  Database db;
+  db.store_ = store;
+  {
+    // Scoped: returning `db` copies it, and the copy constructor takes
+    // this same lock.
+    WriterMutexLock lock(db.catalog_mu_);
+    // Recovered relations enter the catalog directly — they are already
+    // persisted, so routing them through Register would rewrite every file.
+    for (const auto& [name, rel] : store->recovered()) {
+      db.tables_[ToLower(name)] = rel;
+      db.BumpCatalogVersionLocked(ToLower(name));
+    }
+  }
+  return db;
 }
 
 void Database::BumpCatalogVersionLocked(const std::string& written_table) {
@@ -72,6 +96,15 @@ Status Database::Register(const std::string& name, Relation rel) {
   rel.set_name(name);
   const std::string key = ToLower(name);
   WriterMutexLock lock(catalog_mu_);
+  if (store_ != nullptr) {
+    // Persist before committing to the catalog: a failed write (full disk,
+    // I/O error) must leave both the durable and the in-memory state
+    // describing the previous table. The catalog holds the store-backed
+    // twin so reads fault through the buffer pool.
+    auto stored = store_->SaveTable(name, rel);
+    if (!stored.ok()) return stored.status();
+    rel = std::move(*stored);
+  }
   auto it = tables_.find(key);
   if (it != tables_.end()) {
     query_cache_->EvictRelation(it->second.identity());
@@ -95,6 +128,11 @@ Status Database::Drop(const std::string& name) {
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) {
     return Status::NotFound("table not found: " + name);
+  }
+  if (store_ != nullptr) {
+    // Durable first: if the manifest rewrite fails the catalog still maps
+    // the table, matching what the next Open would recover.
+    RMA_RETURN_NOT_OK(store_->DropTable(name));
   }
   query_cache_->EvictRelation(it->second.identity());
   const std::string key = ToLower(name);

@@ -11,6 +11,7 @@
 #include "core/options.h"
 #include "core/query_cache.h"
 #include "sql/ast.h"
+#include "storage/paged_store.h"
 #include "storage/relation.h"
 #include "util/mutex.h"
 #include "util/result.h"
@@ -57,10 +58,26 @@ class Database {
   Database(const Database& other);
   Database& operator=(const Database& other);
 
+  /// Opens (or creates) a durable database under `dir`: recovers the
+  /// catalog from the store's manifest (discarding tables whose files fail
+  /// their checks — see storage/paged_store.h for the recovery protocol)
+  /// and attaches the store so every subsequent Register/Drop/CTAS is
+  /// persisted atomically and table columns read through the buffer pool.
+  /// Databases built with the default constructor stay purely in-memory:
+  /// malloc-backed BATs remain the default representation, and results are
+  /// bit-identical either way.
+  static Result<Database> Open(const std::string& dir,
+                               const PagedStoreOptions& opts = {});
+
+  /// The attached durable store, or nullptr for an in-memory database.
+  const std::shared_ptr<PagedStore>& paged_store() const { return store_; }
+
   /// Adds (or replaces) a table. The relation's name is set to `name`.
   /// Bumps the catalog version and evicts exactly the cached plans reading
   /// this table (plus a replaced relation's prepared arguments); plans over
-  /// other tables survive.
+  /// other tables survive. With a store attached the relation is persisted
+  /// first (atomic manifest swing) and the catalog holds the store-backed
+  /// twin; persistence failure leaves the catalog unchanged.
   Status Register(const std::string& name, Relation rel);
 
   /// Looks a table up (case-insensitive).
@@ -178,6 +195,10 @@ class Database {
   /// internally synchronized.
   QueryCachePtr query_cache_ = std::make_shared<QueryCache>();
   std::atomic<uint64_t> catalog_version_{0};
+  /// Durable backing store; nullptr for in-memory databases. Shares the
+  /// copy discipline of query_cache_ (reassigned only under quiescence;
+  /// the PagedStore is internally synchronized).
+  std::shared_ptr<PagedStore> store_;
 };
 
 }  // namespace rma::sql

@@ -19,6 +19,8 @@
 #include "sql/database.h"
 #include "sql/effects.h"
 #include "storage/bat_ops.h"
+#include "storage/paged_bat.h"
+#include "storage/paged_store.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -273,6 +275,12 @@ Result<Bound> EvaluateTableRef(const Database& db, const TableRefPtr& ref,
       if (pcs != nullptr && pcs->binds != nullptr) {
         pcs->binds->emplace_back(ToLower(ref->table_name), rel.identity());
       }
+      // Store-backed tables bind as a resident malloc copy: the relational
+      // operators and streamed results read row-at-a-time with no Status
+      // path, so residency faults (torn-page checksums) must surface here,
+      // as this statement's error. Matrix operations (kRmaOp below) keep
+      // the paged columns and pin at the staged-executor seam instead.
+      RMA_ASSIGN_OR_RETURN(rel, MaterializeUnstable(rel));
       const std::string alias =
           ref->alias.empty() ? ref->table_name : ref->alias;
       rel.set_name(alias);
@@ -630,7 +638,22 @@ Result<Relation> RunStatement(const Database& db, const SelectStmt& stmt,
     pcs.record = &recorded;
     pcs.binds = &bound_tables;
   }
+  // Buffer-pool counters are store-global; attributing them to this
+  // statement means bracketing execution with snapshots and recording the
+  // delta. Concurrent statements may interleave pool traffic — the deltas
+  // then split the shared activity between them, which is the best a
+  // pool-level counter can attribute.
+  BufferPoolStats pool_before;
+  const std::shared_ptr<PagedStore>& store = db.paged_store();
+  if (store != nullptr) pool_before = store->pool()->stats();
   Result<Relation> result = ExecuteSelectImpl(db, stmt, ctx, &pcs);
+  if (store != nullptr) {
+    const BufferPoolStats after = store->pool()->stats();
+    ctx->RecordPoolDelta(after.hits - pool_before.hits,
+                         after.misses - pool_before.misses,
+                         after.evictions - pool_before.evictions,
+                         after.writebacks - pool_before.writebacks);
+  }
   if (!result.ok()) return result;  // the guard abandons for a leader
   if (used == nullptr) {
     auto plan = std::make_shared<QueryCache::StatementPlan>();
@@ -841,6 +864,17 @@ void AppendExecutionSection(const Database& db, const ExecContext& ctx,
                      std::to_string(totals.prepared_cache_evictions) +
                      " evictions",
                  1, lines);
+  if (db.paged_store() != nullptr ||
+      totals.pool_hits + totals.pool_misses + totals.pool_evictions +
+              totals.pool_writebacks >
+          0) {
+    AppendIndented("buffer pool: " + std::to_string(totals.pool_hits) +
+                       " hits, " + std::to_string(totals.pool_misses) +
+                       " misses, " + std::to_string(totals.pool_evictions) +
+                       " evictions, " +
+                       std::to_string(totals.pool_writebacks) + " writebacks",
+                   1, lines);
+  }
   AppendIndented("rows: " + std::to_string(result.num_rows()), 1, lines);
   AppendIndented("total: " + FormatSecs(total_seconds), 1, lines);
 }

@@ -72,7 +72,10 @@ std::string DoubleSliceBat::GetString(int64_t i) const {
 BatPtr SliceBat(const BatPtr& b, int64_t offset, int64_t count) {
   RMA_CHECK(b != nullptr);
   RMA_CHECK(offset >= 0 && count >= 0 && offset + count <= b->size());
-  if (const double* d = b->ContiguousDoubleData()) {
+  // A zero-copy view captures a raw pointer, so the source must keep that
+  // pointer valid for the view's lifetime. Paged columns do not (their
+  // frame moves across evict/reload): they take the copying fallback.
+  if (const double* d = b->StableData() ? b->ContiguousDoubleData() : nullptr) {
     // Re-slicing a slice composes offsets against the original owner so view
     // chains never deepen.
     if (const auto* view = dynamic_cast<const DoubleSliceBat*>(b.get())) {

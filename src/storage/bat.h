@@ -10,6 +10,7 @@
 #include "storage/data_type.h"
 #include "storage/value.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace rma {
 
@@ -55,7 +56,25 @@ class Bat {
   /// else nullptr. The single capability probe behind every raw-data fast
   /// path (gathers, packs, SIMD kernels), replacing per-site dynamic_casts
   /// so zero-copy views stay on the fast paths alongside DoubleBat.
+  ///
+  /// Out-of-core columns (storage/paged_bat.h) return non-null only while
+  /// pinned; see PinData/StableData below.
   virtual const double* ContiguousDoubleData() const { return nullptr; }
+
+  /// Residency bracket for out-of-core columns. PinData guarantees that
+  /// until the matching UnpinData, ContiguousDoubleData() (if the column is
+  /// dense double) returns a pointer that stays valid. Pins nest. Malloc-
+  /// backed BATs are always resident, so the default is a no-op; the staged
+  /// executor brackets every operator's arguments (core/dispatch.cc) and
+  /// per-element virtual accessors pin transiently.
+  virtual Status PinData() const { return Status::OK(); }
+  virtual void UnpinData() const {}
+
+  /// True when pointers obtained from ContiguousDoubleData() remain valid
+  /// for the lifetime of this BAT (malloc-backed columns). Paged columns
+  /// return false — their frame can move across evict/reload — so slice
+  /// views and caches must not capture raw pointers into them.
+  virtual bool StableData() const { return true; }
 };
 
 /// Concrete column of `T` in (one contiguous std::vector — the MonetDB tail

@@ -1,0 +1,121 @@
+#ifndef RMA_STORAGE_PAGED_STORE_H_
+#define RMA_STORAGE_PAGED_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "storage/relation.h"
+#include "util/mutex.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rma {
+
+struct PagedStoreOptions {
+  /// Buffer-pool budget shared by every column of the store.
+  int64_t pool_bytes = 256ll << 20;
+  /// Page size for newly created column files (existing files keep theirs).
+  int64_t page_bytes = Pager::kDefaultPageBytes;
+  /// Test/tooling hook: sleep this long between column writes in SaveTable
+  /// so crash-recovery harnesses (scripts/storage_smoke.sh) get a
+  /// deterministic SIGKILL window mid-table. 0 in production.
+  int64_t sleep_ms_between_columns = 0;
+};
+
+/// Durable table storage under one data directory.
+///
+/// Layout:
+///   <dir>/manifest      versioned text catalog, trailing whole-file
+///                       checksum line; always replaced atomically
+///                       (manifest.tmp + fsync + rename + dir fsync)
+///   <dir>/c<N>.col      one page file per column (storage/pager.h)
+///
+/// The manifest is the commit record: SaveTable writes and syncs every
+/// column file of the new table *before* swinging the manifest, so a crash
+/// at any point leaves either the old catalog (new files are orphans,
+/// garbage-collected on the next Open) or the new one (files complete and
+/// synced). Open() rebuilds the catalog from the manifest, verifying each
+/// column file's header and length and discarding — with a warning — any
+/// table whose files are missing, truncated, or corrupt; numeric columns
+/// are mapped lazily as PagedBats (page checksums verify on pin), string
+/// columns load eagerly.
+///
+/// Thread safety: `mu_` serializes catalog mutations and manifest writes;
+/// reads of recovered/saved relations are lock-free (immutable Relations,
+/// internally synchronized pool/pagers). Database calls SaveTable/DropTable
+/// under its own catalog lock, so store-level contention is incidental.
+class PagedStore {
+ public:
+  static Result<std::shared_ptr<PagedStore>> Open(
+      const std::string& dir, const PagedStoreOptions& opts = {});
+
+  const std::string& dir() const { return dir_; }
+  const std::shared_ptr<BufferPool>& pool() const { return pool_; }
+
+  /// Tables recovered from the manifest by Open, in manifest order:
+  /// (display name, relation with paged numeric columns).
+  const std::vector<std::pair<std::string, Relation>>& recovered() const {
+    return recovered_;
+  }
+
+  /// Persists `rel` as table `name` (replacing any previous version) and
+  /// returns the store-backed twin: same schema/rows/name, numeric columns
+  /// as PagedBats over the new files. The returned relation — not the
+  /// malloc-backed input — is what belongs in the catalog, so reads fault
+  /// through the buffer pool.
+  Result<Relation> SaveTable(const std::string& name, const Relation& rel);
+
+  /// Removes `name` from the manifest and unlinks its files. Relations
+  /// already handed out keep reading (their pagers hold open descriptors).
+  Status DropTable(const std::string& name);
+
+ private:
+  struct ColumnMeta {
+    std::string attr;
+    DataType type = DataType::kDouble;
+    std::string file;  // basename within dir_
+    uint64_t first_page = 0;
+    uint64_t n_pages = 0;
+    int64_t bytes = 0;
+  };
+  struct TableMeta {
+    std::string display_name;
+    int64_t rows = 0;
+    std::vector<ColumnMeta> cols;
+  };
+
+  PagedStore(std::string dir, const PagedStoreOptions& opts);
+
+  Status WriteManifestLocked() RMA_REQUIRES(mu_);
+  std::string ManifestTextLocked() const RMA_REQUIRES(mu_);
+  Status LoadManifestLocked(const std::string& text) RMA_REQUIRES(mu_);
+  /// Builds the catalog Relation for `meta`, opening pagers; any failure
+  /// means the table is unreadable (discard at Open, error at Save-return).
+  Result<Relation> LoadTable(const TableMeta& meta);
+  Result<ColumnMeta> WriteColumnLocked(const std::string& attr, const Bat& col)
+      RMA_REQUIRES(mu_);
+  void RemoveFilesOf(const TableMeta& meta);
+  /// Unlinks c*.col files not referenced by the catalog (post-crash
+  /// orphans) and any leftover manifest.tmp.
+  void CollectGarbageLocked() RMA_REQUIRES(mu_);
+
+  const std::string dir_;
+  const PagedStoreOptions opts_;
+  std::shared_ptr<BufferPool> pool_;
+  std::vector<std::pair<std::string, Relation>> recovered_;
+
+  Mutex mu_;
+  /// Keyed by lower-cased table name (matching sql::Database's catalog).
+  std::map<std::string, TableMeta> tables_ RMA_GUARDED_BY(mu_);
+  uint64_t next_file_id_ RMA_GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace rma
+
+#endif  // RMA_STORAGE_PAGED_STORE_H_

@@ -120,6 +120,16 @@ class RelationBuilder {
   std::vector<std::vector<Value>> cells_;  // per column
 };
 
+/// Introspection / test hooks for the process-wide slice-identity memo
+/// behind Relation::SliceRows. The memo is LRU-bounded; evicting an entry
+/// only costs token stability (the next slice of that range mints a fresh
+/// token, i.e. a prepared-cache miss), never correctness.
+size_t SliceIdentityMemoSize();
+/// Overrides the memo capacity (entries; minimum 1). Returns the previous
+/// capacity. Tests shrink it to exercise eviction without minting millions
+/// of tokens; pass the returned value back to restore.
+size_t SetSliceIdentityMemoCapacity(size_t capacity);
+
 /// Equality of contents: same schema, same multiset of rows (order
 /// insensitive — relations are sets of tuples). Doubles compare within eps.
 bool RelationsEqualUnordered(const Relation& a, const Relation& b,

@@ -99,23 +99,45 @@ Result<Relation> ReadCsv(const std::string& path, const Schema& schema,
   std::vector<std::vector<int64_t>> icols(static_cast<size_t>(ncol));
   std::vector<std::vector<double>> dcols(static_cast<size_t>(ncol));
   std::vector<std::vector<std::string>> scols(static_cast<size_t>(ncol));
+  // 1-based physical line numbers, counting the header as line 1, so error
+  // messages match what editors and `sed -n Np` display.
+  int64_t line_no = 1;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
     const std::vector<std::string> fields = SplitCsvLine(line);
     if (static_cast<int>(fields.size()) != ncol) {
-      return Status::ParseError("CSV row arity mismatch");
+      return Status::ParseError(
+          path + " line " + std::to_string(line_no) + ": expected " +
+          std::to_string(ncol) + " fields, got " +
+          std::to_string(fields.size()));
     }
     for (int c = 0; c < ncol; ++c) {
       const std::string& f = fields[static_cast<size_t>(c)];
+      char* end = nullptr;
       switch (schema.attribute(c).type) {
-        case DataType::kInt64:
-          icols[static_cast<size_t>(c)].push_back(
-              std::strtoll(f.c_str(), nullptr, 10));
+        case DataType::kInt64: {
+          const int64_t v = std::strtoll(f.c_str(), &end, 10);
+          if (f.empty() || end != f.c_str() + f.size()) {
+            return Status::ParseError(path + " line " +
+                                      std::to_string(line_no) + ", column '" +
+                                      schema.attribute(c).name +
+                                      "': not an integer: '" + f + "'");
+          }
+          icols[static_cast<size_t>(c)].push_back(v);
           break;
-        case DataType::kDouble:
-          dcols[static_cast<size_t>(c)].push_back(
-              std::strtod(f.c_str(), nullptr));
+        }
+        case DataType::kDouble: {
+          const double v = std::strtod(f.c_str(), &end);
+          if (f.empty() || end != f.c_str() + f.size()) {
+            return Status::ParseError(path + " line " +
+                                      std::to_string(line_no) + ", column '" +
+                                      schema.attribute(c).name +
+                                      "': not a number: '" + f + "'");
+          }
+          dcols[static_cast<size_t>(c)].push_back(v);
           break;
+        }
         case DataType::kString:
           scols[static_cast<size_t>(c)].push_back(f);
           break;

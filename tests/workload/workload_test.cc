@@ -184,5 +184,37 @@ TEST(Csv, Errors) {
   std::remove(path.c_str());
 }
 
+TEST(Csv, ParseErrorsCite1BasedLineNumbers) {
+  const std::string path = "/tmp/rma_test_lines.csv";
+  const Schema schema =
+      Schema::Make({{"a", DataType::kInt64}, {"b", DataType::kDouble}})
+          .ValueOrDie();
+  {
+    // Header is physical line 1; the arity error sits on line 4.
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("a,b\n1,2.5\n2,3.5\n3\n", f);
+    std::fclose(f);
+    const auto r = ReadCsv(path, schema);
+    EXPECT_STATUS(kParseError, r);
+    EXPECT_NE(r.status().message().find("line 4"), std::string::npos)
+        << r.status().ToString();
+  }
+  {
+    // Unparseable numeric cell names the line and the column.
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("a,b\n1,2.5\nnope,3.5\n", f);
+    std::fclose(f);
+    const auto r = ReadCsv(path, schema);
+    EXPECT_STATUS(kParseError, r);
+    EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+        << r.status().ToString();
+    EXPECT_NE(r.status().message().find("column 'a'"), std::string::npos)
+        << r.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace rma::workload

@@ -41,6 +41,11 @@ volatile std::sig_atomic_t g_stop = 0;
 void HandleSignal(int) { g_stop = 1; }
 
 void LoadDemoTables(sql::Database& db) {
+  // With a durable data dir the catalog survives restarts; only seed the
+  // demo tables a previous run has not already persisted.
+  if (db.Has("u") && db.Has("f") && db.Has("rating") && db.Has("weather")) {
+    return;
+  }
   {
     RelationBuilder b(Schema::Make({{"User", DataType::kString},
                                     {"State", DataType::kString},
@@ -109,7 +114,14 @@ int Usage(const char* argv0) {
       "(default: off)\n"
       "  --rows N           rows in the synthetic tables m and v "
       "(default 10000)\n"
-      "  --cols N           application columns in m (default 4)\n",
+      "  --cols N           application columns in m (default 4)\n"
+      "  --data-dir DIR     durable storage directory: the catalog is\n"
+      "                     recovered from DIR's manifest at startup and\n"
+      "                     every Register/Drop/CTAS persists atomically;\n"
+      "                     table columns read through the buffer pool\n"
+      "                     (default: in-memory; env RMA_DATA_DIR)\n"
+      "  --pool-mb N        buffer-pool capacity in MiB for --data-dir\n"
+      "                     (default 256; env RMA_POOL_BYTES in bytes)\n",
       argv0);
   return 2;
 }
@@ -121,6 +133,13 @@ int main(int argc, char** argv) {
   opts.port = 7744;
   int64_t rows = 10000;
   int cols = 4;
+  // Flags override the environment, which overrides the in-memory default.
+  std::string data_dir;
+  PagedStoreOptions store_opts;
+  if (const char* env = std::getenv("RMA_DATA_DIR")) data_dir = env;
+  if (const char* env = std::getenv("RMA_POOL_BYTES")) {
+    store_opts.pool_bytes = std::atoll(env);
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_next = i + 1 < argc;
@@ -142,19 +161,40 @@ int main(int argc, char** argv) {
       rows = std::atoll(argv[++i]);
     } else if (arg == "--cols" && has_next) {
       cols = std::atoi(argv[++i]);
+    } else if (arg == "--data-dir" && has_next) {
+      data_dir = argv[++i];
+    } else if (arg == "--pool-mb" && has_next) {
+      store_opts.pool_bytes = std::atoll(argv[++i]) * 1024 * 1024;
     } else {
       return Usage(argv[0]);
     }
   }
 
   sql::Database db;
+  if (!data_dir.empty()) {
+    Result<sql::Database> opened = sql::Database::Open(data_dir, store_opts);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: opening %s: %s\n", data_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(*opened);
+    std::printf("data dir: %s (%lld recovered tables, pool %lld MiB)\n",
+                data_dir.c_str(),
+                static_cast<long long>(db.TableNames().size()),
+                static_cast<long long>(store_opts.pool_bytes >> 20));
+  }
   LoadDemoTables(db);
-  db.Register("m", workload::UniformRelation(rows, cols, /*seed=*/42, 0.0,
-                                             10000.0, /*sorted=*/false, "m"))
-      .Abort();
-  db.Register("v", workload::UniformRelation(rows, 1, /*seed=*/7, 0.0, 10000.0,
-                                             /*sorted=*/false, "v"))
-      .Abort();
+  if (!db.Has("m")) {
+    db.Register("m", workload::UniformRelation(rows, cols, /*seed=*/42, 0.0,
+                                               10000.0, /*sorted=*/false, "m"))
+        .Abort();
+  }
+  if (!db.Has("v")) {
+    db.Register("v", workload::UniformRelation(rows, 1, /*seed=*/7, 0.0,
+                                               10000.0, /*sorted=*/false, "v"))
+        .Abort();
+  }
 
   server::Server server(&db, opts);
   const Status st = server.Start();
